@@ -1,0 +1,15 @@
+"""Shared benchmark configuration.
+
+Heavy, end-to-end experiment benches use ``benchmark.pedantic`` with a
+single round: they are measured for wall-clock visibility, while their
+*assertions* are what tie the run to the paper's claims.  Microbenches
+(model update, tree ops, kernel throughput) use normal rounds.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark an expensive experiment exactly once and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

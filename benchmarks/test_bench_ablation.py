@@ -1,0 +1,145 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each ablation disables one Drowsy-DC mechanism and checks the direction
+of the effect the paper attributes to it.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.evaluation import evaluate_traces
+from repro.core.params import DEFAULT_PARAMS
+from repro.experiments import backup_anticipation, energy_totals, suspending_eval
+from repro.traces.synthetic import comic_strips_trace
+
+
+def test_weight_learning_ablation(benchmark):
+    """Learned weights must help on the multi-scale comic-strips trace."""
+    traces = [comic_strips_trace(years=2)]
+
+    def run_both():
+        learned = evaluate_traces(traces, DEFAULT_PARAMS)[0]
+        fixed = evaluate_traces(
+            traces, DEFAULT_PARAMS.replace(learn_weights=False))[0]
+        return learned, fixed
+
+    learned, fixed = run_once(benchmark, run_both)
+    assert learned.final_specificity >= fixed.final_specificity - 0.02, \
+        "weight learning should not hurt active-hour prediction"
+    assert learned.final_f_measure > 0.9
+
+
+def test_scales_ablation(benchmark):
+    """All four calendar scales beat the day-only model on weekly data."""
+    from repro.traces.production import production_trace
+
+    trace = production_trace(1, days=120)  # weekday pattern
+
+    def run_both():
+        full = evaluate_traces([trace], DEFAULT_PARAMS)[0]
+        day_only = evaluate_traces(
+            [trace],
+            DEFAULT_PARAMS.replace(use_weekly_scale=False,
+                                   use_monthly_scale=False,
+                                   use_yearly_scale=False))[0]
+        return full, day_only
+
+    full, day_only = run_once(benchmark, run_both)
+    assert full.final_f_measure >= day_only.final_f_measure - 0.01
+    # The weekday trace's weekend idleness needs the weekly scale for
+    # active-hour prediction.
+    assert full.final_specificity >= day_only.final_specificity - 0.01
+
+
+def test_opportunistic_step_ablation(benchmark):
+    """Without the 7-sigma step, Drowsy-DC's normal mode saves less."""
+    from repro.experiments.common import build_fleet, drowsy_controller
+    from repro.sim.hourly import HourlyConfig, HourlySimulator
+
+    def run_pair():
+        energies = {}
+        for label, opportunistic in (("on", True), ("off", False)):
+            params = DEFAULT_PARAMS.replace(opportunistic_step=opportunistic)
+            dc = build_fleet(6, 24, 1.0, hours=5 * 24, params=params, seed=3)
+            sim = HourlySimulator(dc, drowsy_controller(dc, params), params,
+                                  HourlyConfig(power_off_empty=False))
+            energies[label] = sim.run(5 * 24).total_energy_kwh
+        return energies
+
+    energies = run_once(benchmark, run_pair)
+    assert energies["on"] <= energies["off"] * 1.02, \
+        "the opportunistic step must not cost energy"
+
+
+def test_grace_ablation(benchmark):
+    """Grace time trades a little energy for far fewer power cycles."""
+    data = run_once(benchmark, suspending_eval.run)
+    assert data.cycles_with_grace < data.cycles_without_grace
+    # At least a 25 % cycle reduction on the flapping workload.
+    assert data.cycles_with_grace <= 0.75 * data.cycles_without_grace
+
+
+def test_ahead_wake_ablation(benchmark):
+    """Scheduled wakes must land before the timer, not after."""
+    def run_pair():
+        with_ahead = backup_anticipation.run(days=2)
+        without = backup_anticipation.run(
+            days=2, params=DEFAULT_PARAMS.replace(ahead_of_time_wake=False))
+        return with_ahead, without
+
+    with_ahead, without = run_once(benchmark, run_pair)
+    assert with_ahead.all_anticipated
+    assert not without.all_anticipated
+    assert min(with_ahead.margins_s) > 0.0
+    assert min(without.margins_s) < 0.0
+
+
+def test_adaptive_alpha_beta_extension(benchmark):
+    """Paper future work: dynamic alpha/beta from activity variation.
+
+    On a regime-switching workload (pattern flips after a year) the
+    adaptive model must not be worse than the fixed (0.7, 0.5) model.
+    """
+    import numpy as np
+
+    from repro.core.adaptive import AdaptiveIdlenessModel
+    from repro.core.metrics import ConfusionCounts
+    from repro.core.model import IdlenessModel
+
+    def run_pair():
+        rng = np.random.default_rng(5)
+        hours = 2 * 365 * 24
+        # Year 1: nightly batch; year 2: business hours; noisy levels.
+        acts = np.empty(hours)
+        for h in range(hours):
+            hod = h % 24
+            if h < 365 * 24:
+                active = hod in (1, 2, 3)
+            else:
+                active = 9 <= hod <= 17 and ((h // 24) % 7) < 5
+            acts[h] = rng.uniform(0.05, 0.95) if active else 0.0
+        scores = {}
+        for label, model in (("fixed", IdlenessModel()),
+                             ("adaptive", AdaptiveIdlenessModel())):
+            counts = ConfusionCounts()
+            for h in range(hours):
+                pred, actual = model.predict_and_observe(h, float(acts[h]))
+                counts.update(pred, actual)
+            scores[label] = counts.f_measure
+        return scores
+
+    scores = run_once(benchmark, run_pair)
+    assert scores["adaptive"] >= scores["fixed"] - 0.03
+    print(f"\nregime-switch F: fixed={scores['fixed']:.3f} "
+          f"adaptive={scores['adaptive']:.3f}")
+
+
+def test_consolidation_value_ablation(benchmark):
+    """Drowsy-DC's gains come from placement, not only from S3: the gap
+    between Drowsy and Neat+S3 (identical suspension machinery) is the
+    placement contribution (paper: 27 %)."""
+    data = run_once(benchmark, energy_totals.run, 5)
+    placement_gain = data.saving_vs_neat_s3_pct
+    assert placement_gain > 10.0
+    print(f"\nplacement-only contribution: {placement_gain:.0f} % "
+          f"(paper: ~27 %)")

@@ -1,0 +1,24 @@
+"""E10 bench — §VI-A.3 timer anticipation: the backup wakes penalty-free."""
+
+from benchmarks.conftest import run_once
+from repro.core.params import DEFAULT_PARAMS
+from repro.experiments import backup_anticipation
+
+
+def test_backup_anticipated(benchmark):
+    data = run_once(benchmark, backup_anticipation.run, 3)
+    assert data.margins_s, "no backup expiries observed"
+    assert data.all_anticipated, \
+        "with ahead-of-time wake the host must be up at every timer expiry"
+    assert data.suspended_fraction > 0.9
+    print()
+    print(data.render())
+
+
+def test_backup_without_anticipation_pays(benchmark):
+    params = DEFAULT_PARAMS.replace(ahead_of_time_wake=False)
+    data = run_once(benchmark, backup_anticipation.run, 3, params)
+    assert not data.all_anticipated, \
+        "without anticipation the timer fires while the host resumes"
+    print()
+    print(data.render())

@@ -1,0 +1,42 @@
+"""E11 bench — Neat substrate: detector × selector study.
+
+Validates that the reimplemented Neat family reproduces Beloglazov &
+Buyya's qualitative findings on PlanetLab-like load: adaptive detectors
+behave differently from the static threshold, and the policy grid spans
+a real energy/QoS trade-off space.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import detector_study
+
+
+def test_detector_selector_grid(benchmark):
+    data = run_once(benchmark, detector_study.run, 8, 24, 3)
+    assert len(data.cells) == 12
+
+    migrations = {(c.detector, c.selector): c.migrations for c in data.cells}
+    slatahs = {(c.detector, c.selector): c.slatah for c in data.cells}
+
+    # The grid must actually differentiate policies.
+    assert len(set(migrations.values())) > 1, "policies indistinguishable"
+    assert len(set(round(s, 5) for s in slatahs.values())) > 1
+
+    # Every configuration keeps QoS violations rare on this load.
+    assert all(c.slatah < 0.05 for c in data.cells)
+
+    # Consolidation actually happened: energy below the all-idle-on bound
+    # (8 hosts x 72 h x 50 W = 28.8 kWh would be idle-only; with load the
+    # no-consolidation bound is higher still).
+    assert all(c.energy_kwh < 50 for c in data.cells)
+    print()
+    print(data.render())
+
+
+def test_lr_mmt_is_competitive(benchmark):
+    """Beloglazov's headline: LR + MMT minimizes the ESV product.  We
+    assert the reproduced LR-MMT lands in the better half of the grid."""
+    data = run_once(benchmark, detector_study.run, 8, 24, 3)
+    esvs = sorted(c.esv for c in data.cells)
+    lr_mmt = data.cell("lr", "mmt").esv
+    median = esvs[len(esvs) // 2]
+    assert lr_mmt <= median

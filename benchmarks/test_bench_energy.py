@@ -1,0 +1,21 @@
+"""E4 bench — §VI-A.3 energy totals (paper: 40 / 24 / 18 kWh).
+
+Asserted shape: strict ordering Drowsy < Neat+S3 < Neat-no-suspend, a
+~2x saving vs no suspension and a >=15 % saving vs naive S3.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import energy_totals
+
+
+def test_energy_totals(benchmark):
+    data = run_once(benchmark, energy_totals.run, 7)
+    assert data.drowsy.energy_kwh < data.neat_s3.energy_kwh \
+        < data.neat_no_suspend.energy_kwh
+    # Paper: ~55 % vs no-suspension, ~27 % vs Neat+S3 (generous bands).
+    assert 35 <= data.saving_vs_no_suspend_pct <= 70
+    assert 15 <= data.saving_vs_neat_s3_pct <= 45
+    # Absolute scale sanity: 4 testbed hosts for a week, tens of kWh.
+    assert 10 < data.neat_no_suspend.energy_kwh < 60
+    print()
+    print(data.render())

@@ -1,0 +1,16 @@
+"""E12 bench — §V: waking-module fault tolerance under failure injection."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import waking_failover
+
+
+def test_failover_service_continuity(benchmark):
+    data = run_once(benchmark, waking_failover.run, 2)
+    assert data.failovers == 1
+    assert data.service_continued, \
+        "hosts must keep waking after the primary module crashes"
+    assert data.wol_after_crash > 0
+    assert data.sla.sla_met, "the SLA must survive the failover"
+    assert data.detection_delay_s <= 5.0
+    print()
+    print(data.render())

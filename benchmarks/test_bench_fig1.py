@@ -1,0 +1,31 @@
+"""E1 bench — Fig. 1: production-like trace generation.
+
+Regenerates the Fig. 1 workload series and checks the documented
+properties: VM3 == VM4, LLMI idle fractions, activity bands.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig1_traces
+
+
+def test_fig1_traces(benchmark):
+    data = run_once(benchmark, fig1_traces.run, 6)
+    assert set(data.series) == {"VM3", "VM4", "VM6"}
+    np.testing.assert_array_equal(data.series["VM3"], data.series["VM4"])
+    for vm, series in data.series.items():
+        idle_frac = float(np.mean(series == 0.0))
+        assert idle_frac > 0.75, f"{vm} must be mostly idle (LLMI)"
+        active = series[series > 0]
+        assert 0.02 < active.mean() < 0.5, f"{vm} activity out of Fig. 1 band"
+    print()
+    print(fig1_traces.render(data))
+
+
+def test_fig1_generation_throughput(benchmark):
+    """Trace synthesis must stay cheap: 3 years in well under a second."""
+    from repro.traces.production import production_trace
+
+    trace = benchmark(production_trace, 1, 3 * 365)
+    assert trace.hours == 3 * 365 * 24

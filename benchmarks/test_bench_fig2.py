@@ -1,0 +1,21 @@
+"""E2 bench — Fig. 2: colocation matrix under Drowsy-DC (7 days).
+
+Paper checkpoints asserted: the LLMU pair co-runs for the majority of
+the time, the same-workload pair converges after few migrations, and
+per-VM migration counts stay low (paper max: 3).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig2_colocation
+
+
+def test_fig2_colocation(benchmark):
+    data = run_once(benchmark, fig2_colocation.run, 7)
+    s = data.summary
+    # Paper Fig. 2: V1-V2 85 %, V3-V4 76 %, max 3 migrations per VM.
+    assert s.llmu_pair_fraction > 0.6
+    assert s.same_workload_pair_fraction > 0.6
+    assert s.max_migrations_per_vm <= 4
+    assert s.total_migrations <= 24
+    print()
+    print(data.render())

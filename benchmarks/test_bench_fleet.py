@@ -1,0 +1,25 @@
+"""E8 bench — §VI-B: fleet sweep over the LLMI fraction.
+
+Paper: Drowsy-DC improves up to 81-82 % on vanilla Neat, and
+outperforms Oasis on average.  Asserted shape: improvement vs vanilla
+Neat grows with the LLMI fraction and exceeds 60 % at 100 % LLMI;
+Drowsy-DC never loses to Neat+S3 or Oasis.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fleet_sweep
+
+
+def test_fleet_sweep(benchmark):
+    data = run_once(benchmark, fleet_sweep.run,
+                    (0.0, 0.5, 1.0), 8, 32, 7)
+    improvements = [p.drowsy_vs_neat_no_s3_pct for p in data.points]
+    assert improvements == sorted(improvements), \
+        "improvement must grow with the LLMI fraction"
+    assert improvements[-1] > 60.0, "paper: up to 81-82 %"
+    for p in data.points:
+        assert p.drowsy_kwh <= p.neat_kwh * 1.02
+        assert p.drowsy_kwh <= p.oasis_kwh * 1.02
+    assert data.mean_improvement_vs_oasis_pct >= 0.0
+    print()
+    print(data.render())

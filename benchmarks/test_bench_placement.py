@@ -1,0 +1,16 @@
+"""E13 bench — §III-D-a: the idleness weigher at VM creation time."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import initial_placement
+
+
+def test_initial_placement_weigher(benchmark):
+    data = run_once(benchmark, initial_placement.run, 5)
+    # The weigher must not disturb *more* sleeping hosts than vanilla
+    # Nova, and must not cost energy.
+    assert (data.drowsy.sleepy_hosts_disturbed
+            <= data.vanilla.sleepy_hosts_disturbed)
+    assert data.drowsy.energy_kwh <= data.vanilla.energy_kwh * 1.02
+    assert data.drowsy.placed == data.vanilla.placed
+    print()
+    print(data.render())

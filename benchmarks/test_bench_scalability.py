@@ -1,0 +1,36 @@
+"""E9 bench — §VII scalability: O(n) Drowsy vs O(n²) pairwise matching."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.consolidation.baseline import (
+    drowsy_linear_grouping,
+    pairwise_matching_grouping,
+)
+from repro.core.params import DEFAULT_PARAMS
+from repro.experiments import scalability
+from repro.experiments.scalability import _make_population
+
+
+def test_growth_exponents(benchmark):
+    data = run_once(benchmark, scalability.run, (64, 128, 256, 512))
+    assert data.pairwise_exponent > data.drowsy_exponent + 0.4, \
+        "pairwise matching must grow clearly faster than Drowsy grouping"
+    assert data.drowsy_exponent < 1.6   # ~linear (n log n)
+    assert data.pairwise_exponent > 1.5  # ~quadratic
+    print()
+    print(data.render())
+
+
+@pytest.mark.parametrize("n", [128, 512])
+def test_drowsy_grouping_speed(benchmark, n):
+    vms, hosts = _make_population(n, DEFAULT_PARAMS, trained_hours=24)
+    groups = benchmark(drowsy_linear_grouping, vms, hosts, 25)
+    assert sum(len(g) for g in groups) == n
+
+
+@pytest.mark.parametrize("n", [128, 512])
+def test_pairwise_matching_speed(benchmark, n):
+    vms, hosts = _make_population(n, DEFAULT_PARAMS, trained_hours=24)
+    groups = benchmark(pairwise_matching_grouping, vms, hosts, 25)
+    assert sum(len(g) for g in groups) <= n

@@ -1,0 +1,48 @@
+"""E7 bench — §VI-A.4: suspending module effectiveness / overhead / scale."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core.params import DEFAULT_PARAMS
+from repro.experiments import suspending_eval
+
+
+def test_suspending_module_eval(benchmark):
+    data = run_once(benchmark, suspending_eval.run)
+    assert data.detection.precision > 0.95
+    assert data.detection.recall > 0.95
+    assert data.cycles_with_grace < data.cycles_without_grace, \
+        "grace time must dampen power-state oscillation"
+    assert data.waking_date_ok
+    assert data.blacklist_filtered
+    print()
+    print(data.render())
+
+
+def test_one_evaluation_overhead(benchmark):
+    """The per-check cost must be negligible (paper: 'negligible
+    overhead'): well under a millisecond."""
+    from repro.experiments.suspending_eval import _mini_host
+    from repro.suspend.module import SuspendingModule
+    from repro.traces.synthetic import daily_backup_trace
+
+    host, _ = _mini_host(DEFAULT_PARAMS, daily_backup_trace(days=1))
+    module = SuspendingModule(host, DEFAULT_PARAMS)
+    benchmark(module.evaluate, 100.0)
+    assert benchmark.stats["mean"] < 1e-3
+
+
+@pytest.mark.parametrize("n_timers", [100, 1000, 10000])
+def test_waking_date_scales(benchmark, n_timers):
+    """Earliest-valid-timer cost grows mildly with the hrtimer count."""
+    import numpy as np
+
+    from repro.suspend.timers import TimerEntry, TimerRegistry
+
+    rng = np.random.default_rng(5)
+    registry = TimerRegistry()
+    for i, fire in enumerate(rng.uniform(0, 1e6, n_timers)):
+        registry.register(TimerEntry(float(fire), f"proc-{i}", f"t{i}"))
+    entry = benchmark(registry.earliest_valid)
+    assert entry is not None
+    assert benchmark.stats["mean"] < 1e-3

@@ -1,0 +1,24 @@
+"""E3 bench — Table I: suspended-time fractions, Drowsy-DC vs Neat.
+
+Paper: global 66 % (Drowsy) vs 49 % (Neat), i.e. ~35 % more suspended
+time; the host carrying both LLMU VMs never sleeps.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table1_suspension
+
+
+def test_table1_suspension(benchmark):
+    data = run_once(benchmark, table1_suspension.run, 7)
+    drowsy = data.drowsy.global_suspended_fraction
+    neat = data.neat.global_suspended_fraction
+    assert drowsy > neat, "Drowsy-DC must beat Neat on suspended time"
+    assert 0.15 <= data.relative_improvement <= 1.0, \
+        "improvement should be in the paper's ballpark (35 %)"
+    # One host (the LLMU host) never sleeps under Drowsy-DC.
+    fractions = sorted(data.drowsy.suspended_fraction_by_host.values())
+    assert fractions[0] < 0.05
+    # The LLMI hosts sleep most of the time.
+    assert all(f > 0.5 for f in fractions[1:])
+    print()
+    print(data.render())

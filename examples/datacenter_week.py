@@ -1,0 +1,62 @@
+"""A week in a Drowsy-DC data center (the paper's testbed, section VI-A).
+
+Builds the 4-host / 8-VM testbed (2 LLMU media-streaming VMs, 6 LLMI
+web-search VMs with production-like traces), runs one week under three
+managers — Neat without suspension, Neat + S3, Drowsy-DC — and prints
+the colocation matrix, the Table-I suspension figures and the energy
+comparison.
+
+Run with:  python examples/datacenter_week.py
+"""
+
+from repro.analysis import ColocationTracker, energy_table, summarize, suspension_table
+from repro.core.params import DEFAULT_PARAMS
+from repro.experiments.common import VM_NAMES, build_testbed, drowsy_controller, neat_controller
+from repro.sim.hourly import HourlyConfig, HourlySimulator
+
+DAYS = 7
+
+
+def run_neat(suspend: bool):
+    params = DEFAULT_PARAMS.replace(use_grace=False)
+    bed = build_testbed(params, days=DAYS)
+    sim = HourlySimulator(
+        bed.dc, neat_controller(bed.dc, params), params,
+        HourlyConfig(suspend_enabled=suspend, power_off_empty=False))
+    return sim.run(DAYS * 24)
+
+
+def run_drowsy():
+    bed = build_testbed(DEFAULT_PARAMS, days=DAYS)
+    tracker = ColocationTracker(bed.dc)
+    sim = HourlySimulator(
+        bed.dc, drowsy_controller(bed.dc, DEFAULT_PARAMS), DEFAULT_PARAMS,
+        HourlyConfig(relocate_all_mode=True, power_off_empty=False),
+        hour_hooks=(tracker.hour_hook,))
+    result = sim.run(DAYS * 24)
+    return result, tracker
+
+
+def main() -> None:
+    neat_plain = run_neat(suspend=False)
+    neat_s3 = run_neat(suspend=True)
+    drowsy, tracker = run_drowsy()
+
+    print("colocation matrix under Drowsy-DC (percent of the week):")
+    print(tracker.render(list(VM_NAMES), drowsy.vm_migrations))
+    print()
+    print("suspended time (Table I layout):")
+    print(suspension_table(
+        [summarize("Drowsy-DC", drowsy), summarize("Neat + S3", neat_s3)],
+        [h for h in drowsy.suspended_fraction_by_host]))
+    print()
+    print("energy for the week:")
+    print(energy_table([
+        summarize("Neat (no suspension)", neat_plain),
+        summarize("Neat + S3", neat_s3),
+        summarize("Drowsy-DC", drowsy),
+    ]))
+
+
+if __name__ == "__main__":
+    main()

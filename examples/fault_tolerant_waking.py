@@ -1,0 +1,27 @@
+"""Fault-tolerant waking: crash the waking module, nobody notices (§V).
+
+The waking module is the one component that must never sleep — it wakes
+everyone else.  The paper makes it fault tolerant with heartbeat-mirrored
+pairs.  This example runs the testbed, kills the primary module halfway
+through, and shows that scheduled wakes and the request SLA survive.
+
+Run with:  python examples/fault_tolerant_waking.py
+"""
+
+from repro.experiments import waking_failover
+
+
+def main() -> None:
+    data = waking_failover.run(days=2)
+    print(data.render())
+    print()
+    if data.service_continued and data.sla.sla_met:
+        print("the mirror took over transparently: scheduled wakes fired,")
+        print("inbound requests kept waking drowsy hosts, and the 200 ms")
+        print("SLA held through the failover.")
+    else:  # pragma: no cover - would indicate a regression
+        print("WARNING: failover did not preserve service!")
+
+
+if __name__ == "__main__":
+    main()

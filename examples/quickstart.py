@@ -1,0 +1,53 @@
+"""Quickstart: learn a VM's idleness model and query its predictions.
+
+Builds the paper's idleness model (section III) for a single VM running
+a nightly backup workload, then asks the two questions Drowsy-DC asks
+every hour: "how likely is this VM to be idle at hour X?" and "should
+two VMs share a host?".
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import IdlenessModel, slot_of_hour
+from repro.core.metrics import ConfusionCounts
+from repro.traces import daily_backup_trace, production_trace
+
+
+def main() -> None:
+    # A backup service: active each day at 2 am, idle otherwise.
+    trace = daily_backup_trace(days=60, backup_hour=2)
+
+    # Feed the model hour by hour (this is what the per-host model
+    # builder does in production), keeping score of its predictions.
+    model = IdlenessModel()
+    counts = ConfusionCounts()
+    for hour, activity in enumerate(trace.activities):
+        predicted, actually_idle = model.predict_and_observe(hour, float(activity))
+        counts.update(predicted, actually_idle)
+
+    print("after 60 days of observation:")
+    print(f"  f-measure so far : {counts.f_measure:.3f}")
+    print(f"  learned weights  : day={model.weights[0]:.2f} "
+          f"week={model.weights[1]:.2f} month={model.weights[2]:.2f} "
+          f"year={model.weights[3]:.2f}")
+
+    # Query tomorrow's hours.
+    tomorrow = 60 * 24
+    for hour_of_day in (2, 3, 14):
+        slot = slot_of_hour(tomorrow + hour_of_day)
+        prob = model.idleness_probability(slot)
+        verdict = "idle" if model.predict_idle(slot) else "ACTIVE"
+        print(f"  {hour_of_day:02d}:00 tomorrow   : P(idle)={prob:.4f} -> {verdict}")
+
+    # Placement question: does this VM match a business-hours VM?
+    other = IdlenessModel()
+    for hour, activity in enumerate(production_trace(1, days=60).activities):
+        other.observe(hour, float(activity))
+    slot = slot_of_hour(tomorrow + 2)
+    distance = abs(model.raw_ip(slot) - other.raw_ip(slot))
+    print(f"  IP distance to a business-hours VM at 02:00: {distance:.2e} "
+          f"(threshold for 'too far apart': 7σ = {7 / 8760:.2e})")
+
+
+if __name__ == "__main__":
+    main()

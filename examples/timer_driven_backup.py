@@ -1,0 +1,35 @@
+"""Timer-driven workloads: drowsy hosts that wake themselves (section V-B).
+
+A backup VM sleeps all day and runs a cron job at 2 am.  The suspending
+module reads the cron timer out of the (simulated) hrtimer red-black
+tree when it suspends the host; the waking module sends Wake-on-LAN
+*ahead* of the expiry so the host is up exactly when the job starts.
+
+The script runs the full event-driven stack twice — with and without
+ahead-of-time waking — and shows the wake margin at each expiry.
+
+Run with:  python examples/timer_driven_backup.py
+"""
+
+from repro.core.params import DEFAULT_PARAMS
+from repro.experiments import backup_anticipation
+
+
+def main() -> None:
+    print("=== with ahead-of-time wake (Drowsy-DC) ===")
+    data = backup_anticipation.run(days=3)
+    print(data.render())
+    print()
+    print("=== without (wake sent at the expiry itself) ===")
+    data_off = backup_anticipation.run(
+        days=3, params=DEFAULT_PARAMS.replace(ahead_of_time_wake=False))
+    print(data_off.render())
+    print()
+    saved = [a - b for a, b in zip(data.margins_s, data_off.margins_s)]
+    print(f"anticipation buys {min(saved):.2f}-{max(saved):.2f} s of margin "
+          f"per expiry — the difference between a punctual backup and one "
+          f"delayed by the resume latency.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Drowsy-DC: data center power management system (IPDPS 2019).
+
+Reproduction of Bacou et al., "Drowsy-DC: Data center power management
+system", IEEE IPDPS 2019.  The package implements the paper's
+contribution (idleness-model-driven VM consolidation plus host suspend /
+wake modules) together with every substrate the evaluation needs: a
+discrete-event data-center simulator, an OpenStack-Nova-like scheduler,
+an OpenStack-Neat reimplementation, an Oasis-like baseline, synthetic
+workload generators and the full experiment harness.
+
+Quickstart::
+
+    from repro import IdlenessModel, slot_of_hour
+    from repro.traces import daily_backup_trace
+
+    trace = daily_backup_trace(days=60)
+    model = IdlenessModel()
+    for hour, activity in enumerate(trace.activities):
+        model.observe(hour, activity)
+    print(model.idleness_probability(slot_of_hour(2 * 24 + 2)))  # 2 am
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from .core import (
+    DEFAULT_PARAMS,
+    ConfusionCounts,
+    DrowsyParams,
+    FleetIdlenessModel,
+    IdlenessModel,
+    slot_of_hour,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConfusionCounts",
+    "DEFAULT_PARAMS",
+    "DrowsyParams",
+    "FleetIdlenessModel",
+    "IdlenessModel",
+    "slot_of_hour",
+    "__version__",
+]

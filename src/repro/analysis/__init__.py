@@ -1,0 +1,36 @@
+"""Analysis: colocation matrices, energy tables, SLA, IM evaluation."""
+
+from .colocation import ColocationSummary, ColocationTracker, summarize_testbed
+from .energy import (
+    RunSummary,
+    energy_table,
+    improvement_pct,
+    summarize,
+    suspension_table,
+)
+from .evaluation import TraceEvaluation, evaluate_traces, evaluation_table
+from .plotting import ascii_chart, compare_table, sparkline
+from .report import ClaimCheck, ReproductionReport, generate_report
+from .sla import SLAReport, sla_report
+
+__all__ = [
+    "ClaimCheck",
+    "ColocationSummary",
+    "ColocationTracker",
+    "ReproductionReport",
+    "RunSummary",
+    "SLAReport",
+    "TraceEvaluation",
+    "ascii_chart",
+    "compare_table",
+    "energy_table",
+    "generate_report",
+    "sparkline",
+    "evaluate_traces",
+    "evaluation_table",
+    "improvement_pct",
+    "sla_report",
+    "summarize",
+    "summarize_testbed",
+    "suspension_table",
+]

@@ -1,0 +1,94 @@
+"""Colocation tracking (paper Fig. 2).
+
+Fig. 2 reports, for every VM pair, the percentage of experiment time the
+two VMs shared a host, plus the number of migrations each VM underwent.
+:class:`ColocationTracker` samples the placement every hour (as an
+``hour_hook`` of either simulator) and renders the same matrix.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.datacenter import DataCenter
+
+
+class ColocationTracker:
+    """Accumulates co-residence time between VM pairs."""
+
+    def __init__(self, dc: DataCenter) -> None:
+        self.dc = dc
+        self.samples = 0
+        self._pair_hours: dict[frozenset[str], int] = defaultdict(int)
+
+    def hour_hook(self, hour_index: int, now: float) -> None:
+        """Sample current placement (signature matches simulator hooks)."""
+        self.sample()
+
+    def sample(self) -> None:
+        self.samples += 1
+        for host in self.dc.hosts:
+            names = [vm.name for vm in host.vms]
+            for i in range(len(names)):
+                for j in range(i + 1, len(names)):
+                    self._pair_hours[frozenset((names[i], names[j]))] += 1
+
+    # ------------------------------------------------------------------
+    def pair_fraction(self, a: str, b: str) -> float:
+        """Fraction of sampled time VMs ``a`` and ``b`` were colocated."""
+        if a == b:
+            return 1.0
+        if self.samples == 0:
+            return 0.0
+        return self._pair_hours[frozenset((a, b))] / self.samples
+
+    def matrix(self, vm_names: list[str]) -> np.ndarray:
+        """Colocation percentage matrix in Fig. 2's layout (diag = 100)."""
+        n = len(vm_names)
+        m = np.zeros((n, n))
+        for i, a in enumerate(vm_names):
+            for j, b in enumerate(vm_names):
+                m[i, j] = 100.0 * self.pair_fraction(a, b)
+        return m
+
+    def render(self, vm_names: list[str],
+               migrations: dict[str, int] | None = None) -> str:
+        """ASCII rendering of Fig. 2 (percentages + #mig column)."""
+        m = self.matrix(vm_names)
+        header = "     " + " ".join(f"{n:>4}" for n in vm_names)
+        if migrations is not None:
+            header += "  #mig"
+        lines = [header]
+        for i, a in enumerate(vm_names):
+            row = f"{a:>4} " + " ".join(f"{m[i, j]:4.0f}" for j in range(len(vm_names)))
+            if migrations is not None:
+                row += f"  {migrations.get(a, 0):4d}"
+            lines.append(row)
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ColocationSummary:
+    """Key Fig. 2 observations, extracted for assertions."""
+
+    llmu_pair_fraction: float
+    same_workload_pair_fraction: float
+    total_migrations: int
+    max_migrations_per_vm: int
+
+
+def summarize_testbed(tracker: ColocationTracker,
+                      migrations: dict[str, int],
+                      llmu_pair: tuple[str, str] = ("V1", "V2"),
+                      same_workload_pair: tuple[str, str] = ("V3", "V4")) -> ColocationSummary:
+    """The checks the paper reads off Fig. 2: the LLMU VMs pack together,
+    the same-workload LLMI VMs pack together, migrations stay low."""
+    return ColocationSummary(
+        llmu_pair_fraction=tracker.pair_fraction(*llmu_pair),
+        same_workload_pair_fraction=tracker.pair_fraction(*same_workload_pair),
+        total_migrations=sum(migrations.values()),
+        max_migrations_per_vm=max(migrations.values()) if migrations else 0,
+    )

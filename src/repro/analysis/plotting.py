@@ -1,0 +1,67 @@
+"""Terminal-friendly rendering of metric curves (no plotting deps).
+
+Fig. 4 and the ramp-up analyses are line plots in the paper; in a
+dependency-free reproduction we render them as ASCII sparklines and
+multi-row charts, which is enough to eyeball the shapes the paper
+describes (fast ramps, the comic-strips year-two dip, etc.).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+SPARK_CHARS = " .:-=+*#%@"
+
+
+def sparkline(values, width: int = 60) -> str:
+    """One-line chart: each char bins the series into [0, 1] intensity."""
+    arr = np.asarray(list(values), dtype=float)
+    arr = arr[~np.isnan(arr)]
+    if arr.size == 0:
+        return "(no defined values)"
+    idx = np.linspace(0, arr.size - 1, min(width, arr.size)).astype(int)
+    top = len(SPARK_CHARS) - 1
+    return "".join(SPARK_CHARS[min(int(v * top), top)] if v >= 0 else "?"
+                   for v in np.clip(arr[idx], 0.0, 1.0))
+
+
+def ascii_chart(values, width: int = 60, height: int = 10,
+                y_min: float = 0.0, y_max: float = 1.0) -> str:
+    """Multi-row ASCII line chart of one series in [y_min, y_max]."""
+    arr = np.asarray(list(values), dtype=float)
+    ok = ~np.isnan(arr)
+    if not ok.any():
+        return "(no defined values)"
+    idx = np.linspace(0, arr.size - 1, min(width, arr.size)).astype(int)
+    sampled = arr[idx]
+    rows = []
+    span = max(y_max - y_min, 1e-12)
+    for r in range(height, 0, -1):
+        level = y_min + span * r / height
+        prev_level = y_min + span * (r - 1) / height
+        line = "".join(
+            "*" if (not math.isnan(v) and prev_level < v <= level) else " "
+            for v in sampled)
+        label = f"{level:4.2f}" if r in (height, 1) else "    "
+        rows.append(f"{label} |{line}")
+    rows.append("     +" + "-" * len(sampled))
+    return "\n".join(rows)
+
+
+def compare_table(rows: dict[str, dict[str, float]],
+                  columns: list[str] | None = None) -> str:
+    """Aligned table from {row_label: {column: value}} mappings."""
+    if not rows:
+        return "(empty)"
+    cols = columns or sorted({c for r in rows.values() for c in r})
+    label_w = max(len(k) for k in rows) + 2
+    header = " " * label_w + "".join(f"{c:>12}" for c in cols)
+    lines = [header, "-" * len(header)]
+    for label, cells in rows.items():
+        body = "".join(
+            f"{cells[c]:>12.3f}" if c in cells and not math.isnan(cells[c])
+            else f"{'-':>12}" for c in cols)
+        lines.append(f"{label:<{label_w}}{body}")
+    return "\n".join(lines)

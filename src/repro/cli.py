@@ -1,0 +1,143 @@
+"""Command-line entry point: list and run the paper's experiments.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig2_colocation
+    python -m repro run energy_totals --days 5
+    python -m repro run-all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+
+#: Experiment name -> (module, kwargs accepted from the CLI).
+EXPERIMENTS: dict[str, dict] = {
+    "fig1_traces": {"args": {"days": int}},
+    "fig2_colocation": {"args": {"days": int}},
+    "table1_suspension": {"args": {"days": int}},
+    "energy_totals": {"args": {"days": int}},
+    "sla_latency": {"args": {"days": int}},
+    "fig4_im_quality": {"args": {"years": int}},
+    "suspending_eval": {"args": {}},
+    "fleet_sweep": {"args": {"n_hosts": int, "n_vms": int, "days": int}},
+    "scalability": {"args": {}},
+    "backup_anticipation": {"args": {"days": int}},
+    "detector_study": {"args": {"n_hosts": int, "n_vms": int, "days": int}},
+    "waking_failover": {"args": {"days": int}},
+    "initial_placement": {"args": {"days": int}},
+}
+
+#: Reduced-scale overrides for ``run-all --quick``.
+QUICK_OVERRIDES: dict[str, dict] = {
+    "fig2_colocation": {"days": 3},
+    "table1_suspension": {"days": 3},
+    "energy_totals": {"days": 3},
+    "sla_latency": {"days": 1},
+    "fig4_im_quality": {"years": 1},
+    "fleet_sweep": {"n_hosts": 4, "n_vms": 16, "days": 3},
+    "backup_anticipation": {"days": 2},
+    "detector_study": {"n_hosts": 4, "n_vms": 12, "days": 2},
+    "waking_failover": {"days": 1},
+    "initial_placement": {"days": 2},
+}
+
+
+def _load(name: str):
+    if name not in EXPERIMENTS:
+        raise SystemExit(
+            f"unknown experiment {name!r}; try: python -m repro list")
+    return importlib.import_module(f"repro.experiments.{name}")
+
+
+def cmd_list(_args) -> int:
+    print("available experiments (python -m repro run <name>):")
+    for name in EXPERIMENTS:
+        module = _load(name)
+        doc = (module.__doc__ or "").strip().splitlines()[0]
+        print(f"  {name:<22} {doc}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    module = _load(args.name)
+    kwargs = {}
+    for key, caster in EXPERIMENTS[args.name]["args"].items():
+        value = getattr(args, key, None)
+        if value is not None:
+            kwargs[key] = caster(value)
+    t0 = time.perf_counter()
+    data = module.run(**kwargs)
+    elapsed = time.perf_counter() - t0
+    print(data.render() if hasattr(data, "render") else data)
+    print(f"\n[{args.name} finished in {elapsed:.1f} s]")
+    return 0
+
+
+def cmd_run_all(args) -> int:
+    failures = []
+    for name in EXPERIMENTS:
+        module = _load(name)
+        kwargs = QUICK_OVERRIDES.get(name, {}) if args.quick else {}
+        print(f"=== {name} {kwargs or ''} ===")
+        try:
+            data = module.run(**kwargs)
+            print(data.render() if hasattr(data, "render") else data)
+        except Exception as exc:  # pragma: no cover - surfacing only
+            failures.append(name)
+            print(f"FAILED: {exc!r}")
+        print()
+    if failures:
+        print(f"failed experiments: {', '.join(failures)}")
+        return 1
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .analysis.report import generate_report
+
+    report = generate_report(days=args.days, years=args.years)
+    print(report.render())
+    return 0 if report.all_hold else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Drowsy-DC reproduction experiment runner")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments").set_defaults(fn=cmd_list)
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("name")
+    run.add_argument("--days", type=int)
+    run.add_argument("--years", type=int)
+    run.add_argument("--n-hosts", dest="n_hosts", type=int)
+    run.add_argument("--n-vms", dest="n_vms", type=int)
+    run.set_defaults(fn=cmd_run)
+
+    run_all = sub.add_parser("run-all", help="run every experiment")
+    run_all.add_argument("--quick", action="store_true",
+                         help="reduced scales (a few minutes total)")
+    run_all.set_defaults(fn=cmd_run_all)
+
+    report = sub.add_parser(
+        "report", help="regenerate the paper-vs-measured claim report")
+    report.add_argument("--days", type=int, default=4)
+    report.add_argument("--years", type=int, default=1)
+    report.set_defaults(fn=cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

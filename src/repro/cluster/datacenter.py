@@ -1,0 +1,174 @@
+"""Data-center registry: hosts, VMs, placement and migrations.
+
+The :class:`DataCenter` is the single source of truth for "which VM runs
+where".  Consolidation controllers express decisions as migration lists;
+the data center validates and applies them, keeping the records Fig. 2
+is built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.params import DEFAULT_PARAMS, DrowsyParams
+from .host import Host
+from .migration import MigrationModel, MigrationRecord
+from .vm import VM
+
+
+class PlacementError(RuntimeError):
+    """Raised when a placement/migration violates capacity or identity."""
+
+
+@dataclass
+class DataCenter:
+    """Hosts, VMs and their current placement."""
+
+    hosts: list[Host]
+    params: DrowsyParams = DEFAULT_PARAMS
+    migration_model: MigrationModel = field(default_factory=MigrationModel)
+    migrations: list[MigrationRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        names = [h.name for h in self.hosts]
+        if len(set(names)) != len(names):
+            raise PlacementError("duplicate host names")
+        self._host_by_name = {h.name: h for h in self.hosts}
+
+    # ------------------------------------------------------------------
+    @property
+    def vms(self) -> list[VM]:
+        """All placed VMs (stable order: host order, then host-local)."""
+        return [vm for host in self.hosts for vm in host.vms]
+
+    def host_of(self, vm: VM) -> Host:
+        for host in self.hosts:
+            if vm in host.vms:
+                return host
+        raise PlacementError(f"{vm.name} is not placed")
+
+    def host(self, name: str) -> Host:
+        try:
+            return self._host_by_name[name]
+        except KeyError:
+            raise PlacementError(f"unknown host {name}") from None
+
+    # ------------------------------------------------------------------
+    def place(self, vm: VM, host: Host) -> None:
+        """Initial placement of an unplaced VM."""
+        for h in self.hosts:
+            if vm in h.vms:
+                raise PlacementError(f"{vm.name} already placed on {h.name}")
+        host.add_vm(vm)
+
+    def migrate(self, vm: VM, destination: Host, now: float) -> MigrationRecord:
+        """Move ``vm`` to ``destination``, recording the migration.
+
+        A migration to the current host is rejected — controllers must
+        filter no-ops so Fig. 2's migration counts stay meaningful.
+        """
+        source = self.host_of(vm)
+        if source is destination:
+            raise PlacementError(f"{vm.name} already on {destination.name}")
+        if not destination.can_host(vm):
+            raise PlacementError(f"{vm.name} does not fit on {destination.name}")
+        duration = self.migration_model.duration_s(vm)
+        source.sync_meter(now)
+        destination.sync_meter(now)
+        source.remove_vm(vm)
+        destination.add_vm(vm)
+        vm.migrations += 1
+        record = MigrationRecord(time=now, vm_name=vm.name,
+                                 source=source.name,
+                                 destination=destination.name,
+                                 duration_s=duration)
+        self.migrations.append(record)
+        return record
+
+    def apply_assignment(self, assignment: dict[str, Host], now: float) -> list[MigrationRecord]:
+        """Bulk relocation: move every named VM to its assigned host.
+
+        Used by the periodic-relocation evaluation mode (section VI-A.1),
+        where whole groups of VMs swap hosts at once: per-move capacity
+        checking would deadlock on swaps, so VMs are detached first and
+        the *final* state is validated instead.  Only VMs that actually
+        change host are recorded as migrations.
+        """
+        vm_by_name = {vm.name: vm for vm in self.vms}
+        moves: list[tuple[VM, Host, Host]] = []
+        for name, dest in assignment.items():
+            vm = vm_by_name.get(name)
+            if vm is None:
+                raise PlacementError(f"unknown VM {name}")
+            src = self.host_of(vm)
+            if src is not dest:
+                moves.append((vm, src, dest))
+        self.sync_meters(now)
+        for vm, src, _ in moves:
+            src.remove_vm(vm)
+        records = []
+        for vm, src, dest in moves:
+            if not dest.can_host(vm):
+                # Roll forward is impossible; surface the planning bug.
+                raise PlacementError(
+                    f"assignment overfills {dest.name} with {vm.name}")
+            dest.add_vm(vm)
+            vm.migrations += 1
+            record = MigrationRecord(
+                time=now, vm_name=vm.name, source=src.name,
+                destination=dest.name,
+                duration_s=self.migration_model.duration_s(vm))
+            self.migrations.append(record)
+            records.append(record)
+        self.check_invariants()
+        return records
+
+    def remove(self, vm: VM, now: float) -> None:
+        """Terminate a VM (e.g. an SLMU task completing): meters are
+        charged up to ``now`` and the VM leaves its host.
+
+        The hourly simulator may have pre-charged a transition a few
+        seconds past the hour boundary; removal never rewinds the meter.
+        """
+        host = self.host_of(vm)
+        host.sync_meter(max(now, host.meter.last_time))
+        host.remove_vm(vm)
+
+    # ------------------------------------------------------------------
+    def available_hosts(self) -> list[Host]:
+        """Hosts currently able to run VM work (S0)."""
+        return [h for h in self.hosts if h.is_available]
+
+    def sync_meters(self, now: float) -> None:
+        """Advance every host's energy meter to ``now``."""
+        for host in self.hosts:
+            host.sync_meter(now)
+
+    def total_energy_kwh(self) -> float:
+        return sum(h.meter.energy_kwh for h in self.hosts)
+
+    def set_hour_activities(self, hour_index: int, now: float) -> None:
+        """Load each VM's trace activity for the given hour.
+
+        Meters are advanced first so the previous hour is charged at the
+        old utilization.
+        """
+        self.sync_meters(now)
+        for host in self.hosts:
+            for vm in host.vms:
+                vm.current_activity = vm.activity_at(hour_index)
+
+    def check_invariants(self) -> None:
+        """Structural sanity: each VM on exactly one host, capacity held."""
+        seen: dict[str, str] = {}
+        for host in self.hosts:
+            used = host.used_resources
+            if used.memory_mb > host.capacity.memory_mb:
+                raise PlacementError(f"{host.name} over memory capacity")
+            if used.cpus > host.capacity.schedulable_cpus:
+                raise PlacementError(f"{host.name} over CPU capacity")
+            for vm in host.vms:
+                if vm.name in seen:
+                    raise PlacementError(
+                        f"{vm.name} on both {seen[vm.name]} and {host.name}")
+                seen[vm.name] = host.name

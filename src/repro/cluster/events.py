@@ -1,0 +1,112 @@
+"""Deterministic discrete-event simulation kernel.
+
+A minimal, allocation-light event queue: a binary heap of
+``(time, sequence, Event)`` entries.  The sequence number makes ordering
+total and deterministic for simultaneous events (FIFO within a
+timestamp), which the reproduction relies on for exact repeatability.
+
+Cancellation is O(1) by tombstoning: cancelled events stay in the heap
+and are skipped on pop (the standard lazy-deletion idiom, cheaper than
+re-heapifying).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(order=False)
+class Event:
+    """A scheduled callback.  Use :meth:`cancel` to revoke it."""
+
+    time: float
+    seq: int
+    callback: Callable[..., None] | None
+    args: tuple = ()
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        """Revoke the event; it will be skipped when its time comes."""
+        self.cancelled = True
+        self.callback = None  # free references early
+        self.args = ()
+
+
+class EventSimulator:
+    """Priority-queue driven simulator with a monotonic clock (seconds)."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = itertools.count()
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute time ``time``."""
+        if time < self._now - 1e-9:
+            raise ValueError(
+                f"cannot schedule in the past: {time} < now {self._now}")
+        ev = Event(time=max(time, self._now), seq=next(self._seq),
+                   callback=callback, args=args)
+        heapq.heappush(self._heap, (ev.time, ev.seq, ev))
+        return ev
+
+    def schedule_in(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` after ``delay`` seconds."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    # ------------------------------------------------------------------
+    def peek_time(self) -> float | None:
+        """Time of the next live event, or None if the queue is drained."""
+        while self._heap:
+            _, _, ev = self._heap[0]
+            if ev.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            return ev.time
+        return None
+
+    def step(self) -> bool:
+        """Process the next live event.  Returns False when drained."""
+        while self._heap:
+            _, _, ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self._now = ev.time
+            cb, args = ev.callback, ev.args
+            self.events_processed += 1
+            assert cb is not None
+            cb(*args)
+            return True
+        return False
+
+    def run_until(self, end_time: float) -> None:
+        """Process events up to and including ``end_time``, then advance
+        the clock to ``end_time`` even if the queue drained earlier."""
+        while True:
+            t = self.peek_time()
+            if t is None or t > end_time:
+                break
+            self.step()
+        self._now = max(self._now, end_time)
+
+    def run(self) -> None:
+        """Process events until the queue is drained."""
+        while self.step():
+            pass
+
+    @property
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for _, _, ev in self._heap if not ev.cancelled)

@@ -1,0 +1,180 @@
+"""Physical host model: capacity, hosted VMs, power-state machine.
+
+The host is a passive state machine — simulation drivers call the
+transition methods at the right times; every transition first advances
+the energy meter so each interval is charged at the operating point that
+actually held during it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.params import DEFAULT_PARAMS, DrowsyParams
+from .power import EnergyMeter, PowerModel, PowerState
+from .resources import HostCapacity, ResourceSpec, TESTBED_HOST
+from .vm import VM
+
+
+class HostStateError(RuntimeError):
+    """Raised on an illegal power-state transition."""
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One recorded power-state change (for oscillation analysis)."""
+
+    time: float
+    from_state: PowerState
+    to_state: PowerState
+
+
+class Host:
+    """A server in the data center."""
+
+    def __init__(
+        self,
+        name: str,
+        capacity: HostCapacity = TESTBED_HOST,
+        params: DrowsyParams = DEFAULT_PARAMS,
+        power_model: PowerModel | None = None,
+        mac_address: str | None = None,
+    ) -> None:
+        self.name = name
+        self.capacity = capacity
+        self.params = params
+        self.mac_address = mac_address or f"52:54:00:{abs(hash(name)) % 0xFFFFFF:06x}"[:17]
+        self.vms: list[VM] = []
+        self.state = PowerState.ON
+        self.meter = EnergyMeter(power_model or PowerModel.from_params(params))
+        self.transitions: list[Transition] = []
+        #: End of the current grace period (no suspend before this time).
+        self.grace_until = 0.0
+        #: Resumes triggered so far (suspend/resume cycle counting).
+        self.resume_count = 0
+        self.suspend_count = 0
+
+    # ------------------------------------------------------------------
+    # resources
+    # ------------------------------------------------------------------
+    @property
+    def used_resources(self) -> ResourceSpec:
+        return ResourceSpec(
+            cpus=sum(vm.resources.cpus for vm in self.vms),
+            memory_mb=sum(vm.resources.memory_mb for vm in self.vms))
+
+    def can_host(self, vm: VM) -> bool:
+        """Capacity check for adding ``vm`` (memory + overcommitted CPU)."""
+        used = self.used_resources
+        return (used.cpus + vm.resources.cpus <= self.capacity.schedulable_cpus
+                and used.memory_mb + vm.resources.memory_mb <= self.capacity.memory_mb)
+
+    def add_vm(self, vm: VM) -> None:
+        if vm in self.vms:
+            raise ValueError(f"{vm.name} already on {self.name}")
+        if not self.can_host(vm):
+            raise ValueError(f"{vm.name} does not fit on {self.name}")
+        self.vms.append(vm)
+
+    def remove_vm(self, vm: VM) -> None:
+        self.vms.remove(vm)
+
+    # ------------------------------------------------------------------
+    # load / idleness
+    # ------------------------------------------------------------------
+    @property
+    def cpu_utilization(self) -> float:
+        """Current CPU utilization in [0, 1] from hosted VM activities."""
+        if not self.vms:
+            return 0.0
+        demand = sum(vm.current_activity * vm.resources.cpus for vm in self.vms)
+        return min(demand / self.capacity.cpus, 1.0)
+
+    @property
+    def all_vms_idle(self) -> bool:
+        """True iff every hosted VM is idle in the current hour."""
+        return all(vm.is_idle_now for vm in self.vms)
+
+    def mean_raw_ip(self, hour_index: int) -> float:
+        """The host's IP: average of its VMs' raw IPs (section III).
+
+        An empty host has no IP; we return 0.0 (undetermined), which
+        makes empty hosts neutral targets for the IP weigher.
+        """
+        if not self.vms:
+            return 0.0
+        return sum(vm.raw_ip(hour_index) for vm in self.vms) / len(self.vms)
+
+    def ip_range(self, hour_index: int) -> float:
+        """Spread between most-idle and most-active VM IPs (section III-D)."""
+        if len(self.vms) < 2:
+            return 0.0
+        ips = [vm.raw_ip(hour_index) for vm in self.vms]
+        return max(ips) - min(ips)
+
+    # ------------------------------------------------------------------
+    # power-state machine
+    # ------------------------------------------------------------------
+    @property
+    def is_available(self) -> bool:
+        """Can the host execute VM work right now?"""
+        return self.state is PowerState.ON
+
+    @property
+    def is_suspended(self) -> bool:
+        return self.state is PowerState.SUSPENDED
+
+    def _advance(self, now: float) -> None:
+        self.meter.advance(now, self.state,
+                           self.cpu_utilization if self.state is PowerState.ON else 0.0)
+
+    def _transition(self, now: float, allowed_from: tuple[PowerState, ...],
+                    to_state: PowerState) -> None:
+        if self.state not in allowed_from:
+            raise HostStateError(
+                f"{self.name}: illegal transition {self.state.name} -> {to_state.name}")
+        self._advance(now)
+        self.transitions.append(Transition(now, self.state, to_state))
+        self.state = to_state
+
+    def begin_suspend(self, now: float) -> None:
+        """Enter S0->S3; the driver schedules :meth:`finish_suspend`."""
+        self._transition(now, (PowerState.ON,), PowerState.SUSPENDING)
+        self.suspend_count += 1
+
+    def finish_suspend(self, now: float) -> None:
+        self._transition(now, (PowerState.SUSPENDING,), PowerState.SUSPENDED)
+
+    def begin_resume(self, now: float) -> None:
+        """Enter S3->S0 (triggered by a WoL packet)."""
+        self._transition(now, (PowerState.SUSPENDED,), PowerState.RESUMING)
+
+    def finish_resume(self, now: float, grace_s: float = 0.0) -> None:
+        """Back to S0; a grace period of ``grace_s`` starts now (section IV)."""
+        self._transition(now, (PowerState.RESUMING,), PowerState.ON)
+        self.resume_count += 1
+        self.grace_until = max(self.grace_until, now + grace_s)
+
+    def power_off(self, now: float) -> None:
+        """S5 for empty hosts (classic consolidation's low-power state)."""
+        if self.vms:
+            raise HostStateError(f"{self.name}: cannot power off with VMs")
+        self._transition(now, (PowerState.ON,), PowerState.OFF)
+
+    def power_on(self, now: float) -> None:
+        self._transition(now, (PowerState.OFF,), PowerState.ON)
+
+    def sync_meter(self, now: float) -> None:
+        """Charge energy up to ``now`` without changing state.
+
+        Call before changing VM activities (utilization) and at the end
+        of a simulation.
+        """
+        self._advance(now)
+
+    def in_grace(self, now: float) -> bool:
+        """Within the post-resume grace period? (no suspend allowed)."""
+        return now < self.grace_until
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Host({self.name}, {self.state.name}, vms={[v.name for v in self.vms]})"

@@ -1,0 +1,102 @@
+"""Host power states and energy accounting (paper sections IV, VI-A.2).
+
+The power model is the standard linear-in-utilization server model with
+the paper's measured constants: a suspended (ACPI S3) host draws about
+5 W, roughly 10 % of its S0-idle draw.  State transitions (suspending /
+resuming) are modelled with the S0 power draw for their (short)
+duration, which is conservative for the energy results.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..core.params import DEFAULT_PARAMS, DrowsyParams
+
+
+class PowerState(enum.Enum):
+    """ACPI-flavoured host power states."""
+
+    ON = "S0"              # running (idle or busy)
+    SUSPENDING = "S0->S3"  # transition into suspend-to-RAM
+    SUSPENDED = "S3"       # suspend-to-RAM ("drowsy")
+    RESUMING = "S3->S0"    # waking up
+    OFF = "S5"             # powered off (empty host, classic consolidation)
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Linear utilization power model with S3/off floors."""
+
+    idle_w: float = DEFAULT_PARAMS.idle_power_w
+    max_w: float = DEFAULT_PARAMS.max_power_w
+    suspend_w: float = DEFAULT_PARAMS.suspend_power_w
+    off_w: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.suspend_w <= self.idle_w <= self.max_w:
+            raise ValueError("power model must satisfy 0 <= S3 <= idle <= max")
+
+    def power(self, state: PowerState, utilization: float) -> float:
+        """Instantaneous draw (W) for a state and CPU utilization in [0,1]."""
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError(f"utilization must be in [0, 1], got {utilization}")
+        if state is PowerState.SUSPENDED:
+            return self.suspend_w
+        if state is PowerState.OFF:
+            return self.off_w
+        # ON and both transitions draw S0 power.
+        return self.idle_w + (self.max_w - self.idle_w) * utilization
+
+    @classmethod
+    def from_params(cls, params: DrowsyParams) -> "PowerModel":
+        return cls(idle_w=params.idle_power_w, max_w=params.max_power_w,
+                   suspend_w=params.suspend_power_w)
+
+
+@dataclass
+class EnergyMeter:
+    """Piecewise-constant energy integrator for one host.
+
+    Callers must invoke :meth:`advance` *before* changing the host's
+    state or utilization so the elapsed interval is charged at the old
+    operating point.  Also tracks wall time per power state, which is
+    what Table I reports.
+    """
+
+    model: PowerModel
+    last_time: float = 0.0
+    energy_j: float = 0.0
+    state_seconds: dict[PowerState, float] = field(
+        default_factory=lambda: {s: 0.0 for s in PowerState})
+
+    def advance(self, now: float, state: PowerState, utilization: float) -> None:
+        """Charge the interval [last_time, now] at (state, utilization)."""
+        dt = now - self.last_time
+        if dt < -1e-9:
+            raise ValueError(f"time went backwards: {self.last_time} -> {now}")
+        if dt > 0:
+            self.energy_j += self.model.power(state, utilization) * dt
+            self.state_seconds[state] += dt
+            self.last_time = now
+
+    @property
+    def energy_kwh(self) -> float:
+        return self.energy_j / 3.6e6
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.state_seconds.values())
+
+    def fraction_in(self, *states: PowerState) -> float:
+        """Fraction of metered time spent in the given states."""
+        total = self.total_seconds
+        if total == 0.0:
+            return 0.0
+        return sum(self.state_seconds[s] for s in states) / total
+
+    @property
+    def suspended_fraction(self) -> float:
+        """Fraction of time in S3 — the Table I metric."""
+        return self.fraction_in(PowerState.SUSPENDED)

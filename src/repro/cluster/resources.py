@@ -1,0 +1,64 @@
+"""Resource accounting for hosts and VMs.
+
+The consolidation problem is bin packing over multiple resource
+dimensions; memory is space-shared (the usual limiting resource, paper
+section I) while CPU is time-shared and may be overcommitted by a
+configurable factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ResourceSpec:
+    """A bundle of resources: virtual/physical CPUs and memory (MB)."""
+
+    cpus: int
+    memory_mb: int
+
+    def __post_init__(self) -> None:
+        if self.cpus < 0 or self.memory_mb < 0:
+            raise ValueError(f"resources must be non-negative, got {self}")
+
+    def __add__(self, other: "ResourceSpec") -> "ResourceSpec":
+        return ResourceSpec(self.cpus + other.cpus,
+                            self.memory_mb + other.memory_mb)
+
+    def __sub__(self, other: "ResourceSpec") -> "ResourceSpec":
+        return ResourceSpec(self.cpus - other.cpus,
+                            self.memory_mb - other.memory_mb)
+
+
+@dataclass(frozen=True)
+class HostCapacity:
+    """Host capacity with a CPU overcommit factor (memory never overcommits;
+    the paper explicitly avoids ballooning/page-sharing, section I)."""
+
+    cpus: int
+    memory_mb: int
+    cpu_overcommit: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.cpus <= 0 or self.memory_mb <= 0:
+            raise ValueError(f"capacity must be positive, got {self}")
+        if self.cpu_overcommit < 1.0:
+            raise ValueError("cpu_overcommit must be >= 1")
+
+    @property
+    def schedulable_cpus(self) -> float:
+        return self.cpus * self.cpu_overcommit
+
+    def fits(self, used: ResourceSpec, extra: ResourceSpec) -> bool:
+        """Would ``extra`` fit on top of ``used``?"""
+        return (used.cpus + extra.cpus <= self.schedulable_cpus
+                and used.memory_mb + extra.memory_mb <= self.memory_mb)
+
+
+#: The testbed host of section VI-A.2: i7-3770 (4 cores / 8 threads),
+#: 16 GB RAM, hosting at most two 6 GB / 2-vCPU VMs.
+TESTBED_HOST = HostCapacity(cpus=8, memory_mb=16 * 1024, cpu_overcommit=1.0)
+
+#: The testbed VM flavor (6 GB memory, 2 vCPUs).
+TESTBED_VM = ResourceSpec(cpus=2, memory_mb=6 * 1024)

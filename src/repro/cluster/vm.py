@@ -1,0 +1,107 @@
+"""Virtual machine model.
+
+A VM couples an identity (name, IP address), a resource flavor, a
+workload trace and the runtime annotations the Drowsy-DC modules need:
+its idleness model, service timers (for timer-driven workloads like the
+backup service of section VI-A.3) and interactive-service flags used by
+the false-positive analysis of section IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.model import IdlenessModel
+from ..core.params import DEFAULT_PARAMS, DrowsyParams
+from ..traces.base import ActivityTrace, VMKind
+from .resources import ResourceSpec, TESTBED_VM
+
+
+@dataclass(frozen=True)
+class ServiceTimer:
+    """A periodic in-guest timer (e.g. the 2 am backup cron job).
+
+    The suspending module reads these out of the (simulated) kernel
+    hrtimer tree to compute the waking date (section V-B).
+    """
+
+    name: str
+    period_s: float
+    first_fire_s: float = 0.0
+    #: Timers of blacklisted processes are filtered out when computing
+    #: the waking date (watchdogs, monitoring agents).
+    process_name: str = "service"
+
+    def next_fire(self, now: float) -> float:
+        """Earliest fire time strictly after ``now``."""
+        if now < self.first_fire_s:
+            return self.first_fire_s
+        k = int((now - self.first_fire_s) // self.period_s) + 1
+        return self.first_fire_s + k * self.period_s
+
+
+class VM:
+    """One virtual machine and its Drowsy-DC-relevant state."""
+
+    def __init__(
+        self,
+        name: str,
+        trace: ActivityTrace,
+        resources: ResourceSpec = TESTBED_VM,
+        ip_address: str | None = None,
+        params: DrowsyParams = DEFAULT_PARAMS,
+        timers: tuple[ServiceTimer, ...] = (),
+        interactive: bool = True,
+    ) -> None:
+        self.name = name
+        self.trace = trace
+        self.resources = resources
+        self.ip_address = ip_address or f"10.0.0.{abs(hash(name)) % 250 + 1}"
+        self.params = params
+        self.timers = timers
+        #: Interactive services receive network requests; their activity
+        #: is externally triggered so a suspended host adds wake latency.
+        self.interactive = interactive
+        self.model = IdlenessModel(params)
+        #: Activity level of the current hour (set by the simulator).
+        self.current_activity = 0.0
+        self.migrations = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def kind(self) -> VMKind:
+        return self.trace.kind
+
+    def activity_at(self, hour_index: int) -> float:
+        """Trace activity for an absolute hour (periodic extension)."""
+        return self.trace.activity(hour_index)
+
+    @property
+    def is_idle_now(self) -> bool:
+        """Idle in the current hour (activity exactly zero)."""
+        return self.current_activity == 0.0
+
+    @property
+    def dirty_page_rate(self) -> float:
+        """Hypervisor-visible page-dirtying heuristic (section IV, [20]).
+
+        Modelled as proportional to activity: pages/s normalized to
+        [0, 1].  Zero when idle — the signal Oasis-style systems use.
+        """
+        return self.current_activity
+
+    def raw_ip(self, hour_index: int) -> float:
+        """Raw idleness probability for the given absolute hour."""
+        from ..core.calendar import slot_of_hour
+
+        return self.model.raw_ip(slot_of_hour(hour_index))
+
+    def idleness_probability(self, hour_index: int) -> float:
+        """Normalized idleness probability in [0, 1] for the given hour."""
+        from ..core.calendar import slot_of_hour
+
+        return self.model.idleness_probability(slot_of_hour(hour_index))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VM({self.name}, {self.kind.name}, {self.resources})"

@@ -1,0 +1,66 @@
+"""Consolidation controllers: Neat, Drowsy-DC, Oasis, pairwise baseline."""
+
+from .baseline import drowsy_linear_grouping, pairwise_matching_grouping
+from .detection import (
+    IqrDetector,
+    LocalRegressionDetector,
+    MadDetector,
+    OverloadDetector,
+    ThresholdDetector,
+    underloaded_candidates,
+)
+from .drowsy import DrowsyController
+from .managers import (
+    DistributedNeat,
+    GlobalManager,
+    HostStatus,
+    LocalManager,
+    LocalManagerReport,
+)
+from .neat import MANAGED_STATES, NeatController
+from .oasis import OasisController, OasisCosts
+from .placement import (
+    IPAwarePlacement,
+    PlacementPolicy,
+    PowerAwareBestFitDecreasing,
+    decreasing_demand,
+)
+from .selection import (
+    IPDistanceSelector,
+    MaximumCorrelationSelector,
+    MinimumMigrationTimeSelector,
+    RandomSelector,
+    VMSelector,
+    select_until_not_overloaded,
+)
+
+__all__ = [
+    "DistributedNeat",
+    "DrowsyController",
+    "GlobalManager",
+    "HostStatus",
+    "IPAwarePlacement",
+    "LocalManager",
+    "LocalManagerReport",
+    "IPDistanceSelector",
+    "IqrDetector",
+    "LocalRegressionDetector",
+    "MANAGED_STATES",
+    "MadDetector",
+    "MaximumCorrelationSelector",
+    "MinimumMigrationTimeSelector",
+    "NeatController",
+    "OasisController",
+    "OasisCosts",
+    "OverloadDetector",
+    "PlacementPolicy",
+    "PowerAwareBestFitDecreasing",
+    "RandomSelector",
+    "ThresholdDetector",
+    "VMSelector",
+    "decreasing_demand",
+    "drowsy_linear_grouping",
+    "pairwise_matching_grouping",
+    "select_until_not_overloaded",
+    "underloaded_candidates",
+]

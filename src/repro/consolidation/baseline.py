@@ -1,0 +1,83 @@
+"""Pairwise-matching placement baseline (paper section VII).
+
+The paper contrasts Drowsy-DC's O(n) consolidation with systems that
+check *pairs* of VMs for complementary patterns (VM multiplexing, [38]),
+which is O(n²) in the number of VMs.  This module implements such a
+pairwise matcher so the scalability claim (E9 in DESIGN.md) can be
+benchmarked head-to-head.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster.host import Host
+from ..cluster.vm import VM
+
+
+def drowsy_linear_grouping(vms: list[VM], hosts: list[Host],
+                           hour_index: int) -> list[list[VM]]:
+    """Drowsy-style O(n log n) grouping: sort VMs by IP, cut into hosts.
+
+    (The sort dominates; the per-VM work is O(1) thanks to the idleness
+    model being incrementally maintained.)
+    """
+    ordered = sorted(vms, key=lambda vm: (-vm.raw_ip(hour_index), vm.name))
+    groups: list[list[VM]] = []
+    i = 0
+    for host in hosts:
+        group: list[VM] = []
+        mem = cpu = 0
+        while i < len(ordered):
+            vm = ordered[i]
+            if (mem + vm.resources.memory_mb > host.capacity.memory_mb
+                    or cpu + vm.resources.cpus > host.capacity.schedulable_cpus):
+                break
+            group.append(vm)
+            mem += vm.resources.memory_mb
+            cpu += vm.resources.cpus
+            i += 1
+        groups.append(group)
+    return groups
+
+
+def pairwise_matching_grouping(vms: list[VM], hosts: list[Host],
+                               hour_index: int) -> list[list[VM]]:
+    """O(n²) pairwise matcher: greedily merge the closest-IP VM pairs.
+
+    Builds the full |IP_i - IP_j| matrix, then repeatedly joins the
+    closest compatible pair into host-sized clusters — the multiplexing
+    approach the paper's related work section describes.
+    """
+    n = len(vms)
+    if n == 0:
+        return [[] for _ in hosts]
+    ips = np.array([vm.raw_ip(hour_index) for vm in vms])
+    # Full pairwise distance matrix: the O(n^2) step.
+    dist = np.abs(ips[:, None] - ips[None, :])
+    np.fill_diagonal(dist, np.inf)
+
+    cluster_of = list(range(n))
+    clusters: dict[int, list[int]] = {i: [i] for i in range(n)}
+    max_size = max(1, hosts[0].capacity.memory_mb // max(
+        vms[0].resources.memory_mb, 1)) if hosts else 1
+
+    order = np.dstack(np.unravel_index(np.argsort(dist, axis=None), dist.shape))[0]
+    for i, j in order:
+        ci, cj = cluster_of[i], cluster_of[j]
+        if ci == cj:
+            continue
+        if len(clusters[ci]) + len(clusters[cj]) > max_size:
+            continue
+        clusters[ci].extend(clusters[cj])
+        for k in clusters[cj]:
+            cluster_of[k] = ci
+        del clusters[cj]
+        if len(clusters) <= len(hosts):
+            break
+
+    groups = [[vms[k] for k in members] for members in clusters.values()]
+    groups.sort(key=len, reverse=True)
+    while len(groups) < len(hosts):
+        groups.append([])
+    return groups[:len(hosts)]

@@ -1,0 +1,172 @@
+"""The Drowsy-DC consolidation controller (paper section III-D).
+
+Extends Neat by (a) swapping VM selection for the IP-distance policy and
+placement for the IP-proximity policy, (b) appending the *opportunistic
+consolidation step* that splits hosts whose VM-IP range exceeds 7σ, and
+(c) offering the periodic full-relocation mode used by the testbed
+evaluation (section VI-A.1) where all VMs are re-placed by IP every
+round "instead of waiting for the need of a migration decision".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster.datacenter import DataCenter
+from ..cluster.host import Host
+from ..cluster.vm import VM
+from ..core.params import DEFAULT_PARAMS, DrowsyParams
+from .detection import OverloadDetector
+from .neat import MANAGED_STATES, MigrationExecutor, NeatController
+from .placement import IPAwarePlacement
+from .selection import IPDistanceSelector
+
+
+class DrowsyController(NeatController):
+    """Neat + idleness-aware selection/placement + opportunistic step."""
+
+    name = "drowsy-dc"
+    uses_idleness = True
+
+    def __init__(
+        self,
+        dc: DataCenter,
+        detector: OverloadDetector | None = None,
+        params: DrowsyParams = DEFAULT_PARAMS,
+        overload_target: float = 0.8,
+        history_window: int = 24,
+    ) -> None:
+        super().__init__(
+            dc,
+            detector=detector,
+            selector=IPDistanceSelector(params=params),
+            placer=IPAwarePlacement(params=params),
+            params=params,
+            overload_target=overload_target,
+            history_window=history_window,
+        )
+
+    # ------------------------------------------------------------------
+    def step(self, hour_index: int, now: float,
+             executor: MigrationExecutor | None = None) -> int:
+        """Neat's rounds, then the IP-based opportunistic step."""
+        if executor is None:
+            executor = lambda vm, dest: self.dc.migrate(vm, dest, now)
+        moved = super().step(hour_index, now, executor)
+        if self.params.opportunistic_step:
+            moved += self.opportunistic_step(hour_index, executor)
+        return moved
+
+    # ------------------------------------------------------------------
+    def opportunistic_step(self, hour_index: int,
+                           executor: MigrationExecutor) -> int:
+        """Split hosts whose VM IP range is wider than the 7σ threshold.
+
+        Per section III-D: (1) find hosts with a too-wide IP range;
+        (2) select the VMs with the most extreme IPs; (3) place them on
+        the host with the closest IP, until the range is under the
+        threshold or no destination fits.
+        """
+        threshold = self.params.ip_range_threshold
+        moved = 0
+        for host in list(self.managed_hosts()):
+            guard = len(host.vms) + 1
+            while host.ip_range(hour_index) > threshold and guard > 0:
+                guard -= 1
+                vm = self._most_extreme_vm(host, hour_index)
+                if vm is None:
+                    break
+                targets = [h for h in self.managed_hosts() if h is not host]
+                placement = self.placer.place([vm], targets, hour_index,
+                                              {vm.name: host})
+                dest = placement.get(vm.name)
+                if dest is None:
+                    break
+                executor(vm, dest)
+                moved += 1
+        self.dc.check_invariants()
+        return moved
+
+    def _most_extreme_vm(self, host: Host, hour_index: int) -> VM | None:
+        if len(host.vms) < 2:
+            return None
+        mean_ip = host.mean_raw_ip(hour_index)
+        return max(host.vms,
+                   key=lambda vm: (abs(vm.raw_ip(hour_index) - mean_ip), vm.name))
+
+    # ------------------------------------------------------------------
+    def relocate_all(self, hour_index: int, now: float) -> int:
+        """Evaluation mode: re-place every VM purely by IP proximity.
+
+        Starting from the current placement, performs a local search
+        over VM swaps (and moves into free slots) that reduce the total
+        per-host IP *dispersion* -- the sum over VMs of their distance
+        to their host's mean IP.  An improvement must exceed the paper's
+        IP-distance tolerance (footnote 3): placements therefore
+        converge and "a migrated VM reaches a stable state" (Fig. 2)
+        instead of reshuffling on IP noise.  Returns the number of
+        migrations performed.
+        """
+        hosts = [h for h in self.dc.hosts if h.state in MANAGED_STATES]
+        vms = [vm for h in hosts for vm in h.vms]
+        if not vms:
+            return 0
+        # Predicted raw IP of each VM over the next day of hourly slots
+        # (models trained on the past only — no oracle).  A whole-day
+        # profile separates patterns that a single slot cannot: two VMs
+        # can tie at 3 am yet differ at 9 am.
+        window = 24
+        ips = {vm.name: np.array([vm.raw_ip(hour_index + k)
+                                  for k in range(window)]) for vm in vms}
+        groups: dict[str, list[VM]] = {h.name: list(h.vms) for h in hosts}
+        host_by_name = {h.name: h for h in hosts}
+
+        def dispersion(group: list[VM]) -> float:
+            """Summed per-slot IP spread of a host's VMs over the window."""
+            if len(group) < 2:
+                return 0.0
+            vals = np.stack([ips[vm.name] for vm in group])
+            mean = vals.mean(axis=0)
+            return float(np.abs(vals - mean).sum())
+
+        def fits(host: Host, group: list[VM], vm: VM) -> bool:
+            mem = sum(v.resources.memory_mb for v in group) + vm.resources.memory_mb
+            cpu = sum(v.resources.cpus for v in group) + vm.resources.cpus
+            return (mem <= host.capacity.memory_mb
+                    and cpu <= host.capacity.schedulable_cpus)
+
+        threshold = self.params.ip_distance_tolerance
+        names = sorted(groups)
+        for _ in range(len(vms)):  # convergence bound
+            improved = False
+            for i, n1 in enumerate(names):
+                for n2 in names[i + 1:]:
+                    g1, g2 = groups[n1], groups[n2]
+                    base = dispersion(g1) + dispersion(g2)
+                    best: tuple[float, VM | None, VM | None] | None = None
+                    # Swaps (capacity-safe for equal flavors) and
+                    # one-way moves into genuinely free slots.
+                    candidates: list[tuple[VM | None, VM | None]] = [
+                        (a, b) for a in g1 for b in g2]
+                    candidates += [(a, None) for a in g1
+                                   if g2 and fits(host_by_name[n2], g2, a)]
+                    candidates += [(None, b) for b in g2
+                                   if g1 and fits(host_by_name[n1], g1, b)]
+                    for a, b in candidates:
+                        new1 = [v for v in g1 if v is not a] + ([b] if b else [])
+                        new2 = [v for v in g2 if v is not b] + ([a] if a else [])
+                        gain = base - (dispersion(new1) + dispersion(new2))
+                        if gain > threshold and (best is None or gain > best[0]):
+                            best = (gain, a, b)
+                    if best is not None:
+                        _, a, b = best
+                        groups[n1] = [v for v in g1 if v is not a] + ([b] if b else [])
+                        groups[n2] = [v for v in g2 if v is not b] + ([a] if a else [])
+                        improved = True
+            if not improved:
+                break
+
+        assignment = {vm.name: host_by_name[hname]
+                      for hname, group in groups.items() for vm in group}
+        records = self.dc.apply_assignment(assignment, now)
+        return len(records)

@@ -1,0 +1,148 @@
+"""OpenStack Neat reimplementation (paper references [19], [25]).
+
+Neat decomposes dynamic VM consolidation into four sub-problems:
+(1) underload detection, (2) overload detection, (3) VM selection and
+(4) VM placement.  :class:`NeatController` wires the pluggable pieces
+from :mod:`.detection`, :mod:`.selection` and :mod:`.placement`; the
+Drowsy-DC controller subclasses it, swapping (3) and (4) for the
+IP-aware policies and appending the opportunistic step — exactly how
+the paper describes its integration (section III-D-b).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from ..cluster.datacenter import DataCenter
+from ..cluster.host import Host
+from ..cluster.power import PowerState
+from ..cluster.vm import VM
+from ..core.params import DEFAULT_PARAMS, DrowsyParams
+from .detection import OverloadDetector, ThresholdDetector, underloaded_candidates
+from .placement import PlacementPolicy, PowerAwareBestFitDecreasing
+from .selection import (
+    MinimumMigrationTimeSelector,
+    VMSelector,
+    select_until_not_overloaded,
+)
+
+#: Hosts in these states participate in consolidation (a drowsy host
+#: still hosts VMs; powered-off hosts do not).
+MANAGED_STATES = (PowerState.ON, PowerState.SUSPENDED)
+
+#: Executor callback: perform one migration (driver wakes hosts, etc.).
+MigrationExecutor = Callable[[VM, Host], None]
+
+
+class NeatController:
+    """Dynamic consolidation in the style of OpenStack Neat."""
+
+    name = "neat"
+    #: Whether this controller consumes idleness models (Drowsy does).
+    uses_idleness = False
+
+    def __init__(
+        self,
+        dc: DataCenter,
+        detector: OverloadDetector | None = None,
+        selector: VMSelector | None = None,
+        placer: PlacementPolicy | None = None,
+        params: DrowsyParams = DEFAULT_PARAMS,
+        overload_target: float = 0.8,
+        history_window: int = 24,
+    ) -> None:
+        self.dc = dc
+        self.params = params
+        self.detector = detector or ThresholdDetector()
+        self.selector = selector or MinimumMigrationTimeSelector()
+        self.placer = placer or PowerAwareBestFitDecreasing()
+        self.overload_target = overload_target
+        self.history: dict[str, deque[float]] = {
+            h.name: deque(maxlen=history_window) for h in dc.hosts}
+
+    # ------------------------------------------------------------------
+    def observe_hour(self, hour_index: int) -> None:
+        """Record host utilizations (call after activities are set)."""
+        for host in self.dc.hosts:
+            self.history[host.name].append(
+                host.cpu_utilization if host.state is PowerState.ON else 0.0)
+
+    def managed_hosts(self) -> list[Host]:
+        return [h for h in self.dc.hosts if h.state in MANAGED_STATES]
+
+    def _current_host_map(self) -> dict[str, Host]:
+        return {vm.name: host for host in self.dc.hosts for vm in host.vms}
+
+    # ------------------------------------------------------------------
+    def step(self, hour_index: int, now: float,
+             executor: MigrationExecutor | None = None) -> int:
+        """One consolidation round.  Returns the number of migrations."""
+        if executor is None:
+            executor = lambda vm, dest: self.dc.migrate(vm, dest, now)
+        moved = 0
+        moved += self._handle_overloaded(hour_index, executor)
+        moved += self._handle_underloaded(hour_index, executor)
+        self.dc.check_invariants()
+        return moved
+
+    def _handle_overloaded(self, hour_index: int,
+                           executor: MigrationExecutor) -> int:
+        overloaded = [h for h in self.dc.hosts
+                      if h.state is PowerState.ON
+                      and self.detector.is_overloaded(list(self.history[h.name]))]
+        if not overloaded:
+            return 0
+        to_place: list[VM] = []
+        sources = {}
+        for host in overloaded:
+            order = self.selector.order(host, hour_index)
+            for vm in select_until_not_overloaded(host, order, self.overload_target):
+                to_place.append(vm)
+                sources[vm.name] = host
+        targets = [h for h in self.managed_hosts() if h not in overloaded]
+        placement = self.placer.place(to_place, targets, hour_index, sources)
+        unplaced = [vm for vm in to_place if vm.name not in placement]
+        if unplaced:
+            # Neat reactivates powered-off hosts when overload relief
+            # cannot fit on the active pool.
+            off_hosts = sorted(
+                (h for h in self.dc.hosts if h.state is PowerState.OFF),
+                key=lambda h: h.name)
+            if off_hosts:
+                extra = self.placer.place(unplaced, off_hosts, hour_index,
+                                          sources)
+                placement.update(extra)
+        moved = 0
+        for vm in to_place:
+            dest = placement.get(vm.name)
+            if dest is not None:
+                executor(vm, dest)
+                moved += 1
+        return moved
+
+    def _handle_underloaded(self, hour_index: int,
+                            executor: MigrationExecutor) -> int:
+        """Try to fully evacuate the least-utilized active hosts."""
+        utils = {h.name: h.cpu_utilization for h in self.dc.hosts
+                 if h.state is PowerState.ON and h.vms}
+        moved = 0
+        receivers: set[str] = set()
+        for name in underloaded_candidates(utils):
+            host = self.dc.host(name)
+            if not host.vms or host.name in receivers:
+                # A host that just received evacuated VMs must not be
+                # evacuated itself this round (ping-pong guard).
+                continue
+            vms = list(host.vms)
+            targets = [h for h in self.managed_hosts() if h is not host]
+            current = {vm.name: host for vm in vms}
+            placement = self.placer.place(vms, targets, hour_index, current)
+            if len(placement) != len(vms):
+                # Neat stops at the first candidate it cannot evacuate.
+                break
+            for vm in vms:
+                executor(vm, placement[vm.name])
+                receivers.add(placement[vm.name].name)
+                moved += 1
+        return moved

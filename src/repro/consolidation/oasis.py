@@ -1,0 +1,112 @@
+"""Oasis-like baseline (paper reference [20], comparison in section VII).
+
+Oasis (Zhi, Bila, de Lara — EuroSys'16) reaches energy proportionality
+with *hybrid* consolidation: when a VM idles, only its working set is
+partially migrated to an always-on consolidation server, letting the
+source host sleep; when the VM becomes active again its state is
+restored (migrated back) on demand.
+
+Key behavioural differences from Drowsy-DC that our model preserves:
+
+* **Reactive, not predictive** — parking happens after idleness is
+  observed; there is no placement by matching idleness patterns, so
+  hosts with unaligned VMs oscillate more and sleep less.
+* **Always-on consolidation servers** — they burn full S0 power.
+* **Pairwise/partial-migration costs** — every activity burst of a
+  parked VM pays a restore penalty (latency and network energy).
+
+This simplified model is sufficient for the paper's two comparison
+axes: total energy (section VI-B / VII: Drowsy outperforms Oasis by an
+average of 81 %) and algorithmic scalability (O(n) vs O(n²)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster.datacenter import DataCenter
+from ..cluster.host import Host
+from ..cluster.power import PowerState
+from ..core.params import DEFAULT_PARAMS, DrowsyParams
+
+
+@dataclass(frozen=True)
+class OasisCosts:
+    """Cost model of partial migration."""
+
+    #: Fraction of VM memory in the working set that moves on park.
+    working_set_fraction: float = 0.10
+    #: Latency to restore a parked VM on its first access.
+    restore_latency_s: float = 3.0
+    #: Energy per MB transferred over the consolidation network (J/MB).
+    transfer_j_per_mb: float = 0.02
+
+
+class OasisController:
+    """Reactive idle-VM parking onto consolidation servers."""
+
+    name = "oasis"
+    uses_idleness = False
+
+    def __init__(self, dc: DataCenter, params: DrowsyParams = DEFAULT_PARAMS,
+                 n_consolidation_hosts: int = 1,
+                 costs: OasisCosts = OasisCosts()) -> None:
+        if n_consolidation_hosts < 1:
+            raise ValueError("Oasis needs at least one consolidation server")
+        if n_consolidation_hosts >= len(dc.hosts):
+            raise ValueError("consolidation servers must leave worker hosts")
+        self.dc = dc
+        self.params = params
+        self.costs = costs
+        self.consolidation_hosts = frozenset(
+            h.name for h in dc.hosts[:n_consolidation_hosts])
+        self.parked: set[str] = set()
+        self.park_count = 0
+        self.restore_count = 0
+        self.transfer_energy_j = 0.0
+        #: Restore latencies incurred this step (for SLA accounting).
+        self.last_restores: list[str] = []
+
+    # ------------------------------------------------------------------
+    def observe_hour(self, hour_index: int) -> None:
+        """Interface parity with the Neat-family controllers (no-op)."""
+
+    def step(self, hour_index: int, now: float, executor=None) -> int:
+        """Park newly idle VMs, restore newly active ones.
+
+        Parking/restoring is partial migration: the VM's *home* does not
+        change (no :class:`DataCenter` migration records), only its
+        working-set location.  Returns the number of partial migrations.
+        """
+        self.last_restores = []
+        ops = 0
+        for host in self.dc.hosts:
+            if host.name in self.consolidation_hosts:
+                continue
+            for vm in host.vms:
+                ws_mb = vm.resources.memory_mb * self.costs.working_set_fraction
+                if vm.is_idle_now and vm.name not in self.parked:
+                    self.parked.add(vm.name)
+                    self.park_count += 1
+                    self.transfer_energy_j += ws_mb * self.costs.transfer_j_per_mb
+                    ops += 1
+                elif not vm.is_idle_now and vm.name in self.parked:
+                    self.parked.discard(vm.name)
+                    self.restore_count += 1
+                    self.transfer_energy_j += ws_mb * self.costs.transfer_j_per_mb
+                    self.last_restores.append(vm.name)
+                    ops += 1
+        return ops
+
+    # ------------------------------------------------------------------
+    def host_can_sleep(self, host: Host) -> bool:
+        """A worker host sleeps iff every VM's working set is parked;
+        consolidation servers never sleep."""
+        if host.name in self.consolidation_hosts:
+            return False
+        return bool(host.vms) and all(vm.name in self.parked for vm in host.vms)
+
+    def host_must_wake(self, host: Host) -> bool:
+        """A sleeping worker must wake when any of its VMs was restored."""
+        return any(vm.name not in self.parked and not vm.is_idle_now
+                   for vm in host.vms)

@@ -1,0 +1,137 @@
+"""VM placement (Neat sub-problem 4) — PABFD and the IP-aware variant.
+
+Classic Neat places migrating VMs with Power-Aware Best Fit Decreasing
+(PABFD): VMs in decreasing CPU demand, each to the host whose power draw
+increases least.  Drowsy-DC keeps the decreasing-demand outer loop
+("we first treat VMs with the biggest resource requirements") but picks,
+among the hosts that can take the VM, the one with the IP closest to the
+VM's (paper section III-D-b, step 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from ..cluster.host import Host
+from ..cluster.power import PowerModel
+from ..cluster.vm import VM
+from ..core.params import DEFAULT_PARAMS, DrowsyParams
+
+
+class PlacementPolicy(Protocol):
+    """Choose a destination for each VM in a batch."""
+
+    def place(self, vms: list[VM], hosts: list[Host], hour_index: int,
+              current_host: dict[str, Host]) -> dict[str, Host]: ...
+
+
+def _fits(host: Host, vm: VM) -> bool:
+    used = host.used_resources
+    return (used.memory_mb + vm.resources.memory_mb <= host.capacity.memory_mb
+            and used.cpus + vm.resources.cpus <= host.capacity.schedulable_cpus)
+
+
+def decreasing_demand(vms: list[VM]) -> list[VM]:
+    """Sort by decreasing CPU demand, then memory, then name (stable)."""
+    return sorted(vms, key=lambda vm: (-vm.current_activity * vm.resources.cpus,
+                                       -vm.resources.memory_mb, vm.name))
+
+
+@dataclass
+class PowerAwareBestFitDecreasing:
+    """Beloglazov's PABFD."""
+
+    power_model: PowerModel = PowerModel()
+
+    def place(self, vms: list[VM], hosts: list[Host], hour_index: int,
+              current_host: dict[str, Host]) -> dict[str, Host]:
+        placement: dict[str, Host] = {}
+        # Track planned extra load per host so a batch doesn't overpack.
+        planned: dict[str, list[VM]] = {h.name: [] for h in hosts}
+
+        for vm in decreasing_demand(vms):
+            best: tuple[float, str] | None = None
+            src = current_host.get(vm.name)
+            for host in hosts:
+                if src is not None and host is src:
+                    continue
+                if not self._fits_planned(host, planned[host.name], vm):
+                    continue
+                delta = self._power_delta(host, planned[host.name], vm)
+                cand = (delta, host.name)
+                if best is None or cand < best:
+                    best = cand
+            if best is not None:
+                dest = next(h for h in hosts if h.name == best[1])
+                placement[vm.name] = dest
+                planned[dest.name].append(vm)
+        return placement
+
+    def _fits_planned(self, host: Host, planned: list[VM], vm: VM) -> bool:
+        used = host.used_resources
+        mem = used.memory_mb + sum(v.resources.memory_mb for v in planned)
+        cpu = used.cpus + sum(v.resources.cpus for v in planned)
+        return (mem + vm.resources.memory_mb <= host.capacity.memory_mb
+                and cpu + vm.resources.cpus <= host.capacity.schedulable_cpus)
+
+    def _power_delta(self, host: Host, planned: list[VM], vm: VM) -> float:
+        def util(extra: float) -> float:
+            demand = sum(v.current_activity * v.resources.cpus for v in host.vms)
+            demand += sum(v.current_activity * v.resources.cpus for v in planned)
+            return min((demand + extra) / host.capacity.cpus, 1.0)
+
+        from ..cluster.power import PowerState
+
+        before = self.power_model.power(PowerState.ON, util(0.0))
+        after = self.power_model.power(
+            PowerState.ON, util(vm.current_activity * vm.resources.cpus))
+        return after - before
+
+
+@dataclass
+class IPAwarePlacement:
+    """Drowsy-DC placement: biggest VMs first, destination = closest IP.
+
+    Among suitable hosts, minimize |host IP - VM IP|; resource fit is a
+    hard constraint.  Ties (within the tolerance bucket) go to the more
+    loaded host (stacking), then host name for determinism.
+    """
+
+    params: DrowsyParams = DEFAULT_PARAMS
+
+    def place(self, vms: list[VM], hosts: list[Host], hour_index: int,
+              current_host: dict[str, Host]) -> dict[str, Host]:
+        placement: dict[str, Host] = {}
+        planned: dict[str, list[VM]] = {h.name: [] for h in hosts}
+        tol = self.params.ip_distance_tolerance
+
+        ordered = sorted(vms, key=lambda vm: (-vm.resources.memory_mb,
+                                              -vm.resources.cpus, vm.name))
+        for vm in ordered:
+            vm_ip = vm.raw_ip(hour_index)
+            src = current_host.get(vm.name)
+            best: tuple[int, float, str] | None = None
+            for host in hosts:
+                if src is not None and host is src:
+                    continue
+                if not self._fits_planned(host, planned[host.name], vm):
+                    continue
+                distance = abs(host.mean_raw_ip(hour_index) - vm_ip)
+                bucket = int(distance / tol) if tol > 0 else 0
+                free_mem = host.capacity.memory_mb - host.used_resources.memory_mb
+                cand = (bucket, float(free_mem), host.name)
+                if best is None or cand < best:
+                    best = cand
+            if best is not None:
+                dest = next(h for h in hosts if h.name == best[2])
+                placement[vm.name] = dest
+                planned[dest.name].append(vm)
+        return placement
+
+    def _fits_planned(self, host: Host, planned: list[VM], vm: VM) -> bool:
+        used = host.used_resources
+        mem = used.memory_mb + sum(v.resources.memory_mb for v in planned)
+        cpu = used.cpus + sum(v.resources.cpus for v in planned)
+        return (mem + vm.resources.memory_mb <= host.capacity.memory_mb
+                and cpu + vm.resources.cpus <= host.capacity.schedulable_cpus)

@@ -1,0 +1,120 @@
+"""VM selection (Neat sub-problem 3) — classic and IP-aware policies.
+
+Given an overloaded host, pick which VMs to migrate away.  Classic
+policies (Beloglazov): minimum migration time (MMT), random selection
+(RS), maximum correlation (MC).  Drowsy-DC replaces the ordering with:
+sort by decreasing distance between the VM's IP and its host's IP, with
+a tolerance making close distances equal, and classic criteria breaking
+those ties (paper section III-D-b, step 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from ..cluster.host import Host
+from ..cluster.migration import MigrationModel
+from ..cluster.vm import VM
+from ..core.params import DEFAULT_PARAMS, DrowsyParams
+
+
+class VMSelector(Protocol):
+    """Order the VMs of a host from first-to-migrate to last."""
+
+    def order(self, host: Host, hour_index: int) -> list[VM]: ...
+
+
+@dataclass(frozen=True)
+class MinimumMigrationTimeSelector:
+    """MMT: migrate the cheapest-to-move VMs first."""
+
+    model: MigrationModel = MigrationModel()
+
+    def order(self, host: Host, hour_index: int) -> list[VM]:
+        return sorted(host.vms,
+                      key=lambda vm: (self.model.duration_s(vm), vm.name))
+
+
+class RandomSelector:
+    """RS: uniformly random order (seeded for reproducibility)."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = np.random.default_rng(seed)
+
+    def order(self, host: Host, hour_index: int) -> list[VM]:
+        vms = sorted(host.vms, key=lambda vm: vm.name)
+        self.rng.shuffle(vms)
+        return list(vms)
+
+
+class MaximumCorrelationSelector:
+    """MC: migrate the VM most correlated with the host's aggregate load.
+
+    Uses each VM's recent trace window as its utilization history; falls
+    back to MMT order when histories are too short or degenerate.
+    """
+
+    def __init__(self, window: int = 24,
+                 model: MigrationModel = MigrationModel()) -> None:
+        self.window = window
+        self.model = model
+
+    def order(self, host: Host, hour_index: int) -> list[VM]:
+        if len(host.vms) < 2 or hour_index < 2:
+            return MinimumMigrationTimeSelector(self.model).order(host, hour_index)
+        start = max(hour_index - self.window, 0)
+        hours = np.arange(start, hour_index)
+        series = {vm.name: np.array([vm.activity_at(int(h)) for h in hours])
+                  for vm in host.vms}
+
+        def corr(vm: VM) -> float:
+            others = [series[v.name] for v in host.vms if v is not vm]
+            agg = np.sum(others, axis=0)
+            mine = series[vm.name]
+            if np.std(mine) == 0.0 or np.std(agg) == 0.0:
+                return 0.0
+            return float(np.corrcoef(mine, agg)[0, 1])
+
+        return sorted(host.vms, key=lambda vm: (-corr(vm), vm.name))
+
+
+@dataclass(frozen=True)
+class IPDistanceSelector:
+    """Drowsy-DC selection: most IP-mismatched VMs first.
+
+    Distances are bucketed by the paper's tolerance so that "close
+    distances are considered equal" (footnote 3) and the classic
+    criterion (MMT) decides inside a bucket.
+    """
+
+    params: DrowsyParams = DEFAULT_PARAMS
+    model: MigrationModel = MigrationModel()
+
+    def order(self, host: Host, hour_index: int) -> list[VM]:
+        host_ip = host.mean_raw_ip(hour_index)
+        tol = self.params.ip_distance_tolerance
+
+        def key(vm: VM) -> tuple:
+            distance = abs(vm.raw_ip(hour_index) - host_ip)
+            bucket = int(distance / tol) if tol > 0 else 0
+            return (-bucket, self.model.duration_s(vm), vm.name)
+
+        return sorted(host.vms, key=key)
+
+
+def select_until_not_overloaded(host: Host, order: Sequence[VM],
+                                threshold: float) -> list[VM]:
+    """Take VMs from ``order`` until the host's utilization drops under
+    ``threshold`` (the Neat overload-resolution loop)."""
+    selected: list[VM] = []
+    remaining_demand = sum(vm.current_activity * vm.resources.cpus for vm in host.vms)
+    capacity = host.capacity.cpus
+    for vm in order:
+        if remaining_demand / capacity <= threshold:
+            break
+        selected.append(vm)
+        remaining_demand -= vm.current_activity * vm.resources.cpus
+    return selected

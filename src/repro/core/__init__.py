@@ -1,0 +1,71 @@
+"""Core contribution of the paper: idleness model, probability, metrics."""
+
+from .calendar import (
+    DAYS_PER_WEEK,
+    DAYS_PER_YEAR,
+    HOURS_PER_DAY,
+    HOURS_PER_YEAR,
+    MONTH_LENGTHS,
+    CalendarSlot,
+    hour_index,
+    hour_of_time,
+    slot_of_hour,
+    slots_of_hours,
+    time_of_hour,
+)
+from .adaptive import AdaptiveBands, AdaptiveIdlenessModel
+from .fleet import FleetIdlenessModel
+from .metrics import ConfusionCounts, MetricCurves, cumulative_curves
+from .model import IdlenessModel, IdlenessObservation
+from .serialize import (
+    load_fleet,
+    load_model,
+    model_from_bytes,
+    model_to_bytes,
+    save_fleet,
+    save_model,
+)
+from .params import (
+    DEFAULT_PARAMS,
+    IP_RANGE_THRESHOLD,
+    SIGMA,
+    DrowsyParams,
+    u_coefficient,
+)
+from .weights import descend_weights, initial_weights, project_to_simplex
+
+__all__ = [
+    "AdaptiveBands",
+    "AdaptiveIdlenessModel",
+    "CalendarSlot",
+    "ConfusionCounts",
+    "DAYS_PER_WEEK",
+    "DAYS_PER_YEAR",
+    "DEFAULT_PARAMS",
+    "DrowsyParams",
+    "FleetIdlenessModel",
+    "HOURS_PER_DAY",
+    "HOURS_PER_YEAR",
+    "IP_RANGE_THRESHOLD",
+    "IdlenessModel",
+    "IdlenessObservation",
+    "MONTH_LENGTHS",
+    "MetricCurves",
+    "SIGMA",
+    "cumulative_curves",
+    "descend_weights",
+    "hour_index",
+    "hour_of_time",
+    "initial_weights",
+    "load_fleet",
+    "load_model",
+    "model_from_bytes",
+    "model_to_bytes",
+    "project_to_simplex",
+    "save_fleet",
+    "save_model",
+    "slot_of_hour",
+    "slots_of_hours",
+    "time_of_hour",
+    "u_coefficient",
+]

@@ -1,0 +1,89 @@
+"""Adaptive alpha/beta tuning (paper §III-C: explicitly left as future work).
+
+"We did not explore the possibility of dynamically setting α nor β
+based on VM activity level variations, which could be a way for
+improvement."  This module explores it.
+
+Intuition: α controls how fast the update value decays once |SI| passes
+β, and β is the "starting to be extreme" threshold.  For a VM with
+*stable* activity levels, scores can be allowed to march further toward
+the bounds before damping (higher β, gentler α): the behaviour is
+trustworthy.  For a VM whose activity level varies wildly, scores
+should be kept closer to undetermined (lower β, stronger α) so the
+model can flip quickly when the behaviour shifts.
+
+:class:`AdaptiveIdlenessModel` tracks an exponential moving estimate of
+the activity level's coefficient of variation and re-derives effective
+(α, β) each hour within configured bands.  The ablation bench compares
+it to the fixed-(0.7, 0.5) model on regime-switching workloads.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .model import IdlenessModel, IdlenessObservation
+from .params import DEFAULT_PARAMS, DrowsyParams
+
+
+@dataclass(frozen=True)
+class AdaptiveBands:
+    """Allowed ranges for the dynamically derived coefficients."""
+
+    alpha_min: float = 0.35
+    alpha_max: float = 1.4
+    beta_min: float = 0.25
+    beta_max: float = 0.75
+    #: EMA smoothing for the activity mean/variance estimates.
+    ema: float = 0.05
+    #: Coefficient of variation mapped to the band edges: cv >= cv_high
+    #: gives the most conservative (alpha_max, beta_min) setting.
+    cv_high: float = 1.0
+
+    def derive(self, cv: float) -> tuple[float, float]:
+        """Map a coefficient of variation to effective (alpha, beta)."""
+        x = min(max(cv / self.cv_high, 0.0), 1.0)
+        alpha = self.alpha_min + x * (self.alpha_max - self.alpha_min)
+        beta = self.beta_max - x * (self.beta_max - self.beta_min)
+        return alpha, beta
+
+
+class AdaptiveIdlenessModel(IdlenessModel):
+    """Idleness model with activity-variation-driven (α, β).
+
+    Drop-in replacement for :class:`~repro.core.model.IdlenessModel`;
+    only the damping coefficient of the hourly update changes.
+    """
+
+    def __init__(self, params: DrowsyParams = DEFAULT_PARAMS,
+                 bands: AdaptiveBands = AdaptiveBands()) -> None:
+        super().__init__(params)
+        self.bands = bands
+        self._ema_mean = 0.0
+        self._ema_var = 0.0
+        self._samples = 0
+        self.effective_alpha = params.alpha
+        self.effective_beta = params.beta
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        """CV of the active-hour activity level (0 until two samples)."""
+        if self._samples < 2 or self._ema_mean <= 1e-12:
+            return 0.0
+        return math.sqrt(max(self._ema_var, 0.0)) / self._ema_mean
+
+    def observe(self, hour_index: int, activity: float) -> IdlenessObservation:
+        if activity > 0.0:
+            # Update EMA estimates of the active level's mean/variance.
+            self._samples += 1
+            k = self.bands.ema
+            delta = activity - self._ema_mean
+            self._ema_mean += k * delta
+            self._ema_var = (1 - k) * (self._ema_var + k * delta * delta)
+            self.effective_alpha, self.effective_beta = self.bands.derive(
+                self.coefficient_of_variation)
+        # Run the standard update under the effective coefficients.
+        self.params = self.params.replace(alpha=self.effective_alpha,
+                                          beta=self.effective_beta)
+        return super().observe(hour_index, activity)

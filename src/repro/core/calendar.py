@@ -1,0 +1,93 @@
+"""Simulation calendar.
+
+The idleness model indexes its scores by calendar coordinates: hour of
+day ``h``, day of week ``dw``, day of month ``dm``, month ``m`` and (for
+the yearly scale) day of year.  The paper uses a plain 365-day year; we
+fix the epoch (hour 0) at 00:00 on Monday, January 1st.
+
+Everything here is pure and vectorizable: scalar ints in the scalar API,
+NumPy arrays in the ``*_array`` API used by the fleet model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+HOURS_PER_DAY = 24
+DAYS_PER_WEEK = 7
+DAYS_PER_YEAR = 365
+HOURS_PER_YEAR = DAYS_PER_YEAR * HOURS_PER_DAY
+MONTH_LENGTHS = (31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31)
+#: First day-of-year of each month (0-based).
+MONTH_STARTS = tuple(int(x) for x in np.concatenate(([0], np.cumsum(MONTH_LENGTHS)[:-1])))
+
+_MONTH_OF_DOY = np.repeat(np.arange(12), MONTH_LENGTHS)
+_DOM_OF_DOY = np.concatenate([np.arange(n) for n in MONTH_LENGTHS])
+
+assert _MONTH_OF_DOY.shape == (DAYS_PER_YEAR,)
+
+
+@dataclass(frozen=True)
+class CalendarSlot:
+    """Calendar coordinates of one hour.
+
+    Attributes mirror the paper's notation: ``hour`` is h in [0, 24),
+    ``day_of_week`` is dw in [0, 7) with 0 = Monday, ``day_of_month`` is
+    dm in [0, 31), ``month`` is m in [0, 12), and ``day_of_year`` in
+    [0, 365) indexes the SIy table.
+    """
+
+    hour: int
+    day_of_week: int
+    day_of_month: int
+    month: int
+    day_of_year: int
+
+
+def slot_of_hour(hour_index: int) -> CalendarSlot:
+    """Map an absolute hour index (hours since epoch) to calendar coords."""
+    if hour_index < 0:
+        raise ValueError(f"hour_index must be >= 0, got {hour_index}")
+    h = hour_index % HOURS_PER_DAY
+    day = hour_index // HOURS_PER_DAY
+    dw = day % DAYS_PER_WEEK
+    doy = day % DAYS_PER_YEAR
+    m = int(_MONTH_OF_DOY[doy])
+    dm = int(_DOM_OF_DOY[doy])
+    return CalendarSlot(hour=int(h), day_of_week=int(dw), day_of_month=dm,
+                        month=m, day_of_year=int(doy))
+
+
+def slots_of_hours(hour_indices: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized :func:`slot_of_hour`.
+
+    Returns ``(h, dw, dm, m, doy)`` arrays of the same shape as the input.
+    """
+    hour_indices = np.asarray(hour_indices)
+    if np.any(hour_indices < 0):
+        raise ValueError("hour indices must be >= 0")
+    h = hour_indices % HOURS_PER_DAY
+    day = hour_indices // HOURS_PER_DAY
+    dw = day % DAYS_PER_WEEK
+    doy = day % DAYS_PER_YEAR
+    return h, dw, _DOM_OF_DOY[doy], _MONTH_OF_DOY[doy], doy
+
+
+def hour_of_time(time_s: float) -> int:
+    """Absolute hour index containing simulation time ``time_s`` (seconds)."""
+    if time_s < 0:
+        raise ValueError(f"time must be >= 0, got {time_s}")
+    return int(time_s // 3600.0)
+
+
+def hour_index(day: int, hour: int) -> int:
+    """Absolute hour index for ``hour`` o'clock on day ``day`` since epoch."""
+    return day * HOURS_PER_DAY + hour
+
+
+def time_of_hour(hour_idx: int) -> float:
+    """Simulation time (seconds) at the start of absolute hour ``hour_idx``."""
+    return hour_idx * 3600.0

@@ -1,0 +1,204 @@
+"""Vectorized idleness models for a fleet of VMs.
+
+:class:`FleetIdlenessModel` holds the SI tables of ``n`` VMs in stacked
+NumPy arrays and performs the hourly update for the whole fleet with a
+handful of vectorized operations (no per-VM Python loop).  All VMs share
+the wall clock, so a single calendar slot indexes one column per scale
+table — gathers and scatters are plain fancy indexing on the trailing
+axes, updated in place per the hpc-parallel guidance (views, no copies).
+
+Semantics are identical to :class:`repro.core.model.IdlenessModel`; the
+equivalence is enforced by property-based tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .calendar import slot_of_hour
+from .params import DEFAULT_PARAMS, DrowsyParams
+from .weights import N_SCALES, descend_weights, initial_weights
+
+
+class FleetIdlenessModel:
+    """Idleness models of ``n`` VMs, updated in lockstep.
+
+    The public API mirrors the scalar model but takes/returns arrays of
+    shape ``(n,)`` (activities, IPs, predictions).
+    """
+
+    def __init__(self, n: int, params: DrowsyParams = DEFAULT_PARAMS) -> None:
+        if n <= 0:
+            raise ValueError(f"fleet size must be positive, got {n}")
+        self.n = n
+        self.params = params
+        self.sid = np.zeros((n, 24))
+        self.siw = np.zeros((n, 7, 24))
+        self.sim = np.zeros((n, 31, 24))
+        self.siy = np.zeros((n, 365, 24))
+        self.scale_mask = np.array(
+            [True, params.use_weekly_scale, params.use_monthly_scale,
+             params.use_yearly_scale])
+        self.weights = initial_weights(self.scale_mask, batch=n)
+        self._activity_sum = np.zeros(n)
+        self._active_hours = np.zeros(n, dtype=np.int64)
+        self.hours_observed = 0
+
+    # ------------------------------------------------------------------
+    def si_matrix(self, hour_index: int) -> np.ndarray:
+        """(n, 4) SI scores of every VM for the given absolute hour."""
+        s = slot_of_hour(hour_index)
+        si = np.stack([
+            self.sid[:, s.hour],
+            self.siw[:, s.day_of_week, s.hour],
+            self.sim[:, s.day_of_month, s.hour],
+            self.siy[:, s.day_of_year, s.hour],
+        ], axis=1)
+        si[:, ~self.scale_mask] = 0.0
+        return si
+
+    def raw_ip(self, hour_index: int) -> np.ndarray:
+        """(n,) raw IPs ``w^T SI`` for the given absolute hour."""
+        return np.einsum("ij,ij->i", self.weights, self.si_matrix(hour_index))
+
+    def idleness_probability(self, hour_index: int) -> np.ndarray:
+        """(n,) normalized IPs in [0, 1]."""
+        return (self.raw_ip(hour_index) + 1.0) / 2.0
+
+    def predict_idle(self, hour_index: int) -> np.ndarray:
+        """(n,) bool: predicted idle iff probability > 0.5."""
+        return self.idleness_probability(hour_index) > 0.5
+
+    @property
+    def mean_active_activity(self) -> np.ndarray:
+        """(n,) a-bar values with the cold-start fallback applied."""
+        fallback = np.full(self.n, self.params.default_activity)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            mean = self._activity_sum / self._active_hours
+        return np.where(self._active_hours > 0, mean, fallback)
+
+    # ------------------------------------------------------------------
+    def observe(self, hour_index: int, activities: np.ndarray) -> None:
+        """Ingest one hour of activity levels for the whole fleet."""
+        a_h = np.asarray(activities, dtype=np.float64)
+        if a_h.shape != (self.n,):
+            raise ValueError(f"expected shape ({self.n},), got {a_h.shape}")
+        if np.any((a_h < 0.0) | (a_h > 1.0)):
+            raise ValueError("activities must be in [0, 1]")
+        p = self.params
+        s = slot_of_hour(hour_index)
+        idle = a_h == 0.0
+
+        si_old = self.si_matrix(hour_index)
+        a = np.where(idle, self.mean_active_activity, a_h)
+        a_star = (p.sigma * a)[:, None]
+        u = 1.0 / (1.0 + np.exp(p.alpha * (np.abs(si_old) - p.beta)))
+        v = a_star * u
+        si_new = np.clip(np.where(idle[:, None], si_old + v, si_old - v),
+                         -1.0, 1.0)
+        si_new[:, ~self.scale_mask] = 0.0
+
+        # Scatter back (views into the per-scale tables, in place).
+        self.sid[:, s.hour] = si_new[:, 0]
+        self.siw[:, s.day_of_week, s.hour] = si_new[:, 1]
+        self.sim[:, s.day_of_month, s.hour] = si_new[:, 2]
+        self.siy[:, s.day_of_year, s.hour] = si_new[:, 3]
+
+        if p.learn_weights:
+            if p.weight_update_on_error_only:
+                predicted_idle = np.einsum("ij,ij->i", self.weights, si_old) > 0.0
+                update = predicted_idle != idle
+            else:
+                update = np.ones(self.n, dtype=bool)
+            if update.any():
+                new_weights = descend_weights(
+                    self.weights, si_old, si_new,
+                    steps=p.weight_descent_steps,
+                    learning_rate=p.weight_learning_rate,
+                    mask=self.scale_mask)
+                self.weights = np.where(update[:, None], new_weights,
+                                        self.weights)
+
+        np.add.at(self._activity_sum, np.nonzero(~idle)[0], a_h[~idle])
+        self._active_hours += ~idle
+        self.hours_observed += 1
+
+    def predict_and_observe(self, hour_index: int, activities: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(predicted_idle, actually_idle) arrays, online protocol."""
+        predicted = self.predict_idle(hour_index)
+        a_h = np.asarray(activities, dtype=np.float64)
+        self.observe(hour_index, a_h)
+        return predicted, a_h == 0.0
+
+    # ------------------------------------------------------------------
+    def run_trace_matrix(self, activities: np.ndarray, start_hour: int = 0) -> tuple[np.ndarray, np.ndarray]:
+        """Feed an ``(n, T)`` activity matrix hour by hour.
+
+        Returns ``(predictions, actuals)`` bool arrays of shape (n, T)
+        following the online protocol (predict before observe).  This is
+        the hot path for Fig. 4 and the fleet benchmarks: calendar
+        coordinates are precomputed for the whole horizon and the
+        per-hour update is inlined so each SI gather happens once per
+        hour instead of once per query (profiling-driven, see the
+        hpc-parallel notes in DESIGN.md §6).
+        """
+        activities = np.asarray(activities, dtype=np.float64)
+        if activities.ndim != 2 or activities.shape[0] != self.n:
+            raise ValueError(f"expected (n={self.n}, T) matrix, got {activities.shape}")
+        if np.any((activities < 0.0) | (activities > 1.0)):
+            raise ValueError("activities must be in [0, 1]")
+        T = activities.shape[1]
+        preds = np.empty((self.n, T), dtype=bool)
+        actual = activities == 0.0
+
+        from .calendar import slots_of_hours
+
+        hh, dww, dmm, mm, doyy = slots_of_hours(start_hour + np.arange(T))
+        p = self.params
+        mask = self.scale_mask
+        fallback = p.default_activity
+        si = np.empty((self.n, 4))
+
+        for t in range(T):
+            h = int(hh[t]); dw = int(dww[t]); dm = int(dmm[t]); doy = int(doyy[t])
+            si[:, 0] = self.sid[:, h]
+            si[:, 1] = self.siw[:, dw, h]
+            si[:, 2] = self.sim[:, dm, h]
+            si[:, 3] = self.siy[:, doy, h]
+            si[:, ~mask] = 0.0
+
+            raw = np.einsum("ij,ij->i", self.weights, si)
+            preds[:, t] = raw > 0.0
+
+            a_h = activities[:, t]
+            idle = actual[:, t]
+            with np.errstate(invalid="ignore", divide="ignore"):
+                mean_active = self._activity_sum / self._active_hours
+            a = np.where(idle,
+                         np.where(self._active_hours > 0, mean_active, fallback),
+                         a_h)
+            v = (p.sigma * a)[:, None] / (1.0 + np.exp(p.alpha * (np.abs(si) - p.beta)))
+            si_new = np.clip(np.where(idle[:, None], si + v, si - v), -1.0, 1.0)
+            si_new[:, ~mask] = 0.0
+
+            self.sid[:, h] = si_new[:, 0]
+            self.siw[:, dw, h] = si_new[:, 1]
+            self.sim[:, dm, h] = si_new[:, 2]
+            self.siy[:, doy, h] = si_new[:, 3]
+
+            if p.learn_weights:
+                update = (preds[:, t] != idle) if p.weight_update_on_error_only \
+                    else np.ones(self.n, dtype=bool)
+                if update.any():
+                    new_weights = descend_weights(
+                        self.weights, si, si_new,
+                        steps=p.weight_descent_steps,
+                        learning_rate=p.weight_learning_rate,
+                        mask=mask)
+                    self.weights = np.where(update[:, None], new_weights,
+                                            self.weights)
+
+            self._activity_sum += np.where(idle, 0.0, a_h)
+            self._active_hours += ~idle
+            self.hours_observed += 1
+        return preds, actual

@@ -1,0 +1,145 @@
+"""Prediction-accuracy metrics (paper Table III).
+
+The positive class is "idle" (predicted idle iff IP > 50 %).  The paper
+evaluates with Recall, Precision, F-measure and Specificity; Fig. 4 plots
+them as they evolve over the trace, which we reproduce with cumulative
+confusion counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class ConfusionCounts:
+    """Running confusion-matrix counts with the paper's metric definitions."""
+
+    tp: int = 0
+    fp: int = 0
+    tn: int = 0
+    fn: int = 0
+
+    def update(self, predicted_idle: bool, actually_idle: bool) -> None:
+        """Account one (prediction, ground truth) pair."""
+        if predicted_idle and actually_idle:
+            self.tp += 1
+        elif predicted_idle and not actually_idle:
+            self.fp += 1
+        elif not predicted_idle and actually_idle:
+            self.fn += 1
+        else:
+            self.tn += 1
+
+    def update_batch(self, predicted: np.ndarray, actual: np.ndarray) -> None:
+        """Vectorized :meth:`update` over bool arrays of equal shape."""
+        predicted = np.asarray(predicted, dtype=bool)
+        actual = np.asarray(actual, dtype=bool)
+        if predicted.shape != actual.shape:
+            raise ValueError("shape mismatch between predictions and actuals")
+        self.tp += int(np.sum(predicted & actual))
+        self.fp += int(np.sum(predicted & ~actual))
+        self.fn += int(np.sum(~predicted & actual))
+        self.tn += int(np.sum(~predicted & ~actual))
+
+    @property
+    def total(self) -> int:
+        return self.tp + self.fp + self.tn + self.fn
+
+    @property
+    def recall(self) -> float:
+        """TP / (TP + FN); sensitive to missed idleness."""
+        d = self.tp + self.fn
+        return self.tp / d if d else float("nan")
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP); sensitive to falsely predicted idleness."""
+        d = self.tp + self.fp
+        return self.tp / d if d else float("nan")
+
+    @property
+    def f_measure(self) -> float:
+        """Harmonic mean of recall and precision (main Fig. 4 score)."""
+        r, p = self.recall, self.precision
+        if np.isnan(r) or np.isnan(p) or (r + p) == 0.0:
+            return float("nan")
+        return 2.0 * r * p / (r + p)
+
+    @property
+    def specificity(self) -> float:
+        """TN / (TN + FP); the 'precision of active periods' (LLMU score)."""
+        d = self.tn + self.fp
+        return self.tn / d if d else float("nan")
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "recall": self.recall,
+            "precision": self.precision,
+            "f_measure": self.f_measure,
+            "specificity": self.specificity,
+        }
+
+
+@dataclass
+class MetricCurves:
+    """Cumulative metric curves sampled along a trace (Fig. 4 series)."""
+
+    hours: list[int] = field(default_factory=list)
+    recall: list[float] = field(default_factory=list)
+    precision: list[float] = field(default_factory=list)
+    f_measure: list[float] = field(default_factory=list)
+    specificity: list[float] = field(default_factory=list)
+
+    def append(self, hour: int, counts: ConfusionCounts) -> None:
+        self.hours.append(hour)
+        self.recall.append(counts.recall)
+        self.precision.append(counts.precision)
+        self.f_measure.append(counts.f_measure)
+        self.specificity.append(counts.specificity)
+
+    def final(self) -> dict[str, float]:
+        """Metric values at the end of the trace."""
+        if not self.hours:
+            raise ValueError("no samples recorded")
+        return {
+            "recall": self.recall[-1],
+            "precision": self.precision[-1],
+            "f_measure": self.f_measure[-1],
+            "specificity": self.specificity[-1],
+        }
+
+
+def cumulative_curves(predicted: np.ndarray, actual: np.ndarray,
+                      sample_every: int = 24) -> MetricCurves:
+    """Build cumulative metric curves from per-hour bool vectors.
+
+    ``predicted`` and ``actual`` are 1-D bool arrays over hours; the
+    curves are sampled every ``sample_every`` hours (daily by default),
+    matching the online protocol of Fig. 4.
+    """
+    predicted = np.asarray(predicted, dtype=bool)
+    actual = np.asarray(actual, dtype=bool)
+    if predicted.shape != actual.shape or predicted.ndim != 1:
+        raise ValueError("predicted/actual must be equal-length 1-D arrays")
+    tp = np.cumsum(predicted & actual)
+    fp = np.cumsum(predicted & ~actual)
+    fn = np.cumsum(~predicted & actual)
+    tn = np.cumsum(~predicted & ~actual)
+
+    curves = MetricCurves()
+    idx = np.arange(sample_every - 1, predicted.size, sample_every)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        rec = tp / (tp + fn)
+        prec = tp / (tp + fp)
+        f = 2 * rec * prec / (rec + prec)
+        spec = tn / (tn + fp)
+    for i in idx:
+        curves.hours.append(int(i + 1))
+        curves.recall.append(float(rec[i]))
+        curves.precision.append(float(prec[i]))
+        curves.f_measure.append(float(f[i]))
+        curves.specificity.append(float(spec[i]))
+    return curves

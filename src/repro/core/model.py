@@ -1,0 +1,175 @@
+"""Per-VM idleness model (paper section III).
+
+The idleness model (IM) summarizes a VM's past idleness with synthesized
+idleness (SI) scores at four calendar scales, plus four learned weights.
+Every hour :meth:`IdlenessModel.observe` ingests the VM's activity level
+and updates scores and weights; :meth:`IdlenessModel.idleness_probability`
+answers "how likely is this VM to be idle at calendar slot X?".
+
+Scores live in ``[-1, 1]``: positive means "historically idle at this
+slot", negative "historically active", zero "undetermined".  See
+DESIGN.md for the raw-IP vs probability distinction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .calendar import CalendarSlot, slot_of_hour
+from .params import DEFAULT_PARAMS, DrowsyParams
+from .weights import N_SCALES, descend_weights, initial_weights
+
+#: Index of each scale in SI/weight vectors, matching the paper's order
+#: (wd, ww, wm, wy).
+SCALE_DAY, SCALE_WEEK, SCALE_MONTH, SCALE_YEAR = range(N_SCALES)
+
+
+@dataclass(frozen=True)
+class IdlenessObservation:
+    """Result of one hourly model update (useful for tracing/learning)."""
+
+    hour_index: int
+    activity: float
+    idle: bool
+    raw_ip_before: float
+    raw_ip_after: float
+
+
+class IdlenessModel:
+    """Idleness model of a single VM.
+
+    Parameters
+    ----------
+    params:
+        Tunables; defaults are the paper's values.
+
+    Notes
+    -----
+    The model is deliberately cheap: one hourly update touches exactly one
+    cell per scale table plus the 4-vector of weights, so the per-VM,
+    per-hour cost is O(1) — this is what makes Drowsy-DC's consolidation
+    O(n) in the number of VMs (paper section VII).
+    """
+
+    def __init__(self, params: DrowsyParams = DEFAULT_PARAMS) -> None:
+        self.params = params
+        self.sid = np.zeros(24)
+        self.siw = np.zeros((7, 24))
+        self.sim = np.zeros((31, 24))
+        self.siy = np.zeros((365, 24))
+        self.scale_mask = np.array(
+            [True, params.use_weekly_scale, params.use_monthly_scale,
+             params.use_yearly_scale])
+        self.weights = initial_weights(self.scale_mask)
+        self._activity_sum = 0.0
+        self._active_hours = 0
+        self.hours_observed = 0
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def si_vector(self, slot: CalendarSlot) -> np.ndarray:
+        """SI scores (SId, SIw, SIm, SIy) for one calendar slot."""
+        h = slot.hour
+        si = np.array([
+            self.sid[h],
+            self.siw[slot.day_of_week, h],
+            self.sim[slot.day_of_month, h],
+            self.siy[slot.day_of_year, h],
+        ])
+        return np.where(self.scale_mask, si, 0.0)
+
+    def raw_ip(self, slot: CalendarSlot) -> float:
+        """Raw idleness probability ``w^T SI`` (paper eq. (1)).
+
+        Lives on the SI scale (|raw| <= 1); used for placement distances
+        and the 7-sigma opportunistic threshold.
+        """
+        return float(self.weights @ self.si_vector(slot))
+
+    def idleness_probability(self, slot: CalendarSlot) -> float:
+        """Raw IP mapped affinely to [0, 1] (DESIGN.md interpretation).
+
+        0.5 means undetermined; above 0.5 the VM is predicted idle.
+        """
+        return (self.raw_ip(slot) + 1.0) / 2.0
+
+    def predict_idle(self, slot: CalendarSlot) -> bool:
+        """Paper section VI-A.5: positive prediction iff IP > 50 %."""
+        return self.idleness_probability(slot) > 0.5
+
+    @property
+    def mean_active_activity(self) -> float:
+        """Mean activity level over past *active* hours (a-bar, eq. (2))."""
+        if self._active_hours == 0:
+            return self.params.default_activity
+        return self._activity_sum / self._active_hours
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def observe(self, hour_index: int, activity: float) -> IdlenessObservation:
+        """Ingest the activity level of absolute hour ``hour_index``.
+
+        ``activity`` is the fraction of scheduler quanta the VM consumed
+        during that hour, in [0, 1], *after* noise filtering (paper
+        section III-C; see :mod:`repro.traces.noise`).
+        """
+        if not 0.0 <= activity <= 1.0:
+            raise ValueError(f"activity must be in [0, 1], got {activity}")
+        p = self.params
+        slot = slot_of_hour(hour_index)
+        idle = activity == 0.0
+
+        si_old = self.si_vector(slot)
+        raw_before = float(self.weights @ si_old)
+
+        # Paper eq. (2): use the hour's activity when active, the mean
+        # past active level when idle.
+        a = activity if not idle else self.mean_active_activity
+        a_star = p.sigma * a  # eq. (3)
+        # Eq. (4)-(5): one update value per scale, damped near the bounds.
+        u = 1.0 / (1.0 + np.exp(p.alpha * (np.abs(si_old) - p.beta)))
+        v = a_star * u
+        si_new = np.clip(si_old + v if idle else si_old - v, -1.0, 1.0)
+        si_new = np.where(self.scale_mask, si_new, 0.0)
+
+        h = slot.hour
+        self.sid[h] = si_new[SCALE_DAY]
+        self.siw[slot.day_of_week, h] = si_new[SCALE_WEEK]
+        self.sim[slot.day_of_month, h] = si_new[SCALE_MONTH]
+        self.siy[slot.day_of_year, h] = si_new[SCALE_YEAR]
+
+        predicted_idle = raw_before > 0.0
+        mispredicted = predicted_idle != idle
+        if p.learn_weights and (mispredicted or not p.weight_update_on_error_only):
+            self.weights = descend_weights(
+                self.weights, si_old, si_new,
+                steps=p.weight_descent_steps,
+                learning_rate=p.weight_learning_rate,
+                mask=self.scale_mask)
+
+        if not idle:
+            self._activity_sum += activity
+            self._active_hours += 1
+        self.hours_observed += 1
+
+        return IdlenessObservation(
+            hour_index=hour_index, activity=activity, idle=idle,
+            raw_ip_before=raw_before,
+            raw_ip_after=float(self.weights @ si_new))
+
+    # ------------------------------------------------------------------
+    def predict_and_observe(self, hour_index: int, activity: float) -> tuple[bool, bool]:
+        """Convenience for evaluation: prediction *then* ground truth.
+
+        Returns ``(predicted_idle, actually_idle)`` for the hour, making
+        the prediction with the model state *before* ingesting the hour
+        (exactly the online protocol of Fig. 4).
+        """
+        slot = slot_of_hour(hour_index)
+        predicted = self.predict_idle(slot)
+        obs = self.observe(hour_index, activity)
+        return predicted, obs.idle

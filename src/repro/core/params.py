@@ -1,0 +1,175 @@
+"""Paper constants and tunable parameters for Drowsy-DC.
+
+Every constant that the paper states explicitly lives here, together with
+the handful of parameters the paper leaves implicit (documented in
+DESIGN.md, section "Interpretation choices").  All components take a
+:class:`DrowsyParams` so experiments can ablate individual knobs without
+monkey-patching module globals.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+#: Hours in the paper's 365-day year (no leap years; see DESIGN.md).
+HOURS_PER_YEAR = 365 * 24
+
+#: Activity scaling factor sigma (paper eq. (3)): constant full activity
+#: for one year moves SId from 0 to -1 (ignoring the u coefficient).
+SIGMA = 1.0 / HOURS_PER_YEAR
+
+#: Paper section III-D: hosts whose VM IP range exceeds 7*sigma are split
+#: by the opportunistic consolidation step ("roughly a week of constant
+#: maximum activity in a SId").
+IP_RANGE_THRESHOLD = 7.0 * SIGMA
+
+#: Paper section III-C: alpha is "the decrease speed of the update value
+#: when the threshold set by beta is reached".
+ALPHA = 0.7
+#: Paper section III-C: beta is "the threshold above which the SI* is
+#: considered to start reaching extreme values" (halfway point).
+BETA = 0.5
+
+#: Paper section IV: grace time bounds, "empirically set between 5s and
+#: 2min, exponentially increasing as the IP decreases".
+GRACE_MIN_S = 5.0
+GRACE_MAX_S = 120.0
+
+#: Paper section VI-A.3: response time of wake-triggered requests was
+#: ~1500 ms, brought down to ~800 ms by the quick-resume work.
+RESUME_LATENCY_BASELINE_S = 1.5
+RESUME_LATENCY_OPTIMIZED_S = 0.8
+
+#: Paper section VI-A.2: suspended host draws ~5 W, about 10% of idle S0.
+SUSPEND_POWER_W = 5.0
+IDLE_POWER_W = 50.0
+#: Peak power for the i7-3770 testbed machines (calibrated, see DESIGN.md).
+MAX_POWER_W = 120.0
+
+#: CloudSuite web-search SLA used in section VI-A.3.
+SLA_LATENCY_S = 0.200
+
+
+def u_coefficient(abs_si: float, alpha: float = ALPHA, beta: float = BETA) -> float:
+    """Paper eq. (4): u(|SI*|) = 1 / (1 + exp(alpha * (|SI*| - beta))).
+
+    Dampens updates as a score approaches the [-1, 1] bounds while keeping
+    learning fast for undetermined (near-zero) scores.
+    """
+    return 1.0 / (1.0 + math.exp(alpha * (abs_si - beta)))
+
+
+@dataclass(frozen=True)
+class DrowsyParams:
+    """All tunables for the idleness model and the two runtime modules.
+
+    Defaults are the paper's values; fields flagged *(interpretation)* are
+    documented choices for under-specified details (DESIGN.md section 2).
+    """
+
+    # --- idleness model (section III) ---
+    alpha: float = ALPHA
+    beta: float = BETA
+    sigma: float = SIGMA
+    #: Number of steepest-descent iterations per hourly weight update.
+    weight_descent_steps: int = 8
+    #: Steepest-descent step size (interpretation: paper only says the
+    #: precision "can be set to not incur any overhead").
+    weight_learning_rate: float = 0.5
+    #: Fallback mean activity before any active hour was observed
+    #: (interpretation; see DESIGN.md).
+    default_activity: float = 1.0
+    #: Quanta shorter than this fraction of an hour are treated as noise
+    #: when computing the hourly activity level (section III-C: "very
+    #: short scheduling quanta -- noise -- are filtered out").
+    quanta_noise_threshold: float = 1e-3
+    #: Disable weight learning (ablation): keep uniform weights.
+    learn_weights: bool = True
+    #: Error-driven gating (interpretation): correct the weights only on
+    #: hours where the model mispredicted.  When the prediction was
+    #: right, Q(w) is already near its minimum and the descent would
+    #: merely chase the idle-hour volume, collapsing all weight onto the
+    #: daily scale; gating keeps the scales in competition (this is what
+    #: reproduces Fig. 4b's slow holiday learning).
+    weight_update_on_error_only: bool = True
+    #: Calendar scales in use (ablation).  All four per the paper.
+    use_weekly_scale: bool = True
+    use_monthly_scale: bool = True
+    use_yearly_scale: bool = True
+
+    # --- consolidation (section III-D) ---
+    ip_range_threshold: float = IP_RANGE_THRESHOLD
+    #: Tolerance when sorting by IP distance (footnote 3: "close
+    #: distances are considered equal").  Half an hour-of-constant-
+    #: activity worth of SI difference: small enough to react to one
+    #: day of pattern divergence, large enough to ignore level noise.
+    ip_distance_tolerance: float = 0.5 * SIGMA
+    #: Enable the opportunistic IP-range consolidation step (ablation).
+    opportunistic_step: bool = True
+
+    # --- suspending module (section IV) ---
+    grace_min_s: float = GRACE_MIN_S
+    grace_max_s: float = GRACE_MAX_S
+    #: Raw-IP scale for the grace-time mapping (interpretation): raw IPs
+    #: live on the sigma scale — the paper's own 7*sigma range threshold
+    #: shows meaningful IP differences are a few sigma — so a host a
+    #: couple of weeks of activity "deep" saturates the grace window.
+    grace_ip_scale: float = 14.0 * SIGMA
+    #: Enable grace time (ablation; Neat's suspend support in the paper
+    #: runs "the exact same algorithm ... the grace time excepted").
+    use_grace: bool = True
+    #: Period between idleness checks of the suspending module.
+    suspend_check_period_s: float = 5.0
+
+    # --- waking module (section V) ---
+    resume_latency_s: float = RESUME_LATENCY_OPTIMIZED_S
+    suspend_latency_s: float = 3.0
+    #: Scheduled wakes are sent ahead of time by the resume latency
+    #: (section V-B) plus this safety margin.
+    wake_ahead_margin_s: float = 0.2
+    #: Enable ahead-of-time scheduled wake (ablation).
+    ahead_of_time_wake: bool = True
+    #: Heartbeat period for waking-module fault tolerance.
+    heartbeat_period_s: float = 1.0
+    #: Heartbeats missed before a mirror takes over.
+    heartbeat_miss_limit: int = 3
+
+    # --- power model (section VI-A.2) ---
+    suspend_power_w: float = SUSPEND_POWER_W
+    idle_power_w: float = IDLE_POWER_W
+    max_power_w: float = MAX_POWER_W
+
+    def __post_init__(self) -> None:
+        if self.sigma <= 0:
+            raise ValueError("sigma must be positive")
+        if self.weight_descent_steps < 0:
+            raise ValueError("weight_descent_steps must be >= 0")
+        if self.weight_learning_rate < 0:
+            raise ValueError("weight_learning_rate must be >= 0")
+        if not 0.0 <= self.default_activity <= 1.0:
+            raise ValueError("default_activity must be in [0, 1]")
+        if self.ip_range_threshold < 0 or self.ip_distance_tolerance < 0:
+            raise ValueError("IP thresholds must be >= 0")
+        if not 0 < self.grace_min_s <= self.grace_max_s:
+            raise ValueError("grace bounds must satisfy 0 < min <= max")
+        if self.grace_ip_scale <= 0:
+            raise ValueError("grace_ip_scale must be positive")
+        if self.resume_latency_s < 0 or self.suspend_latency_s < 0:
+            raise ValueError("transition latencies must be >= 0")
+        if self.suspend_check_period_s <= 0:
+            raise ValueError("suspend_check_period_s must be positive")
+        if self.heartbeat_period_s <= 0 or self.heartbeat_miss_limit < 1:
+            raise ValueError("heartbeat configuration invalid")
+        if not 0.0 <= self.suspend_power_w <= self.idle_power_w <= self.max_power_w:
+            raise ValueError("power model must satisfy 0 <= S3 <= idle <= max")
+
+    def replace(self, **kwargs) -> "DrowsyParams":
+        """Return a copy with ``kwargs`` overridden (dataclass replace)."""
+        import dataclasses
+
+        return dataclasses.replace(self, **kwargs)
+
+
+#: Shared default parameter set (paper values).
+DEFAULT_PARAMS = DrowsyParams()

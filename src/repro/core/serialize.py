@@ -1,0 +1,111 @@
+"""Persistence for idleness models.
+
+A data center restarts its management plane without wanting to relearn
+months of idleness history, so models are saveable.  Format: a single
+NumPy ``.npz`` archive holding the four score tables, the weights and
+the scalar counters, plus a format version for forward compatibility.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from .fleet import FleetIdlenessModel
+from .model import IdlenessModel
+from .params import DEFAULT_PARAMS, DrowsyParams
+
+FORMAT_VERSION = 1
+
+
+def _check_version(data) -> None:
+    version = int(data["version"])
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported model file version {version} "
+                         f"(expected {FORMAT_VERSION})")
+
+
+def save_model(model: IdlenessModel, path: str | Path) -> None:
+    """Serialize one VM's model to ``path`` (.npz)."""
+    np.savez_compressed(
+        path,
+        version=FORMAT_VERSION,
+        kind="scalar",
+        sid=model.sid, siw=model.siw, sim=model.sim, siy=model.siy,
+        weights=model.weights,
+        scale_mask=model.scale_mask,
+        activity_sum=model._activity_sum,
+        active_hours=model._active_hours,
+        hours_observed=model.hours_observed,
+    )
+
+
+def load_model(path: str | Path,
+               params: DrowsyParams = DEFAULT_PARAMS) -> IdlenessModel:
+    """Restore a scalar model saved by :func:`save_model`."""
+    with np.load(path) as data:
+        _check_version(data)
+        if str(data["kind"]) != "scalar":
+            raise ValueError("file holds a fleet model; use load_fleet")
+        model = IdlenessModel(params)
+        model.sid = data["sid"].copy()
+        model.siw = data["siw"].copy()
+        model.sim = data["sim"].copy()
+        model.siy = data["siy"].copy()
+        model.weights = data["weights"].copy()
+        model.scale_mask = data["scale_mask"].copy()
+        model._activity_sum = float(data["activity_sum"])
+        model._active_hours = int(data["active_hours"])
+        model.hours_observed = int(data["hours_observed"])
+    return model
+
+
+def save_fleet(fleet: FleetIdlenessModel, path: str | Path) -> None:
+    """Serialize a whole fleet's models to ``path`` (.npz)."""
+    np.savez_compressed(
+        path,
+        version=FORMAT_VERSION,
+        kind="fleet",
+        n=fleet.n,
+        sid=fleet.sid, siw=fleet.siw, sim=fleet.sim, siy=fleet.siy,
+        weights=fleet.weights,
+        scale_mask=fleet.scale_mask,
+        activity_sum=fleet._activity_sum,
+        active_hours=fleet._active_hours,
+        hours_observed=fleet.hours_observed,
+    )
+
+
+def load_fleet(path: str | Path,
+               params: DrowsyParams = DEFAULT_PARAMS) -> FleetIdlenessModel:
+    """Restore a fleet model saved by :func:`save_fleet`."""
+    with np.load(path) as data:
+        _check_version(data)
+        if str(data["kind"]) != "fleet":
+            raise ValueError("file holds a scalar model; use load_model")
+        fleet = FleetIdlenessModel(int(data["n"]), params)
+        fleet.sid = data["sid"].copy()
+        fleet.siw = data["siw"].copy()
+        fleet.sim = data["sim"].copy()
+        fleet.siy = data["siy"].copy()
+        fleet.weights = data["weights"].copy()
+        fleet.scale_mask = data["scale_mask"].copy()
+        fleet._activity_sum = data["activity_sum"].copy()
+        fleet._active_hours = data["active_hours"].copy()
+        fleet.hours_observed = int(data["hours_observed"])
+    return fleet
+
+
+def model_to_bytes(model: IdlenessModel) -> bytes:
+    """In-memory serialization (e.g. for replication over the network)."""
+    buf = io.BytesIO()
+    save_model(model, buf)
+    return buf.getvalue()
+
+
+def model_from_bytes(blob: bytes,
+                     params: DrowsyParams = DEFAULT_PARAMS) -> IdlenessModel:
+    """Inverse of :func:`model_to_bytes`."""
+    return load_model(io.BytesIO(blob), params)

@@ -1,0 +1,25 @@
+"""Experiment drivers — one module per paper table/figure (DESIGN.md §4).
+
+Each module exposes ``run(...)`` returning a structured result with a
+``render()`` method, and is runnable as a script::
+
+    python -m repro.experiments.fig2_colocation
+
+Submodules are imported lazily (import the one you need) so that
+``python -m repro.experiments.<name>`` runs without double-import
+warnings.
+"""
+
+__all__ = [
+    "backup_anticipation",
+    "common",
+    "energy_totals",
+    "fig1_traces",
+    "fig2_colocation",
+    "fig4_im_quality",
+    "fleet_sweep",
+    "scalability",
+    "sla_latency",
+    "suspending_eval",
+    "table1_suspension",
+]

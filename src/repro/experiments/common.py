@@ -1,0 +1,128 @@
+"""Shared scenario builders for the experiment drivers.
+
+The testbed of §VI-A.2: four resource hosts (P2-P5; P1 runs the
+controllers and the SDN switch, P6 the client simulators — neither is a
+resource host), eight VMs (V1-V2 LLMU running Media Streaming, V3-V8
+LLMI running Web Search with production traces, V3 and V4 receiving the
+same workload), at most two VMs per host, S3 ~= 5 W.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.datacenter import DataCenter
+from ..cluster.host import Host
+from ..cluster.resources import TESTBED_HOST, TESTBED_VM, HostCapacity, ResourceSpec
+from ..cluster.vm import VM
+from ..consolidation.drowsy import DrowsyController
+from ..consolidation.neat import NeatController
+from ..core.params import DEFAULT_PARAMS, DrowsyParams
+from ..traces.base import ActivityTrace, VMKind
+from ..traces.google import google_llmu_fleet
+from ..traces.production import PRODUCTION_SPECS, production_trace, testbed_llmi_traces
+from ..traces.synthetic import llmu_trace
+
+HOST_NAMES = ("P2", "P3", "P4", "P5")
+VM_NAMES = ("V1", "V2", "V3", "V4", "V5", "V6", "V7", "V8")
+
+
+@dataclass
+class Testbed:
+    """The wired-up §VI-A testbed."""
+
+    dc: DataCenter
+    vms: dict[str, VM]
+
+    @property
+    def hosts(self) -> list[Host]:
+        return self.dc.hosts
+
+
+def build_testbed(params: DrowsyParams = DEFAULT_PARAMS, days: int = 7,
+                  seed: int = 42) -> Testbed:
+    """Build the 4-host / 8-VM testbed with its initial placement.
+
+    Initial placement follows §VI-A.2: the two LLMU VMs start on
+    distinct machines, V2 on P2 (the paper notes P2 is where the LLMU
+    pair ends up, V2 having started there).
+    """
+    hosts = [Host(name, TESTBED_HOST, params) for name in HOST_NAMES]
+    dc = DataCenter(hosts, params)
+
+    media = llmu_trace(hours=days * 24, seed=seed)
+    v1 = VM("V1", media.with_name("V1"), TESTBED_VM, params=params)
+    v2 = VM("V2", llmu_trace(hours=days * 24, seed=seed + 99).with_name("V2"),
+            TESTBED_VM, params=params)
+    llmi = testbed_llmi_traces(days=days, seed=seed)
+    vms = {"V1": v1, "V2": v2}
+    for trace in llmi:
+        vms[trace.name] = VM(trace.name, trace, TESTBED_VM, params=params)
+
+    # V2 on P2; V1 apart from V2; LLMI VMs spread over the remainder.
+    dc.place(vms["V2"], dc.host("P2"))
+    dc.place(vms["V5"], dc.host("P2"))
+    dc.place(vms["V1"], dc.host("P3"))
+    dc.place(vms["V3"], dc.host("P3"))
+    dc.place(vms["V4"], dc.host("P4"))
+    dc.place(vms["V6"], dc.host("P4"))
+    dc.place(vms["V7"], dc.host("P5"))
+    dc.place(vms["V8"], dc.host("P5"))
+    dc.check_invariants()
+    return Testbed(dc=dc, vms=vms)
+
+
+def drowsy_controller(dc: DataCenter, params: DrowsyParams = DEFAULT_PARAMS) -> DrowsyController:
+    return DrowsyController(dc, params=params)
+
+
+def neat_controller(dc: DataCenter, params: DrowsyParams = DEFAULT_PARAMS) -> NeatController:
+    return NeatController(dc, params=params)
+
+
+# ----------------------------------------------------------------------
+# Fleet scenario for the §VI-B style simulation sweep.
+# ----------------------------------------------------------------------
+
+#: Fleet flavors: four 8 GB VMs fill a 32 GB host — memory is the
+#: limiting resource, as in real consolidation (paper section I).
+FLEET_HOST = HostCapacity(cpus=16, memory_mb=32 * 1024, cpu_overcommit=1.0)
+FLEET_VM = ResourceSpec(cpus=2, memory_mb=8 * 1024)
+
+
+def build_fleet(n_hosts: int, n_vms: int, llmi_fraction: float, hours: int,
+                params: DrowsyParams = DEFAULT_PARAMS, seed: int = 7) -> DataCenter:
+    """A fleet with a given fraction of LLMI VMs (the §VI-B sweep knob).
+
+    LLMI VMs draw production-like traces; the rest are Google-like LLMU.
+    VMs are placed round-robin — deliberately idleness-oblivious, the
+    state an ordinary cloud would be in before consolidation runs.
+    """
+    if not 0.0 <= llmi_fraction <= 1.0:
+        raise ValueError("llmi_fraction must be in [0, 1]")
+    hosts = [Host(f"H{i:03d}", FLEET_HOST, params) for i in range(n_hosts)]
+    dc = DataCenter(hosts, params)
+    n_llmi = round(n_vms * llmi_fraction)
+    days = (hours + 23) // 24
+
+    traces: list[ActivityTrace] = []
+    for i in range(n_llmi):
+        spec_idx = (i % len(PRODUCTION_SPECS)) + 1
+        traces.append(production_trace(spec_idx, days=days, seed=seed + i)
+                      .with_name(f"llmi-{i:03d}"))
+    for i, tr in enumerate(google_llmu_fleet(n_vms - n_llmi, hours, seed=seed + 10_000)):
+        traces.append(tr.with_name(f"llmu-{i:03d}"))
+
+    # Shuffle before placement: an idleness-oblivious cloud does not
+    # accidentally colocate matching patterns, which is precisely the
+    # state Drowsy-DC improves on (and what the baselines must face).
+    rng = np.random.default_rng(seed + 1)
+    rng.shuffle(traces)
+
+    for i, trace in enumerate(traces):
+        vm = VM(f"vm-{i:03d}", trace, FLEET_VM, params=params)
+        dc.place(vm, hosts[i % n_hosts])
+    dc.check_invariants()
+    return dc

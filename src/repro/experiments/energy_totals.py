@@ -1,0 +1,69 @@
+"""E4 — §VI-A.3 energy totals.
+
+The paper's seven-day testbed numbers: 40 kWh with Neat and suspension
+disabled (the "current real world case"), 24 kWh with Neat + S3, 18 kWh
+with Drowsy-DC — i.e. ~55 % saving over no-suspension and ~27 % over
+naive S3, attributable to the IP-matched colocation alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.energy import RunSummary, energy_table, improvement_pct, summarize
+from ..core.params import DEFAULT_PARAMS, DrowsyParams
+from ..sim.hourly import HourlyConfig, HourlySimulator
+from .common import build_testbed, drowsy_controller, neat_controller
+
+
+@dataclass
+class EnergyData:
+    neat_no_suspend: RunSummary
+    neat_s3: RunSummary
+    drowsy: RunSummary
+
+    @property
+    def saving_vs_no_suspend_pct(self) -> float:
+        return improvement_pct(self.neat_no_suspend.energy_kwh, self.drowsy.energy_kwh)
+
+    @property
+    def saving_vs_neat_s3_pct(self) -> float:
+        return improvement_pct(self.neat_s3.energy_kwh, self.drowsy.energy_kwh)
+
+    def render(self) -> str:
+        return "\n".join([
+            "§VI-A.3 — total energy over 7 days (4 hosts)",
+            energy_table([self.neat_no_suspend, self.neat_s3, self.drowsy]),
+            "",
+            f"Drowsy-DC vs Neat-no-suspend : {self.saving_vs_no_suspend_pct:.0f} % saved (paper: ~55 %)",
+            f"Drowsy-DC vs Neat+S3         : {self.saving_vs_neat_s3_pct:.0f} % saved (paper: ~27 %)",
+        ])
+
+
+def run(days: int = 7, params: DrowsyParams = DEFAULT_PARAMS,
+        seed: int = 42) -> EnergyData:
+    neat_params = params.replace(use_grace=False)
+
+    bed = build_testbed(neat_params, days=days, seed=seed)
+    no_suspend = HourlySimulator(
+        bed.dc, neat_controller(bed.dc, neat_params), neat_params,
+        HourlyConfig(suspend_enabled=False, power_off_empty=False)).run(days * 24)
+
+    bed2 = build_testbed(neat_params, days=days, seed=seed)
+    neat_s3 = HourlySimulator(
+        bed2.dc, neat_controller(bed2.dc, neat_params), neat_params,
+        HourlyConfig(power_off_empty=False)).run(days * 24)
+
+    bed3 = build_testbed(params, days=days, seed=seed)
+    drowsy = HourlySimulator(
+        bed3.dc, drowsy_controller(bed3.dc, params), params,
+        HourlyConfig(relocate_all_mode=True, power_off_empty=False)).run(days * 24)
+
+    return EnergyData(
+        neat_no_suspend=summarize("Neat (no suspension)", no_suspend),
+        neat_s3=summarize("Neat + S3", neat_s3),
+        drowsy=summarize("Drowsy-DC", drowsy))
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,82 @@
+"""E6 — Fig. 4 / Tables II-III: idleness-model quality over three years.
+
+Eight trace types (Table II): (a) daily backup, (b) comic strips three
+times a week except July/August, (c-g) the five production traces
+extended to three years, (h) a long-lived mostly-used VM.  Metrics per
+Table III; Fig. 4's qualitative claims:
+
+* predictable traces reach F-measure > 0.97 after a few weeks;
+* the comic strips need ~2 years (the yearly holiday pattern);
+* the LLMU trace's specificity is ~1 almost immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.evaluation import TraceEvaluation, evaluate_traces, evaluation_table
+from ..core.params import DEFAULT_PARAMS, DrowsyParams
+from ..traces.base import ActivityTrace
+from ..traces.production import production_trace
+from ..traces.synthetic import comic_strips_trace, daily_backup_trace, llmu_trace
+
+
+def fig4_trace_suite(years: int = 3, seed: int = 42) -> list[ActivityTrace]:
+    """The eight Table II traces (subfigure order a..h)."""
+    days = years * 365
+    hours = days * 24
+    suite = [
+        daily_backup_trace(days=days).with_name("a-daily-backup"),
+        comic_strips_trace(years=years).with_name("b-comic-strips"),
+    ]
+    for i in range(1, 6):
+        suite.append(production_trace(i, days=days, seed=seed + i)
+                     .with_name(f"{'cdefg'[i - 1]}-real-trace-{i}"))
+    suite.append(llmu_trace(hours=hours, seed=seed).with_name("h-llmu"))
+    return suite
+
+
+@dataclass
+class Fig4Data:
+    years: int
+    evaluations: list[TraceEvaluation]
+
+    def by_name(self, prefix: str) -> TraceEvaluation:
+        for ev in self.evaluations:
+            if ev.trace_name.startswith(prefix):
+                return ev
+        raise KeyError(prefix)
+
+    def f_measure_at(self, prefix: str, hour: int) -> float:
+        """Cumulative F-measure at (or just after) an absolute hour."""
+        ev = self.by_name(prefix)
+        for h, f in zip(ev.curves.hours, ev.curves.f_measure):
+            if h >= hour:
+                return f
+        return ev.curves.f_measure[-1]
+
+    def render(self) -> str:
+        lines = [f"Fig. 4 — idleness model efficiency over {self.years} years",
+                 evaluation_table(self.evaluations), ""]
+        lines.append("checkpoints (cumulative F-measure):")
+        for prefix in ("a", "c", "d", "e", "f", "g"):
+            f4w = self.f_measure_at(prefix, 4 * 7 * 24)
+            lines.append(f"  {self.by_name(prefix).trace_name:<18} after 4 weeks: {f4w:.3f}")
+        b = self.by_name("b")
+        lines.append(f"  {b.trace_name:<18} after 1 year : "
+                     f"{self.f_measure_at('b', 365 * 24):.3f}")
+        lines.append(f"  {b.trace_name:<18} final        : {b.final_f_measure:.3f}")
+        h = self.by_name("h")
+        lines.append(f"  {h.trace_name:<18} specificity  : {h.final_specificity:.3f}")
+        return "\n".join(lines)
+
+
+def run(years: int = 3, params: DrowsyParams = DEFAULT_PARAMS,
+        sample_every: int = 24, seed: int = 42) -> Fig4Data:
+    suite = fig4_trace_suite(years=years, seed=seed)
+    evaluations = evaluate_traces(suite, params, sample_every=sample_every)
+    return Fig4Data(years=years, evaluations=evaluations)
+
+
+if __name__ == "__main__":
+    print(run().render())

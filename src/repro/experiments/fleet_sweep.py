@@ -1,0 +1,127 @@
+"""E8 — §VI-B: simulation study (CloudSim in the paper).
+
+Sweeps the fraction of LLMI VMs in a fleet and compares the energy of
+Drowsy-DC, Neat (+S3) and Oasis.  The paper's claims this reproduces:
+
+* "Depending on the fraction of LLMI VMs in the DC, our system may
+  improve up to 82 % upon vanilla OpenStack Neat";
+* "our solution outperforms Oasis ... by an average of 81 %"
+  (Oasis keeps consolidation servers awake and reacts instead of
+  predicting, so its savings saturate early).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.energy import improvement_pct
+from ..consolidation.oasis import OasisController
+from ..core.params import DEFAULT_PARAMS, DrowsyParams
+from ..sim.hourly import HourlyConfig, HourlyResult, HourlySimulator
+from .common import build_fleet, drowsy_controller, neat_controller
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    llmi_fraction: float
+    drowsy_kwh: float
+    neat_kwh: float
+    neat_no_s3_kwh: float
+    oasis_kwh: float
+
+    @property
+    def drowsy_vs_neat_pct(self) -> float:
+        return improvement_pct(self.neat_kwh, self.drowsy_kwh)
+
+    @property
+    def drowsy_vs_neat_no_s3_pct(self) -> float:
+        return improvement_pct(self.neat_no_s3_kwh, self.drowsy_kwh)
+
+    @property
+    def drowsy_vs_oasis_pct(self) -> float:
+        return improvement_pct(self.oasis_kwh, self.drowsy_kwh)
+
+
+@dataclass
+class SweepData:
+    points: list[SweepPoint]
+    n_hosts: int
+    n_vms: int
+    hours: int
+
+    @property
+    def max_improvement_vs_neat_pct(self) -> float:
+        return max(p.drowsy_vs_neat_no_s3_pct for p in self.points)
+
+    @property
+    def mean_improvement_vs_oasis_pct(self) -> float:
+        vals = [p.drowsy_vs_oasis_pct for p in self.points]
+        return sum(vals) / len(vals)
+
+    def render(self) -> str:
+        header = (f"{'LLMI %':>7}{'Drowsy kWh':>12}{'Neat+S3':>9}{'Neat':>8}"
+                  f"{'Oasis':>8}{'vs Neat':>9}{'vs Oasis':>9}")
+        lines = [
+            f"§VI-B — fleet sweep: {self.n_vms} VMs on {self.n_hosts} hosts, "
+            f"{self.hours} h",
+            header, "-" * len(header)]
+        for p in self.points:
+            lines.append(
+                f"{100 * p.llmi_fraction:>7.0f}{p.drowsy_kwh:>12.1f}"
+                f"{p.neat_kwh:>9.1f}{p.neat_no_s3_kwh:>8.1f}{p.oasis_kwh:>8.1f}"
+                f"{p.drowsy_vs_neat_no_s3_pct:>8.0f}%{p.drowsy_vs_oasis_pct:>8.0f}%")
+        lines += [
+            "",
+            f"max improvement vs vanilla Neat : {self.max_improvement_vs_neat_pct:.0f} % "
+            f"(paper: up to 81-82 %)",
+            f"mean improvement vs Oasis       : {self.mean_improvement_vs_oasis_pct:.0f} % "
+            f"(paper: average 81 %)",
+        ]
+        return "\n".join(lines)
+
+
+def _run(dc, controller, params: DrowsyParams, hours: int,
+         suspend: bool = True, relocate: bool = False) -> HourlyResult:
+    sim = HourlySimulator(
+        dc, controller, params,
+        HourlyConfig(suspend_enabled=suspend, relocate_all_mode=relocate,
+                     power_off_empty=True, update_models=relocate))
+    return sim.run(hours)
+
+
+def run(llmi_fractions: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0),
+        n_hosts: int = 10, n_vms: int = 40, days: int = 7,
+        params: DrowsyParams = DEFAULT_PARAMS, seed: int = 7) -> SweepData:
+    hours = days * 24
+    points = []
+    for frac in llmi_fractions:
+        dc = build_fleet(n_hosts, n_vms, frac, hours, params, seed=seed)
+        drowsy = _run(dc, drowsy_controller(dc, params), params, hours,
+                      relocate=True)
+
+        neat_params = params.replace(use_grace=False)
+        dc2 = build_fleet(n_hosts, n_vms, frac, hours, neat_params, seed=seed)
+        neat = _run(dc2, neat_controller(dc2, neat_params), neat_params, hours)
+
+        dc3 = build_fleet(n_hosts, n_vms, frac, hours, neat_params, seed=seed)
+        neat_no = _run(dc3, neat_controller(dc3, neat_params), neat_params,
+                       hours, suspend=False)
+
+        dc4 = build_fleet(n_hosts, n_vms, frac, hours, params, seed=seed)
+        oasis = OasisController(dc4, params,
+                                n_consolidation_hosts=max(1, n_hosts // 20))
+        oasis_res = _run(dc4, oasis, params, hours)
+
+        points.append(SweepPoint(
+            llmi_fraction=frac,
+            drowsy_kwh=drowsy.total_energy_kwh,
+            neat_kwh=neat.total_energy_kwh,
+            neat_no_s3_kwh=neat_no.total_energy_kwh,
+            # Oasis pays for its partial-migration transfers too.
+            oasis_kwh=oasis_res.total_energy_kwh
+            + oasis.transfer_energy_j / 3.6e6))
+    return SweepData(points=points, n_hosts=n_hosts, n_vms=n_vms, hours=hours)
+
+
+if __name__ == "__main__":
+    print(run().render())

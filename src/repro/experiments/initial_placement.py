@@ -1,0 +1,194 @@
+"""E13 — §III-D-a: initial placement at VM creation time.
+
+"Nova allows an easy integration of new filters and weighers.  In order
+to integrate our solution, we added our own weigher so as to favor
+hosts with best-matching idleness probability."
+
+This experiment isolates the weigher's contribution: a stream of VMs
+arrives over several days into a half-full data center whose resident
+VMs have already-learned idleness models (sleepy LLMI hosts vs busy
+LLMU hosts).  Newcomers have *undetermined* models (IP ≈ 0), so §III-D-c
+wants them kept away from high-IP (sleeping) hosts until their nature is
+learned.  We place each arrival with (a) Drowsy's scheduler (idleness
+weigher) and (b) vanilla RAM-stacking Nova, then compare energy and how
+often a sleeping host was disturbed by a newcomer.
+
+Dynamic consolidation is disabled throughout so the difference is the
+weigher's alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.datacenter import DataCenter
+from ..cluster.host import Host
+from ..cluster.resources import HostCapacity, ResourceSpec
+from ..cluster.vm import VM
+from ..core.params import DEFAULT_PARAMS, DrowsyParams
+from ..sched.filter_scheduler import FilterScheduler, drowsy_scheduler, vanilla_scheduler
+from ..sim.hourly import HourlyConfig, HourlySimulator
+from ..traces.production import production_trace
+from ..traces.synthetic import llmu_trace, slmu_trace
+
+PLACE_HOST = HostCapacity(cpus=8, memory_mb=16 * 1024, cpu_overcommit=2.0)
+PLACE_VM = ResourceSpec(cpus=2, memory_mb=4 * 1024)
+
+
+class _NoConsolidation:
+    """Controller stub: the experiment isolates initial placement."""
+
+    name = "none"
+    uses_idleness = False
+
+    def observe_hour(self, hour_index: int) -> None:  # pragma: no cover
+        pass
+
+    def step(self, hour_index: int, now: float, executor=None) -> int:
+        return 0
+
+
+@dataclass
+class PlacementRunResult:
+    scheduler_name: str
+    energy_kwh: float
+    placed: int
+    rejected: int
+    #: Arrivals placed onto a host that was suspended at that moment.
+    sleepy_hosts_disturbed: int
+
+
+@dataclass
+class InitialPlacementData:
+    drowsy: PlacementRunResult
+    vanilla: PlacementRunResult
+
+    @property
+    def disturbance_reduction(self) -> int:
+        return self.vanilla.sleepy_hosts_disturbed - self.drowsy.sleepy_hosts_disturbed
+
+    def render(self) -> str:
+        rows = []
+        for r in (self.drowsy, self.vanilla):
+            rows.append(f"{r.scheduler_name:<18}{r.energy_kwh:>9.2f} kWh"
+                        f"{r.placed:>8} placed{r.rejected:>5} rejected"
+                        f"{r.sleepy_hosts_disturbed:>6} sleepy hosts disturbed")
+        return "\n".join([
+            "§III-D-a — initial placement: idleness weigher vs vanilla Nova",
+            *rows,
+            "",
+            f"the idleness weigher disturbs {self.disturbance_reduction} fewer "
+            f"sleeping hosts and saves "
+            f"{self.vanilla.energy_kwh - self.drowsy.energy_kwh:.2f} kWh",
+        ])
+
+
+def _build_resident_dc(params: DrowsyParams, days: int, train_days: int,
+                       seed: int) -> DataCenter:
+    """Half-full DC: sleepy LLMI hosts and busy LLMU hosts, models trained."""
+    hosts = [Host(f"p{i:02d}", PLACE_HOST, params) for i in range(8)]
+    dc = DataCenter(hosts, params)
+    trace_days = days + train_days
+    k = 0
+    for i, host in enumerate(hosts[:4]):  # sleepy residents
+        for j in range(2):
+            trace = production_trace((k % 5) + 1, days=trace_days, seed=seed + k)
+            dc.place(VM(f"llmi-{k}", trace.with_name(f"llmi-{k}"), PLACE_VM,
+                        params=params), host)
+            k += 1
+    for i, host in enumerate(hosts[4:6]):  # busy residents
+        for j in range(2):
+            trace = llmu_trace(hours=trace_days * 24, seed=seed + 100 + k)
+            dc.place(VM(f"llmu-{k}", trace.with_name(f"llmu-{k}"), PLACE_VM,
+                        params=params), host)
+            k += 1
+    # hosts p06, p07 stay empty (spare capacity).
+    for t in range(train_days * 24):
+        for vm in dc.vms:
+            vm.model.observe(t, vm.activity_at(t))
+    return dc
+
+
+def _arrivals(days: int, start_hour: int, seed: int,
+              params: DrowsyParams) -> list[tuple[int, VM]]:
+    """A mixed stream of newcomers: SLMU tasks and fresh LLMI services."""
+    rng = np.random.default_rng(seed)
+    out = []
+    for d in range(days):
+        for _ in range(2):
+            hour = start_hour + d * 24 + int(rng.integers(8, 20))
+            idx = len(out)
+            if rng.random() < 0.5:
+                lifetime = int(rng.integers(2, 8))
+                trace = slmu_trace(lifetime_hours=lifetime,
+                                   total_hours=days * 24 + start_hour + 48)
+                vm = VM(f"new-slmu-{idx}", trace.with_name(f"new-slmu-{idx}"),
+                        PLACE_VM, params=params)
+                vm.terminate_after_h = lifetime
+            else:
+                trace = production_trace(int(rng.integers(1, 6)),
+                                         days=days + 10, seed=seed + 500 + idx)
+                vm = VM(f"new-llmi-{idx}", trace.with_name(f"new-llmi-{idx}"),
+                        PLACE_VM, params=params)
+            out.append((hour, vm))
+    out.sort(key=lambda hv: hv[0])
+    return out
+
+
+def _run(scheduler: FilterScheduler, scheduler_name: str, days: int,
+         train_days: int, params: DrowsyParams, seed: int) -> PlacementRunResult:
+    dc = _build_resident_dc(params, days, train_days, seed)
+    arrivals = _arrivals(days, train_days * 24, seed, params)
+    pending = list(arrivals)
+    terminations: list[tuple[int, VM]] = []
+    stats = {"placed": 0, "rejected": 0, "disturbed": 0}
+
+    def lifecycle_hook(hour_index: int, now: float) -> None:
+        # SLMU tasks that finished leave the data center.
+        for end_hour, vm in list(terminations):
+            if hour_index >= end_hour:
+                dc.remove(vm, now)
+                terminations.remove((end_hour, vm))
+        while pending and pending[0][0] <= hour_index:
+            _, vm = pending.pop(0)
+            host = scheduler.select_host(dc.hosts, vm, hour_index)
+            if host is None:
+                stats["rejected"] += 1
+                continue
+            if host.is_suspended:
+                stats["disturbed"] += 1
+            dc.place(vm, host)
+            stats["placed"] += 1
+            vm.current_activity = vm.activity_at(hour_index)
+            lifetime = getattr(vm, "terminate_after_h", None)
+            if lifetime is not None:
+                terminations.append((hour_index + lifetime, vm))
+        dc.check_invariants()
+
+    sim = HourlySimulator(
+        dc, _NoConsolidation(), params,
+        HourlyConfig(power_off_empty=False, update_models=True),
+        hour_hooks=(lifecycle_hook,))
+    result = sim.run(days * 24, start_hour=train_days * 24)
+    return PlacementRunResult(
+        scheduler_name=scheduler_name,
+        energy_kwh=result.total_energy_kwh,
+        placed=stats["placed"],
+        rejected=stats["rejected"],
+        sleepy_hosts_disturbed=stats["disturbed"])
+
+
+def run(days: int = 5, train_days: int = 14,
+        params: DrowsyParams = DEFAULT_PARAMS, seed: int = 33) -> InitialPlacementData:
+    return InitialPlacementData(
+        drowsy=_run(drowsy_scheduler(params), "idleness weigher", days,
+                    train_days, params, seed),
+        vanilla=_run(vanilla_scheduler(), "vanilla (RAM stack)", days,
+                     train_days, params, seed),
+    )
+
+
+if __name__ == "__main__":
+    print(run().render())

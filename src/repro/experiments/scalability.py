@@ -1,0 +1,100 @@
+"""E9 — §VII scalability: O(n) Drowsy-DC vs O(n²) pairwise matching.
+
+"Drowsy-DC's complexity is O(n), compared to O(n²) for the other system
+[38], with n the number of VMs."  We time Drowsy's linear grouping and
+the pairwise matcher over growing fleets and fit the growth exponents.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.host import Host
+from ..cluster.vm import VM
+from ..consolidation.baseline import drowsy_linear_grouping, pairwise_matching_grouping
+from ..core.params import DEFAULT_PARAMS, DrowsyParams
+from ..traces.synthetic import weekly_pattern_trace
+from .common import FLEET_HOST, FLEET_VM
+
+
+def _make_population(n_vms: int, params: DrowsyParams,
+                     trained_hours: int = 72, seed: int = 11):
+    """VMs with lightly trained models (so IPs are non-trivial) + hosts."""
+    rng = np.random.default_rng(seed)
+    slots = FLEET_HOST.memory_mb // FLEET_VM.memory_mb
+    hosts = [Host(f"S{i:04d}", FLEET_HOST, params)
+             for i in range((n_vms + slots - 1) // slots)]
+    vms = []
+    for i in range(n_vms):
+        start = int(rng.integers(0, 24))
+        trace = weekly_pattern_trace(
+            f"w{i}", {d: tuple(range(start, min(start + 3, 24)))
+                      for d in range(7)}, weeks=2)
+        vm = VM(f"vm{i:04d}", trace, FLEET_VM, params=params)
+        for t in range(trained_hours):
+            vm.model.observe(t, trace.activity(t))
+        vms.append(vm)
+    return vms, hosts
+
+
+@dataclass
+class ScalabilityData:
+    sizes: tuple[int, ...]
+    drowsy_s: list[float]
+    pairwise_s: list[float]
+
+    def growth_exponent(self, times: list[float]) -> float:
+        """Least-squares slope of log(time) vs log(n)."""
+        logs_n = np.log(np.asarray(self.sizes, dtype=float))
+        logs_t = np.log(np.asarray(times))
+        slope, _ = np.polyfit(logs_n, logs_t, 1)
+        return float(slope)
+
+    @property
+    def drowsy_exponent(self) -> float:
+        return self.growth_exponent(self.drowsy_s)
+
+    @property
+    def pairwise_exponent(self) -> float:
+        return self.growth_exponent(self.pairwise_s)
+
+    def render(self) -> str:
+        header = f"{'n VMs':>7}{'Drowsy (ms)':>13}{'pairwise (ms)':>15}"
+        lines = ["§VII — placement scalability", header, "-" * len(header)]
+        for n, d, p in zip(self.sizes, self.drowsy_s, self.pairwise_s):
+            lines.append(f"{n:>7}{1e3 * d:>13.2f}{1e3 * p:>15.2f}")
+        lines += [
+            "",
+            f"fitted growth exponents: Drowsy ~ n^{self.drowsy_exponent:.2f}, "
+            f"pairwise ~ n^{self.pairwise_exponent:.2f}",
+            "(paper: O(n) vs O(n^2))",
+        ]
+        return "\n".join(lines)
+
+
+def run(sizes: tuple[int, ...] = (64, 128, 256, 512, 1024),
+        params: DrowsyParams = DEFAULT_PARAMS, repeats: int = 3,
+        hour_index: int = 73) -> ScalabilityData:
+    drowsy_s, pairwise_s = [], []
+    for n in sizes:
+        vms, hosts = _make_population(n, params)
+        best_d = min(_time(drowsy_linear_grouping, vms, hosts, hour_index)
+                     for _ in range(repeats))
+        best_p = min(_time(pairwise_matching_grouping, vms, hosts, hour_index)
+                     for _ in range(repeats))
+        drowsy_s.append(best_d)
+        pairwise_s.append(best_p)
+    return ScalabilityData(sizes=sizes, drowsy_s=drowsy_s, pairwise_s=pairwise_s)
+
+
+def _time(fn, vms, hosts, hour_index: int) -> float:
+    t0 = time.perf_counter()
+    fn(vms, hosts, hour_index)
+    return time.perf_counter() - t0
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,80 @@
+"""E12 — §V: waking-module fault tolerance under failure injection.
+
+"Each waking module monitors — via a heart beat mechanism — and mirrors
+another one.  In this way, when a waking module is defective, it is
+replaced with an identical version."
+
+We run the event-driven testbed, crash the primary waking module partway
+through, and verify that service continues: the mirror takes over within
+the heartbeat window, scheduled wakes registered *before* the crash
+still fire, and the request SLA is unaffected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.sla import SLAReport, sla_report
+from ..core.params import DEFAULT_PARAMS, DrowsyParams
+from ..sim.event_driven import EventConfig, EventDrivenSimulation
+from .common import build_testbed, drowsy_controller
+
+
+@dataclass
+class FailoverData:
+    failovers: int
+    detection_delay_s: float
+    wol_after_crash: int
+    resumes_after_crash: int
+    sla: SLAReport
+
+    @property
+    def service_continued(self) -> bool:
+        """Hosts kept waking after the primary died."""
+        return self.failovers == 1 and self.resumes_after_crash > 0
+
+    def render(self) -> str:
+        return "\n".join([
+            "§V — waking-module failure injection",
+            f"failovers                 {self.failovers}",
+            f"worst-case detection      {self.detection_delay_s:.1f} s",
+            f"WoL sent after the crash  {self.wol_after_crash}",
+            f"host resumes after crash  {self.resumes_after_crash}",
+            f"SLA after failover        {100 * self.sla.sla_fraction:.2f} % "
+            f"within {1000 * self.sla.sla_bound_s:.0f} ms "
+            f"({'MET' if self.sla.sla_met else 'VIOLATED'})",
+            f"service continued         {'YES' if self.service_continued else 'NO'}",
+        ])
+
+
+def run(days: int = 2, params: DrowsyParams = DEFAULT_PARAMS,
+        crash_hour: int | None = None, seed: int = 42) -> FailoverData:
+    bed = build_testbed(params, days=days, seed=seed)
+    sim = EventDrivenSimulation(
+        bed.dc, drowsy_controller(bed.dc, params), params,
+        EventConfig(relocate_all_mode=True, seed=seed))
+
+    crash_at_h = crash_hour if crash_hour is not None else (days * 24) // 2
+    resumes_at_crash = {}
+
+    def crash() -> None:
+        sim.waking.fail_primary()
+        for host in bed.dc.hosts:
+            resumes_at_crash[host.name] = host.resume_count
+
+    sim.sim.schedule_at(crash_at_h * 3600.0, crash)
+    result = sim.run(days * 24)
+
+    resumes_after = sum(h.resume_count - resumes_at_crash.get(h.name, 0)
+                        for h in bed.dc.hosts)
+    return FailoverData(
+        failovers=sim.waking.failovers,
+        detection_delay_s=sim.waking.detection_delay_s,
+        wol_after_crash=sim.waking.mirror.wol_sent,
+        resumes_after_crash=resumes_after,
+        sla=sla_report(sim.switch.log),
+    )
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,12 @@
+"""Network substrate: requests, SLA accounting, the SDN switch."""
+
+from .requests import Request, RequestLog, RequestProfile, poisson_arrivals
+from .sdn import SDNSwitch
+
+__all__ = [
+    "Request",
+    "RequestLog",
+    "RequestProfile",
+    "SDNSwitch",
+    "poisson_arrivals",
+]

@@ -1,0 +1,125 @@
+"""Client request generation and latency accounting (paper section VI-A).
+
+The testbed drives LLMI VMs with CloudSuite Web Search clients replaying
+production traces; the SLA requires >99 % of requests within 200 ms.  We
+generate open-loop Poisson request arrivals whose hourly rate follows
+the VM's activity trace, and account per-request latency, including the
+wake penalty when a request lands on a drowsy server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.params import SLA_LATENCY_S
+from ..traces.base import ActivityTrace
+
+
+@dataclass
+class Request:
+    """One client request and its measured latency."""
+
+    arrival_s: float
+    vm_name: str
+    service_time_s: float
+    completion_s: float = float("nan")
+    #: Did this request find the host in S3 (and trigger/await a wake)?
+    woke_host: bool = False
+
+    @property
+    def latency_s(self) -> float:
+        return self.completion_s - self.arrival_s
+
+    @property
+    def completed(self) -> bool:
+        return not np.isnan(self.completion_s)
+
+
+def poisson_arrivals(rng: np.random.Generator, start_s: float, duration_s: float,
+                     rate_per_s: float) -> np.ndarray:
+    """Poisson arrival times in [start, start + duration)."""
+    if rate_per_s <= 0.0:
+        return np.empty(0)
+    n = rng.poisson(rate_per_s * duration_s)
+    return start_s + np.sort(rng.uniform(0.0, duration_s, size=n))
+
+
+@dataclass(frozen=True)
+class RequestProfile:
+    """How a VM's trace activity translates into request traffic."""
+
+    #: Request rate (per second) when the VM is at full activity.
+    peak_rate_per_s: float = 0.01
+    #: Lognormal service-time distribution (median ~60 ms, CloudSuite-ish).
+    service_median_s: float = 0.060
+    service_sigma: float = 0.35
+    #: Deterministic first request at the start of each active hour
+    #: (clients notice the service; this is also what wakes a drowsy
+    #: host at the start of an active period).
+    leading_request: bool = True
+
+    def hourly_arrivals(self, rng: np.random.Generator, hour_start_s: float,
+                        activity: float) -> np.ndarray:
+        """Arrival times for one hour at the given activity level."""
+        if activity <= 0.0:
+            return np.empty(0)
+        arrivals = poisson_arrivals(rng, hour_start_s, 3600.0,
+                                    self.peak_rate_per_s * activity)
+        if self.leading_request:
+            lead = hour_start_s + float(rng.uniform(0.0, 2.0))
+            arrivals = np.sort(np.concatenate(([lead], arrivals)))
+        return arrivals
+
+    def sample_service_time(self, rng: np.random.Generator) -> float:
+        return float(self.service_median_s * rng.lognormal(0.0, self.service_sigma))
+
+
+@dataclass
+class RequestLog:
+    """Completed-request archive with the paper's SLA metrics."""
+
+    requests: list[Request] = field(default_factory=list)
+
+    def record(self, request: Request) -> None:
+        if not request.completed:
+            raise ValueError("only completed requests can be recorded")
+        self.requests.append(request)
+
+    @property
+    def latencies_s(self) -> np.ndarray:
+        return np.array([r.latency_s for r in self.requests])
+
+    def sla_fraction(self, bound_s: float = SLA_LATENCY_S) -> float:
+        """Fraction of requests serviced within ``bound_s``."""
+        lat = self.latencies_s
+        if lat.size == 0:
+            return float("nan")
+        return float(np.mean(lat <= bound_s))
+
+    def percentile(self, q: float) -> float:
+        lat = self.latencies_s
+        if lat.size == 0:
+            return float("nan")
+        return float(np.percentile(lat, q))
+
+    @property
+    def wake_requests(self) -> list[Request]:
+        """Requests that hit a drowsy server (the tail of section VI-A.3)."""
+        return [r for r in self.requests if r.woke_host]
+
+    def max_wake_latency(self) -> float:
+        wl = [r.latency_s for r in self.wake_requests]
+        return max(wl) if wl else 0.0
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "requests": float(len(self.requests)),
+            "sla_fraction": self.sla_fraction(),
+            "p50_s": self.percentile(50),
+            "p99_s": self.percentile(99),
+            "max_s": self.percentile(100),
+            "wake_requests": float(len(self.wake_requests)),
+            "max_wake_latency_s": self.max_wake_latency(),
+        }

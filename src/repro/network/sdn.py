@@ -1,0 +1,116 @@
+"""SDN switch: the rack's packet path (paper sections II, V).
+
+Every client request traverses the switch, where the waking module's
+packet analyzer runs first (section V-A).  Requests addressed to a VM on
+an available host complete after their service time; requests hitting a
+drowsy host are queued on the switch and flushed when the host is back
+in S0 — their latency includes the resume.
+"""
+
+from __future__ import annotations
+
+from ..cluster.datacenter import DataCenter
+from ..cluster.events import EventSimulator
+from ..cluster.host import Host
+from ..cluster.power import PowerState
+from ..core.params import DEFAULT_PARAMS, DrowsyParams
+from .requests import Request, RequestLog
+from ..waking.packets import Packet, PacketKind
+
+
+class SDNSwitch:
+    """Rack switch with an attached waking service.
+
+    The switch needs a ``waking_service`` exposing ``analyze_packet``
+    (either a bare :class:`~repro.waking.module.WakingModule` or the
+    replicated pair) — wired by the simulation driver, which also owns
+    host power transitions and calls :meth:`on_host_available` after
+    each resume.
+    """
+
+    def __init__(self, sim: EventSimulator, dc: DataCenter,
+                 params: DrowsyParams = DEFAULT_PARAMS) -> None:
+        self.sim = sim
+        self.dc = dc
+        self.params = params
+        self.waking_service = None  # wired by the driver
+        #: Fallback WoL emitter for requests whose destination host is
+        #: down but absent from the waking module's map (e.g. a VM that
+        #: was migrated onto an already-drowsy host; the switch knows
+        #: its ports' link state and can wake the host directly).
+        self.wol_sender = None
+        self.log = RequestLog()
+        #: Requests waiting for their VM's host to come back up.  Kept as
+        #: a flat list re-examined against *current* placement, because a
+        #: consolidation round may migrate the VM while its request waits.
+        self._pending: list[Request] = []
+        self.packets_forwarded = 0
+
+    # ------------------------------------------------------------------
+    def _vm_host(self, vm_name: str):
+        for host in self.dc.hosts:
+            for vm in host.vms:
+                if vm.name == vm_name:
+                    return vm, host
+        raise KeyError(f"unknown VM {vm_name}")
+
+    def submit_request(self, request: Request) -> None:
+        """A request enters the rack at ``request.arrival_s`` (= sim.now)."""
+        vm, host = self._vm_host(request.vm_name)
+        packet = Packet(dst_ip=vm.ip_address, kind=PacketKind.REQUEST,
+                        payload=request)
+        woke = False
+        if self.waking_service is not None:
+            woke = self.waking_service.analyze_packet(packet)
+        self.packets_forwarded += 1
+
+        if host.state is PowerState.ON:
+            self._complete(request, self.sim.now + request.service_time_s)
+        else:
+            # Host is drowsy (or transitioning): the request waits on the
+            # switch until the host is available again.
+            request.woke_host = True
+            self._pending.append(request)
+            if not woke and self.wol_sender is not None:
+                from ..waking.packets import WoLPacket
+
+                self.wol_sender(WoLPacket(host.mac_address,
+                                          reason="switch-port"), self.sim.now)
+
+    def _complete(self, request: Request, at: float) -> None:
+        def finish() -> None:
+            request.completion_s = self.sim.now
+            self.log.record(request)
+
+        self.sim.schedule_at(at, finish)
+
+    # ------------------------------------------------------------------
+    def on_host_available(self, host: Host) -> None:
+        """A host resumed: re-dispatch every pending request."""
+        self.redispatch_pending()
+
+    def redispatch_pending(self) -> None:
+        """Re-examine pending requests against current placement.
+
+        Requests whose VM now sits on an available host complete; the
+        rest stay pending, with a fresh WoL to their (possibly new,
+        post-migration) host so no request can wait out a drowsy period
+        that nothing else would end.
+        """
+        still_waiting: list[Request] = []
+        for request in self._pending:
+            _, host = self._vm_host(request.vm_name)
+            if host.state is PowerState.ON:
+                self._complete(request, self.sim.now + request.service_time_s)
+            else:
+                still_waiting.append(request)
+                if host.state is PowerState.SUSPENDED and self.wol_sender is not None:
+                    from ..waking.packets import WoLPacket
+
+                    self.wol_sender(WoLPacket(host.mac_address,
+                                              reason="redispatch"), self.sim.now)
+        self._pending = still_waiting
+
+    @property
+    def queued_requests(self) -> int:
+        return len(self._pending)

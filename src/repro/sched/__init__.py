@@ -1,0 +1,35 @@
+"""OpenStack-Nova-like scheduling: filters, weighers, FilterScheduler."""
+
+from .filter_scheduler import FilterScheduler, drowsy_scheduler, vanilla_scheduler
+from .filters import (
+    DEFAULT_FILTERS,
+    ComputeFilter,
+    CoreFilter,
+    DifferentHostFilter,
+    HostFilter,
+    MaxVMsFilter,
+    RamFilter,
+)
+from .weighers import (
+    HostWeigher,
+    IdlenessWeigher,
+    RamStackWeigher,
+    WeightedWeigher,
+)
+
+__all__ = [
+    "ComputeFilter",
+    "CoreFilter",
+    "DEFAULT_FILTERS",
+    "DifferentHostFilter",
+    "FilterScheduler",
+    "HostFilter",
+    "HostWeigher",
+    "IdlenessWeigher",
+    "MaxVMsFilter",
+    "RamFilter",
+    "RamStackWeigher",
+    "WeightedWeigher",
+    "drowsy_scheduler",
+    "vanilla_scheduler",
+]

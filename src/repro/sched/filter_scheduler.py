@@ -1,0 +1,66 @@
+"""Nova's Filter Scheduler (paper section III-D).
+
+Two steps: (1) discard unsuitable hosts with filters; (2) weigh and sort
+the rest.  Drowsy-DC plugs in through :class:`~repro.sched.weighers.IdlenessWeigher`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster.host import Host
+from ..cluster.vm import VM
+from ..core.params import DEFAULT_PARAMS, DrowsyParams
+from .filters import DEFAULT_FILTERS, HostFilter
+from .weighers import HostWeigher, IdlenessWeigher, RamStackWeigher, WeightedWeigher
+
+
+@dataclass
+class FilterScheduler:
+    """Select a destination host for a VM."""
+
+    filters: tuple[HostFilter, ...] = DEFAULT_FILTERS
+    weighers: tuple[WeightedWeigher, ...] = ()
+
+    def candidate_hosts(self, hosts: list[Host], vm: VM) -> list[Host]:
+        """Step 1: hosts passing every filter."""
+        return [h for h in hosts
+                if all(f.passes(h, vm) for f in self.filters)]
+
+    def rank(self, hosts: list[Host], vm: VM, hour_index: int) -> list[tuple[float, Host]]:
+        """Step 2: (score, host) list sorted best-first, deterministically.
+
+        Ties break on host name so runs are exactly reproducible.
+        """
+        scored = [(sum(w.weigh(h, vm, hour_index) for w in self.weighers), h)
+                  for h in self.candidate_hosts(hosts, vm)]
+        scored.sort(key=lambda sh: (-sh[0], sh[1].name))
+        return scored
+
+    def select_host(self, hosts: list[Host], vm: VM, hour_index: int) -> Host | None:
+        """Best host for the VM, or None if no host passes the filters."""
+        ranked = self.rank(hosts, vm, hour_index)
+        return ranked[0][1] if ranked else None
+
+
+def drowsy_scheduler(params: DrowsyParams = DEFAULT_PARAMS,
+                     extra_filters: tuple[HostFilter, ...] = ()) -> FilterScheduler:
+    """The scheduler Drowsy-DC installs: default filters + IP weigher.
+
+    The idleness weigher dominates (the paper adds it precisely to make
+    IP proximity decisive once resources allow), with RAM stacking as a
+    soft tie-break.
+    """
+    return FilterScheduler(
+        filters=DEFAULT_FILTERS + extra_filters,
+        weighers=(
+            WeightedWeigher(IdlenessWeigher(params), multiplier=1.0),
+            WeightedWeigher(RamStackWeigher(), multiplier=1e-6),
+        ))
+
+
+def vanilla_scheduler(extra_filters: tuple[HostFilter, ...] = ()) -> FilterScheduler:
+    """Plain consolidating Nova: stack by RAM, no idleness criterion."""
+    return FilterScheduler(
+        filters=DEFAULT_FILTERS + extra_filters,
+        weighers=(WeightedWeigher(RamStackWeigher(), multiplier=1.0),))

@@ -1,0 +1,75 @@
+"""Nova-style host filters (paper section III-D).
+
+OpenStack Nova's Filter Scheduler first discards unsuitable hosts "based
+on a large panel of parameters such as available resources".  Filters
+are predicates over (host, vm); the scheduler chains them.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from ..cluster.host import Host
+from ..cluster.power import PowerState
+from ..cluster.vm import VM
+
+
+class HostFilter(Protocol):
+    """Predicate deciding whether ``host`` may receive ``vm``."""
+
+    def passes(self, host: Host, vm: VM) -> bool: ...
+
+
+class RamFilter:
+    """Reject hosts without enough free memory (no memory overcommit)."""
+
+    def passes(self, host: Host, vm: VM) -> bool:
+        used = host.used_resources
+        return used.memory_mb + vm.resources.memory_mb <= host.capacity.memory_mb
+
+
+class CoreFilter:
+    """Reject hosts without enough schedulable vCPUs (with overcommit)."""
+
+    def passes(self, host: Host, vm: VM) -> bool:
+        used = host.used_resources
+        return used.cpus + vm.resources.cpus <= host.capacity.schedulable_cpus
+
+
+class ComputeFilter:
+    """Reject hosts that cannot take workloads right now.
+
+    Drowsy (suspended) hosts are *valid* targets — placing onto them is
+    exactly what keeps matching-IP VMs together — but hosts powered off
+    (S5) or mid-transition are not considered by Nova.
+    """
+
+    ACCEPTED = (PowerState.ON, PowerState.SUSPENDED)
+
+    def passes(self, host: Host, vm: VM) -> bool:
+        return host.state in self.ACCEPTED
+
+
+class MaxVMsFilter:
+    """Cap the number of VMs per host (testbed: max 2 VMs per machine)."""
+
+    def __init__(self, max_vms: int) -> None:
+        if max_vms <= 0:
+            raise ValueError("max_vms must be positive")
+        self.max_vms = max_vms
+
+    def passes(self, host: Host, vm: VM) -> bool:
+        return len(host.vms) < self.max_vms
+
+
+class DifferentHostFilter:
+    """Anti-affinity: reject hosts running any of the given VMs."""
+
+    def __init__(self, avoid_vm_names: frozenset[str]) -> None:
+        self.avoid_vm_names = avoid_vm_names
+
+    def passes(self, host: Host, vm: VM) -> bool:
+        return not any(v.name in self.avoid_vm_names for v in host.vms)
+
+
+DEFAULT_FILTERS: tuple[HostFilter, ...] = (ComputeFilter(), RamFilter(), CoreFilter())

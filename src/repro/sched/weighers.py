@@ -1,0 +1,69 @@
+"""Nova-style host weighers, including Drowsy-DC's idleness weigher.
+
+After filtering, Nova weighs and sorts the remaining hosts.  Each
+weigher returns a score (higher = better); the scheduler combines them
+with per-weigher multipliers.  Drowsy-DC integrates by adding "our own
+weigher so as to favor hosts with best-matching idleness probability"
+(section III-D-a).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from ..cluster.host import Host
+from ..cluster.vm import VM
+from ..core.params import DEFAULT_PARAMS, DrowsyParams
+
+
+class HostWeigher(Protocol):
+    """Score a candidate host for a VM at a given hour."""
+
+    def weigh(self, host: Host, vm: VM, hour_index: int) -> float: ...
+
+
+class RamStackWeigher:
+    """Prefer hosts with *less* free memory (stacking / consolidation).
+
+    This is Nova's RAMWeigher with a negative multiplier folded in — the
+    energy-sensible default for a consolidating cloud.
+    """
+
+    def weigh(self, host: Host, vm: VM, hour_index: int) -> float:
+        free = host.capacity.memory_mb - host.used_resources.memory_mb
+        return -free / max(host.capacity.memory_mb, 1)
+
+
+class IdlenessWeigher:
+    """Drowsy-DC's weigher: favor IP proximity, prefer raising host IP.
+
+    The score is the negated |host IP - VM IP| distance; among hosts at
+    similar distance (within the paper's tolerance) a bonus is granted
+    when adding the VM would *increase* the host's IP ("while aiming to
+    increase the latter", section III).  Empty hosts are neutral
+    (distance from the undetermined IP 0.0).
+    """
+
+    def __init__(self, params: DrowsyParams = DEFAULT_PARAMS) -> None:
+        self.params = params
+
+    def weigh(self, host: Host, vm: VM, hour_index: int) -> float:
+        vm_ip = vm.raw_ip(hour_index)
+        host_ip = host.mean_raw_ip(hour_index)
+        distance = abs(vm_ip - host_ip)
+        raises_ip = vm_ip > host_ip
+        # Tolerance-sized bonus: only discriminates between hosts whose
+        # distances are within one tolerance of each other.
+        bonus = 0.5 * self.params.ip_distance_tolerance if raises_ip else 0.0
+        return -distance + bonus
+
+
+class WeightedWeigher:
+    """A weigher with its multiplier (Nova's weight_multiplier)."""
+
+    def __init__(self, weigher: HostWeigher, multiplier: float = 1.0) -> None:
+        self.weigher = weigher
+        self.multiplier = multiplier
+
+    def weigh(self, host: Host, vm: VM, hour_index: int) -> float:
+        return self.multiplier * self.weigher.weigh(host, vm, hour_index)

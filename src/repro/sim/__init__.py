@@ -1,0 +1,13 @@
+"""Simulation drivers: analytic hourly loop and event-driven full stack."""
+
+from .event_driven import EventConfig, EventDrivenSimulation, EventResult
+from .hourly import HourlyConfig, HourlyResult, HourlySimulator
+
+__all__ = [
+    "EventConfig",
+    "EventDrivenSimulation",
+    "EventResult",
+    "HourlyConfig",
+    "HourlyResult",
+    "HourlySimulator",
+]

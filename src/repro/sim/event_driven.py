@@ -1,0 +1,250 @@
+"""Request-level event-driven simulation (the "real environment" of §VI-A).
+
+Wires every runtime component the paper deploys on the testbed:
+
+* per-host :class:`~repro.suspend.module.SuspendingModule` instances
+  polling idleness every few seconds, honouring grace times and
+  computing waking dates from the hrtimer tree;
+* a rack :class:`~repro.waking.failover.ReplicatedWakingService` on the
+  SDN switch, waking hosts on inbound requests (WoL) and ahead of
+  scheduled dates;
+* the :class:`~repro.network.sdn.SDNSwitch` carrying open-loop client
+  requests whose rate follows each VM's trace;
+* hourly trace/model/consolidation ticks identical to the hourly
+  simulator.
+
+This is the driver for Fig. 2, Table I, the energy totals, the SLA
+results and the suspending/waking module evaluations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cluster.datacenter import DataCenter
+from ..cluster.events import EventSimulator
+from ..cluster.host import Host
+from ..cluster.power import PowerState
+from ..cluster.vm import VM
+from ..core.calendar import time_of_hour
+from ..core.params import DEFAULT_PARAMS, DrowsyParams
+from ..network.requests import Request, RequestProfile
+from ..network.sdn import SDNSwitch
+from ..suspend.module import SuspendingModule
+from ..waking.failover import ReplicatedWakingService
+from ..waking.packets import WoLPacket
+
+
+@dataclass(frozen=True)
+class EventConfig:
+    """Options for the event-driven run."""
+
+    suspend_enabled: bool = True
+    consolidation_period_h: int = 1
+    relocate_all_mode: bool = False
+    update_models: bool = True
+    request_profile: RequestProfile = RequestProfile()
+    seed: int = 12345
+
+
+@dataclass
+class EventResult:
+    """Outcome of an event-driven run."""
+
+    hours: int
+    controller_name: str
+    energy_kwh_by_host: dict[str, float]
+    suspended_fraction_by_host: dict[str, float]
+    suspend_cycles_by_host: dict[str, int]
+    resume_cycles_by_host: dict[str, int]
+    migrations: int
+    vm_migrations: dict[str, int]
+    request_summary: dict[str, float]
+    wol_sent: int
+    events_processed: int
+
+    @property
+    def total_energy_kwh(self) -> float:
+        return sum(self.energy_kwh_by_host.values())
+
+    @property
+    def global_suspended_fraction(self) -> float:
+        vals = list(self.suspended_fraction_by_host.values())
+        return sum(vals) / len(vals) if vals else 0.0
+
+
+class EventDrivenSimulation:
+    """Full-stack Drowsy-DC simulation."""
+
+    def __init__(self, dc: DataCenter, controller,
+                 params: DrowsyParams = DEFAULT_PARAMS,
+                 config: EventConfig = EventConfig(),
+                 hour_hooks: tuple = ()) -> None:
+        self.dc = dc
+        self.controller = controller
+        self.params = params
+        self.config = config
+        self.hour_hooks = tuple(hour_hooks)
+        self.sim = EventSimulator()
+        self.rng = np.random.default_rng(config.seed)
+        self.switch = SDNSwitch(self.sim, dc, params)
+        self.waking = ReplicatedWakingService(self.sim, self._on_wol, params)
+        self.switch.waking_service = self.waking
+        self.switch.wol_sender = self._on_wol
+        self.suspending = {h.name: SuspendingModule(h, params) for h in dc.hosts}
+        self._check_events: dict[str, object] = {}
+        self._resume_pending: set[str] = set()
+        self._current_hour = 0
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self, n_hours: int, start_hour: int = 0) -> EventResult:
+        if n_hours <= 0:
+            raise ValueError("n_hours must be positive")
+        migrations_before = len(self.dc.migrations)
+        for t in range(start_hour, start_hour + n_hours):
+            self.sim.schedule_at(time_of_hour(t), self._hour_tick, t)
+        if self.config.suspend_enabled:
+            for host in self.dc.hosts:
+                self._schedule_check(host, delay=self.params.suspend_check_period_s)
+        end = time_of_hour(start_hour + n_hours)
+        self.sim.run_until(end)
+        self.dc.sync_meters(end)
+        return self._result(n_hours, migrations_before)
+
+    # ------------------------------------------------------------------
+    def _hour_tick(self, t: int) -> None:
+        now = self.sim.now
+        self._current_hour = t
+        self.dc.set_hour_activities(t, now)
+        self.controller.observe_hour(t)
+
+        if t % self.config.consolidation_period_h == 0:
+            if self.config.relocate_all_mode and hasattr(self.controller, "relocate_all"):
+                self.controller.relocate_all(t, now)
+            else:
+                self.controller.step(t, now, executor=self._execute_migration)
+            # Migrations may have moved a VM whose request is waiting.
+            self.switch.redispatch_pending()
+
+        if self.config.update_models or getattr(self.controller, "uses_idleness", False):
+            for vm in self.dc.vms:
+                vm.model.observe(t, vm.current_activity)
+
+        # Client traffic for interactive VMs active this hour.
+        profile = self.config.request_profile
+        for host in self.dc.hosts:
+            for vm in host.vms:
+                if vm.interactive and vm.current_activity > 0.0:
+                    for at in profile.hourly_arrivals(self.rng, now, vm.current_activity):
+                        self.sim.schedule_at(float(at), self._submit_request, vm.name)
+
+        for hook in self.hour_hooks:
+            hook(t, now)
+
+    def _submit_request(self, vm_name: str) -> None:
+        profile = self.config.request_profile
+        request = Request(arrival_s=self.sim.now, vm_name=vm_name,
+                          service_time_s=profile.sample_service_time(self.rng))
+        self.switch.submit_request(request)
+
+    # ------------------------------------------------------------------
+    # suspension path
+    # ------------------------------------------------------------------
+    def _schedule_check(self, host: Host, delay: float) -> None:
+        old = self._check_events.pop(host.name, None)
+        if old is not None:
+            old.cancel()
+        self._check_events[host.name] = self.sim.schedule_in(
+            delay, self._suspend_check, host)
+
+    def _suspend_check(self, host: Host) -> None:
+        self._check_events.pop(host.name, None)
+        if not self.config.suspend_enabled:
+            return
+        if host.state is not PowerState.ON:
+            return  # resume path reinstates the check
+        module = self.suspending[host.name]
+        verdict = module.evaluate(self.sim.now)
+        if verdict.should_suspend:
+            # Hand the waking date to the rack's waking module first so
+            # the packet analyzer covers the whole drowsy window.
+            self.waking.register_suspension(host, verdict.waking_date_s)
+            host.begin_suspend(self.sim.now)
+            self.sim.schedule_in(self.params.suspend_latency_s,
+                                 self._finish_suspend, host)
+        else:
+            self._schedule_check(host, self.params.suspend_check_period_s)
+
+    def _finish_suspend(self, host: Host) -> None:
+        host.finish_suspend(self.sim.now)
+        if host.name in self._resume_pending:
+            # A wake arrived mid-transition: resume immediately.
+            self._resume_pending.discard(host.name)
+            self._begin_resume(host)
+
+    # ------------------------------------------------------------------
+    # wake path
+    # ------------------------------------------------------------------
+    def _on_wol(self, packet: WoLPacket, now: float) -> None:
+        host = next((h for h in self.dc.hosts
+                     if h.mac_address == packet.mac_address), None)
+        if host is None:
+            return
+        if host.state is PowerState.SUSPENDED:
+            self._begin_resume(host)
+        elif host.state is PowerState.SUSPENDING:
+            self._resume_pending.add(host.name)
+
+    def _begin_resume(self, host: Host) -> None:
+        host.begin_resume(self.sim.now)
+        self.sim.schedule_in(self.params.resume_latency_s,
+                             self._finish_resume, host)
+
+    def _finish_resume(self, host: Host) -> None:
+        module = self.suspending[host.name]
+        grace = module.grace_for_resume(self.sim.now, self._current_hour)
+        host.finish_resume(self.sim.now, grace)
+        self.waking.on_host_awake(host)
+        self.switch.on_host_available(host)
+        self._schedule_check(host, self.params.suspend_check_period_s)
+
+    # ------------------------------------------------------------------
+    # migrations
+    # ------------------------------------------------------------------
+    def _execute_migration(self, vm: VM, dest: Host) -> None:
+        """Controller-requested migration; wakes endpoints as needed."""
+        src = self.dc.host_of(vm)
+        for host in (src, dest):
+            self._force_awake(host)
+        self.dc.migrate(vm, dest, self.sim.now)
+
+    def _force_awake(self, host: Host) -> None:
+        if host.state is PowerState.SUSPENDED:
+            host.begin_resume(self.sim.now)
+            host.finish_resume(self.sim.now, 0.0)
+            self.waking.on_host_awake(host)
+            self.switch.on_host_available(host)
+            self._schedule_check(host, self.params.suspend_check_period_s)
+        elif host.state is PowerState.SUSPENDING:
+            self._resume_pending.add(host.name)
+
+    # ------------------------------------------------------------------
+    def _result(self, n_hours: int, migrations_before: int) -> EventResult:
+        return EventResult(
+            hours=n_hours,
+            controller_name=self.controller.name,
+            energy_kwh_by_host={h.name: h.meter.energy_kwh for h in self.dc.hosts},
+            suspended_fraction_by_host={
+                h.name: h.meter.suspended_fraction for h in self.dc.hosts},
+            suspend_cycles_by_host={h.name: h.suspend_count for h in self.dc.hosts},
+            resume_cycles_by_host={h.name: h.resume_count for h in self.dc.hosts},
+            migrations=len(self.dc.migrations) - migrations_before,
+            vm_migrations={vm.name: vm.migrations for vm in self.dc.vms},
+            request_summary=self.switch.log.summary(),
+            wol_sent=self.waking.active.wol_sent,
+            events_processed=self.sim.events_processed,
+        )

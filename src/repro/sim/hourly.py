@@ -1,0 +1,215 @@
+"""Hour-resolution data-center simulator.
+
+The idleness model, the traces and the consolidation all operate at the
+paper's one-hour resolution, so fleet-scale energy experiments (Table I,
+the kWh totals, the section VI-B sweep) run orders of magnitude faster
+on an analytic hourly loop than on the request-level event simulator —
+with the same power accounting, because transition latencies and
+decision delays are still charged through the host state machine.
+
+Sub-hour effects (oscillation, wake latency seen by requests) are the
+event simulator's job (:mod:`repro.sim.event_driven`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..cluster.datacenter import DataCenter
+from ..cluster.host import Host
+from ..cluster.power import PowerState
+from ..core.calendar import time_of_hour
+from ..core.params import DEFAULT_PARAMS, DrowsyParams
+from ..suspend.grace import grace_from_raw_ip
+from ..suspend.timers import compute_waking_date
+
+HourHook = Callable[[int, float], None]
+
+
+@dataclass(frozen=True)
+class HourlyConfig:
+    """Simulation options."""
+
+    #: Enable host suspension (ACPI S3).  Off reproduces the
+    #: "current real world case" baseline of section VI-A.1.
+    suspend_enabled: bool = True
+    #: Power empty hosts off (classic consolidation's S5 lever).
+    power_off_empty: bool = True
+    #: Run the consolidation controller every N hours.
+    consolidation_period_h: int = 1
+    #: Use Drowsy's periodic full-relocation evaluation mode (VI-A.1).
+    relocate_all_mode: bool = False
+    #: Maintain per-VM idleness models (required by Drowsy; optional for
+    #: baselines, where it only costs time).
+    update_models: bool = True
+    #: Mean delay before the suspending module notices idleness
+    #: (half the check period).
+    decision_delay_s: float = 2.5
+
+
+@dataclass
+class HourlyResult:
+    """Aggregated outcome of one simulation run."""
+
+    hours: int
+    controller_name: str
+    energy_kwh_by_host: dict[str, float]
+    suspended_fraction_by_host: dict[str, float]
+    suspend_cycles_by_host: dict[str, int]
+    migrations: int
+    vm_migrations: dict[str, int]
+    #: Host-hours an active host spent at saturated CPU, and host-hours
+    #: hosts were active at all (Beloglazov's SLATAH numerator and
+    #: denominator).
+    overload_host_hours: int = 0
+    active_host_hours: int = 0
+
+    @property
+    def total_energy_kwh(self) -> float:
+        return sum(self.energy_kwh_by_host.values())
+
+    @property
+    def global_suspended_fraction(self) -> float:
+        vals = list(self.suspended_fraction_by_host.values())
+        return sum(vals) / len(vals) if vals else 0.0
+
+    @property
+    def slatah(self) -> float:
+        """SLA violation Time per Active Host (Beloglazov's QoS metric):
+        fraction of active host-hours spent at 100 % CPU."""
+        if self.active_host_hours == 0:
+            return 0.0
+        return self.overload_host_hours / self.active_host_hours
+
+    @property
+    def esv(self) -> float:
+        """Energy-SLA-Violation product (lower is better)."""
+        return self.total_energy_kwh * self.slatah
+
+
+class HourlySimulator:
+    """Drive a data center and a consolidation controller hour by hour."""
+
+    def __init__(self, dc: DataCenter, controller,
+                 params: DrowsyParams = DEFAULT_PARAMS,
+                 config: HourlyConfig = HourlyConfig(),
+                 hour_hooks: tuple[HourHook, ...] = ()) -> None:
+        self.dc = dc
+        self.controller = controller
+        self.params = params
+        self.config = config
+        self.hour_hooks = tuple(hour_hooks)
+        self._overload_host_hours = 0
+        self._active_host_hours = 0
+
+    # ------------------------------------------------------------------
+    def run(self, n_hours: int, start_hour: int = 0) -> HourlyResult:
+        if n_hours <= 0:
+            raise ValueError("n_hours must be positive")
+        migrations_before = len(self.dc.migrations)
+        for t in range(start_hour, start_hour + n_hours):
+            self._hour(t)
+        end = time_of_hour(start_hour + n_hours)
+        self.dc.sync_meters(end)
+        return self._result(n_hours, migrations_before)
+
+    # ------------------------------------------------------------------
+    def _hour(self, t: int) -> None:
+        now = time_of_hour(t)
+        cfg = self.config
+        # 1. Charge the previous hour, load this hour's activities.
+        self.dc.set_hour_activities(t, now)
+        self.controller.observe_hour(t)
+
+        # 2. Consolidation decisions use models trained through t-1
+        #    (they predict idleness of the *next* interval, section III).
+        if t % cfg.consolidation_period_h == 0:
+            if cfg.relocate_all_mode and hasattr(self.controller, "relocate_all"):
+                self.controller.relocate_all(t, now)
+            else:
+                self.controller.step(t, now)
+
+        # 3. Learn this hour's activity.
+        if cfg.update_models or getattr(self.controller, "uses_idleness", False):
+            for vm in self.dc.vms:
+                vm.model.observe(t, vm.current_activity)
+
+        # 4. Power-state bookkeeping for the hour.
+        for host in self.dc.hosts:
+            self._host_power_step(host, t, now)
+
+        # 5. QoS accounting (Beloglazov's SLATAH): an active host whose
+        #    CPU demand saturates capacity is failing its VMs this hour.
+        for host in self.dc.hosts:
+            if host.state is PowerState.ON and host.vms:
+                self._active_host_hours += 1
+                demand = sum(vm.current_activity * vm.resources.cpus
+                             for vm in host.vms)
+                if demand >= host.capacity.cpus * 0.999:
+                    self._overload_host_hours += 1
+
+        for hook in self.hour_hooks:
+            hook(t, now)
+
+    # ------------------------------------------------------------------
+    def _host_sleepable(self, host: Host) -> bool:
+        """Controller-specific 'may this host sleep this hour?'."""
+        can_sleep = getattr(self.controller, "host_can_sleep", None)
+        if can_sleep is not None:  # Oasis-style policies
+            return can_sleep(host)
+        return bool(host.vms) and host.all_vms_idle
+
+    def _host_power_step(self, host: Host, t: int, now: float) -> None:
+        cfg, p = self.config, self.params
+
+        # Empty hosts: classic consolidation powers them off.
+        if not host.vms:
+            if cfg.power_off_empty and host.state is PowerState.ON:
+                host.power_off(now)
+            return
+        if host.state is PowerState.OFF:
+            # Host received VMs while off (placement onto S5 is filtered
+            # out by controllers, but relocate_all may use any managed
+            # host) -- power it back on.
+            host.power_on(now)
+
+        sleepable = cfg.suspend_enabled and self._host_sleepable(host)
+
+        if host.state is PowerState.SUSPENDED:
+            if not sleepable:
+                # Activity resumed: timer fired / request arrived at the
+                # start of the active hour; charge the resume.
+                host.begin_resume(now)
+                grace = self._grace(host, t)
+                host.finish_resume(now + p.resume_latency_s, grace)
+            return
+
+        if host.state is PowerState.ON and sleepable:
+            begin = now + cfg.decision_delay_s
+            if p.use_grace and host.in_grace(begin):
+                begin = host.grace_until
+            # Suspend only pays off if the hour has room left.
+            if begin + p.suspend_latency_s < now + 3600.0:
+                host.begin_suspend(begin)
+                host.finish_suspend(begin + p.suspend_latency_s)
+
+    def _grace(self, host: Host, t: int) -> float:
+        if not self.params.use_grace:
+            return 0.0
+        return grace_from_raw_ip(host.mean_raw_ip(t), self.params)
+
+    # ------------------------------------------------------------------
+    def _result(self, n_hours: int, migrations_before: int) -> HourlyResult:
+        return HourlyResult(
+            hours=n_hours,
+            controller_name=self.controller.name,
+            energy_kwh_by_host={h.name: h.meter.energy_kwh for h in self.dc.hosts},
+            suspended_fraction_by_host={
+                h.name: h.meter.suspended_fraction for h in self.dc.hosts},
+            suspend_cycles_by_host={h.name: h.suspend_count for h in self.dc.hosts},
+            migrations=len(self.dc.migrations) - migrations_before,
+            vm_migrations={vm.name: vm.migrations for vm in self.dc.vms},
+            overload_host_hours=self._overload_host_hours,
+            active_host_hours=self._active_host_hours,
+        )

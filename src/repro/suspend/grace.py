@@ -1,0 +1,43 @@
+"""Grace time: anti-oscillation guard (paper section IV).
+
+After a resume there is a window during which the host cannot be
+suspended again, "whatever its activity level", preventing servers from
+ping-ponging between awake and suspended.  The window length depends on
+the host's idleness probability: "if the IP tells that it is likely that
+the host is active, the grace time is longer ... empirically set between
+5 s and 2 min, exponentially increasing as the IP decreases".
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.params import DEFAULT_PARAMS, DrowsyParams
+
+
+def grace_time_s(ip_probability: float, params: DrowsyParams = DEFAULT_PARAMS) -> float:
+    """Grace window (seconds) for a host with normalized IP ``ip_probability``.
+
+    Exponential interpolation: probability 1 (surely idle) gives the
+    minimum (5 s), probability 0 (surely active) the maximum (2 min).
+    """
+    if not 0.0 <= ip_probability <= 1.0:
+        raise ValueError(f"ip_probability must be in [0, 1], got {ip_probability}")
+    if not params.use_grace:
+        return 0.0
+    lo, hi = params.grace_min_s, params.grace_max_s
+    # Clamp: the exponential can overshoot the bound by one ulp.
+    return min(max(lo * math.exp((1.0 - ip_probability) * math.log(hi / lo)), lo), hi)
+
+
+def grace_from_raw_ip(raw_ip: float, params: DrowsyParams = DEFAULT_PARAMS) -> float:
+    """Grace window from a host's *raw* IP (the w^T SI scale).
+
+    Raw IPs move by sigma-sized steps, so they are first rescaled by
+    ``params.grace_ip_scale`` (a couple of weeks of divergence saturates
+    the window) before the exponential mapping: a clearly-active host
+    (negative raw IP) gets the full 2-minute window, a clearly-idle one
+    the 5-second minimum.
+    """
+    scaled = 0.5 + raw_ip / (2.0 * params.grace_ip_scale)
+    return grace_time_s(min(max(scaled, 0.0), 1.0), params)

@@ -1,0 +1,68 @@
+"""Hypervisor-side idleness heuristics (paper §IV).
+
+"It is also possible to use a heuristic based on the fraction of
+currently used resources. One example of a metric is VM page dirtying
+rate, that can be monitored from the hypervisor [20]."
+
+These heuristics complement the process-table check: a VM whose qemu
+process naps between requests still dirties pages while it holds active
+sessions, so a dirty-rate gate catches some of the open-session false
+positives the process view misses — without guest introspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from ..cluster.host import Host
+
+
+class IdlenessHeuristic(Protocol):
+    """Extra veto on top of the process-table idleness check."""
+
+    def host_seems_idle(self, host: Host) -> bool: ...
+
+
+@dataclass(frozen=True)
+class DirtyRateHeuristic:
+    """Host idle iff every VM's page-dirtying rate is below a floor.
+
+    ``threshold`` is on the normalized dirty-rate scale of
+    :attr:`repro.cluster.vm.VM.dirty_page_rate` (0 = no writes,
+    1 = dirtying at full speed).
+    """
+
+    threshold: float = 0.01
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.threshold <= 1.0:
+            raise ValueError("threshold must be in [0, 1]")
+
+    def host_seems_idle(self, host: Host) -> bool:
+        return all(vm.dirty_page_rate <= self.threshold for vm in host.vms)
+
+
+@dataclass(frozen=True)
+class ResourceFractionHeuristic:
+    """Host idle iff CPU utilization is below a floor (the generic
+    "fraction of currently used resources" variant)."""
+
+    cpu_threshold: float = 0.02
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.cpu_threshold <= 1.0:
+            raise ValueError("cpu_threshold must be in [0, 1]")
+
+    def host_seems_idle(self, host: Host) -> bool:
+        return host.cpu_utilization <= self.cpu_threshold
+
+
+@dataclass(frozen=True)
+class CombinedHeuristic:
+    """All component heuristics must agree the host is idle."""
+
+    heuristics: tuple[IdlenessHeuristic, ...]
+
+    def host_seems_idle(self, host: Host) -> bool:
+        return all(h.host_seems_idle(host) for h in self.heuristics)

@@ -1,0 +1,104 @@
+"""The suspending module (paper section IV).
+
+One instance runs per managed host.  It monitors the host's process
+table, applies the blacklist and the blocked-I/O rule, honours the
+grace time, computes the waking date from the hrtimer tree, and hands
+both the suspend decision and the waking date to the waking module.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..cluster.host import Host
+from ..cluster.power import PowerState
+from ..core.params import DEFAULT_PARAMS, DrowsyParams
+from .grace import grace_from_raw_ip
+from .process import DEFAULT_BLACKLIST, ProcState, host_process_table
+from .timers import compute_waking_date
+
+
+class SuspendDecision(enum.Enum):
+    """Outcome of one idleness evaluation."""
+
+    SUSPEND = "suspend"
+    ACTIVE = "active processes"         # some VM is computing
+    BLOCKED_IO = "blocked on I/O"       # pending work, must stay up
+    IN_GRACE = "within grace period"    # anti-oscillation window
+    NOT_RUNNING = "host not in S0"      # already suspended/transitioning
+    EMPTY = "no VMs hosted"             # classic consolidation's job (S5)
+    HEURISTIC_VETO = "resource heuristic veto"  # e.g. page-dirtying rate
+
+
+@dataclass(frozen=True)
+class SuspendVerdict:
+    """Decision plus the information the waking module needs."""
+
+    decision: SuspendDecision
+    #: Earliest valid hrtimer expiry, None = sleep until external wake.
+    waking_date_s: float | None = None
+
+    @property
+    def should_suspend(self) -> bool:
+        return self.decision is SuspendDecision.SUSPEND
+
+
+class SuspendingModule:
+    """Per-host suspend decision logic."""
+
+    def __init__(self, host: Host, params: DrowsyParams = DEFAULT_PARAMS,
+                 blacklist: frozenset[str] = DEFAULT_BLACKLIST,
+                 heuristic=None) -> None:
+        self.host = host
+        self.params = params
+        self.blacklist = blacklist
+        #: Optional :class:`~repro.suspend.heuristics.IdlenessHeuristic`
+        #: consulted on top of the process-table check (paper §IV's
+        #: page-dirtying-rate suggestion).
+        self.heuristic = heuristic
+        #: Evaluations rejected per reason (suspending-module evaluation,
+        #: section VI-A.4).
+        self.decision_counts: dict[SuspendDecision, int] = {
+            d: 0 for d in SuspendDecision}
+
+    # ------------------------------------------------------------------
+    def evaluate(self, now: float) -> SuspendVerdict:
+        """One idleness check.  Pure: no state transition is performed."""
+        verdict = self._evaluate(now)
+        self.decision_counts[verdict.decision] += 1
+        return verdict
+
+    def _evaluate(self, now: float) -> SuspendVerdict:
+        host = self.host
+        if host.state is not PowerState.ON:
+            return SuspendVerdict(SuspendDecision.NOT_RUNNING)
+        if not host.vms:
+            return SuspendVerdict(SuspendDecision.EMPTY)
+
+        table = host_process_table(host)
+        # Blocked-on-I/O processes are pending work (false positives of
+        # the naive check): never suspend over them.
+        if any(p.state is ProcState.BLOCKED_IO for p in table):
+            return SuspendVerdict(SuspendDecision.BLOCKED_IO)
+        # Any non-blacklisted runnable process keeps the host awake.
+        if any(p.state is ProcState.RUNNING and p.name not in self.blacklist
+               for p in table):
+            return SuspendVerdict(SuspendDecision.ACTIVE)
+        if self.heuristic is not None and not self.heuristic.host_seems_idle(host):
+            return SuspendVerdict(SuspendDecision.HEURISTIC_VETO)
+        if host.in_grace(now):
+            return SuspendVerdict(SuspendDecision.IN_GRACE)
+
+        return SuspendVerdict(
+            SuspendDecision.SUSPEND,
+            waking_date_s=compute_waking_date(host, now, self.blacklist))
+
+    # ------------------------------------------------------------------
+    def grace_for_resume(self, now: float, hour_index: int) -> float:
+        """Grace window to apply when the host resumes (section IV).
+
+        Derived from the host's idleness probability at resume time:
+        likely-active hosts get a long window to protect their QoS.
+        """
+        return grace_from_raw_ip(self.host.mean_raw_ip(hour_index), self.params)

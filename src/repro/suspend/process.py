@@ -1,0 +1,96 @@
+"""Host process model for idleness detection (paper section IV).
+
+"In a naive way, a system is idle if none of its processes is in the
+running state.  However, there are false negatives and false positives."
+
+* **False negatives** — processes that run but must not keep the host
+  awake: monitoring agents, kernel watchdogs.  Handled with a blacklist.
+* **False positives** — processes not running whose service is not idle:
+  a process blocked waiting for a disk read must keep the host awake;
+  a VM with open-but-silent SSH/TCP sessions *looks* idle and the paper
+  deliberately does not introspect it (mitigated by the quick resume).
+
+This module renders a host's VM population into a process table the
+suspending module inspects.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..cluster.host import Host
+from ..cluster.vm import VM
+
+
+class ProcState(enum.Enum):
+    """Scheduler states relevant to the idleness decision."""
+
+    RUNNING = "R"       # on CPU or runnable
+    BLOCKED_IO = "D"    # uninterruptible sleep (disk wait)
+    SLEEPING = "S"      # interruptible sleep (idle)
+
+
+@dataclass(frozen=True)
+class Process:
+    """One process as seen by the host-side monitor."""
+
+    name: str
+    state: ProcState
+    #: Owning VM, or None for a host-level daemon.
+    vm_name: str | None = None
+
+
+#: Host daemons that always run but must not block suspension
+#: (the paper's blacklisting system).
+DEFAULT_BLACKLIST: frozenset[str] = frozenset({
+    "watchdogd",
+    "monitord",
+    "kworker",
+    "collectd",
+    "drowsy-agent",
+})
+
+
+def vm_process_name(vm: VM) -> str:
+    """Name of the QEMU process backing a VM."""
+    return f"qemu-{vm.name}"
+
+
+def host_process_table(host: Host, include_daemons: bool = True) -> list[Process]:
+    """Render the current process table of a host.
+
+    Each VM contributes its QEMU process: RUNNING when the VM has
+    activity this hour, BLOCKED_IO when the simulator injected an I/O
+    wait (``vm.blocked_io`` attribute), SLEEPING otherwise.  Host
+    daemons are always RUNNING — they are the false negatives the
+    blacklist must absorb.
+    """
+    table: list[Process] = []
+    if include_daemons:
+        table.extend(Process(d, ProcState.RUNNING) for d in sorted(DEFAULT_BLACKLIST))
+    for vm in host.vms:
+        if getattr(vm, "blocked_io", False):
+            state = ProcState.BLOCKED_IO
+        elif vm.current_activity > 0.0:
+            state = ProcState.RUNNING
+        else:
+            state = ProcState.SLEEPING
+        table.append(Process(vm_process_name(vm), state, vm_name=vm.name))
+    return table
+
+
+def is_host_idle(table: list[Process],
+                 blacklist: frozenset[str] = DEFAULT_BLACKLIST) -> bool:
+    """Idleness verdict over a process table.
+
+    A host is idle iff no non-blacklisted process is RUNNING and no
+    process (blacklisted or not) is blocked on I/O — a blocked read is
+    pending work, suspending would lose it (section IV).
+    """
+    for proc in table:
+        if proc.state is ProcState.BLOCKED_IO:
+            return False
+        if proc.state is ProcState.RUNNING and proc.name not in blacklist:
+            return False
+    return True

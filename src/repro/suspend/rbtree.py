@@ -1,0 +1,290 @@
+"""Red-black tree keyed by timer expiry (the kernel hrtimer structure).
+
+Paper section V-B: the suspending module "walks the red-black tree
+structure that is used internally by the kernel to store the timers" to
+find the earliest valid waking date.  We implement the same structure —
+a classic CLRS red-black tree with duplicate-key support — so the walk,
+the filtering and the complexity are faithful to the original.
+
+Invariants (checked by :meth:`RedBlackTree.validate` and property tests):
+root is black; no red node has a red child; every root-leaf path has the
+same black height; in-order traversal yields keys in non-decreasing
+order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+RED = True
+BLACK = False
+
+
+class _Node:
+    __slots__ = ("key", "value", "color", "left", "right", "parent")
+
+    def __init__(self, key: float, value: Any, color: bool, nil: "_Node") -> None:
+        self.key = key
+        self.value = value
+        self.color = color
+        self.left = nil
+        self.right = nil
+        self.parent = nil
+
+
+class RedBlackTree:
+    """Ordered multimap from float keys to arbitrary values."""
+
+    def __init__(self) -> None:
+        self._nil = _Node.__new__(_Node)
+        self._nil.key = float("nan")
+        self._nil.value = None
+        self._nil.color = BLACK
+        self._nil.left = self._nil
+        self._nil.right = self._nil
+        self._nil.parent = self._nil
+        self._root = self._nil
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    # ------------------------------------------------------------------
+    # rotations
+    # ------------------------------------------------------------------
+    def _rotate_left(self, x: _Node) -> None:
+        y = x.right
+        x.right = y.left
+        if y.left is not self._nil:
+            y.left.parent = x
+        y.parent = x.parent
+        if x.parent is self._nil:
+            self._root = y
+        elif x is x.parent.left:
+            x.parent.left = y
+        else:
+            x.parent.right = y
+        y.left = x
+        x.parent = y
+
+    def _rotate_right(self, x: _Node) -> None:
+        y = x.left
+        x.left = y.right
+        if y.right is not self._nil:
+            y.right.parent = x
+        y.parent = x.parent
+        if x.parent is self._nil:
+            self._root = y
+        elif x is x.parent.right:
+            x.parent.right = y
+        else:
+            x.parent.left = y
+        y.right = x
+        x.parent = y
+
+    # ------------------------------------------------------------------
+    # insert
+    # ------------------------------------------------------------------
+    def insert(self, key: float, value: Any) -> Any:
+        """Insert a (key, value) pair; duplicate keys allowed.
+
+        Returns an opaque handle usable with :meth:`remove_node`.
+        """
+        node = _Node(float(key), value, RED, self._nil)
+        parent, cur = self._nil, self._root
+        while cur is not self._nil:
+            parent = cur
+            cur = cur.left if node.key < cur.key else cur.right
+        node.parent = parent
+        if parent is self._nil:
+            self._root = node
+        elif node.key < parent.key:
+            parent.left = node
+        else:
+            parent.right = node
+        self._size += 1
+        self._insert_fixup(node)
+        return node
+
+    def _insert_fixup(self, z: _Node) -> None:
+        while z.parent.color is RED:
+            gp = z.parent.parent
+            if z.parent is gp.left:
+                uncle = gp.right
+                if uncle.color is RED:
+                    z.parent.color = BLACK
+                    uncle.color = BLACK
+                    gp.color = RED
+                    z = gp
+                else:
+                    if z is z.parent.right:
+                        z = z.parent
+                        self._rotate_left(z)
+                    z.parent.color = BLACK
+                    z.parent.parent.color = RED
+                    self._rotate_right(z.parent.parent)
+            else:
+                uncle = gp.left
+                if uncle.color is RED:
+                    z.parent.color = BLACK
+                    uncle.color = BLACK
+                    gp.color = RED
+                    z = gp
+                else:
+                    if z is z.parent.left:
+                        z = z.parent
+                        self._rotate_right(z)
+                    z.parent.color = BLACK
+                    z.parent.parent.color = RED
+                    self._rotate_left(z.parent.parent)
+        self._root.color = BLACK
+
+    # ------------------------------------------------------------------
+    # delete
+    # ------------------------------------------------------------------
+    def _transplant(self, u: _Node, v: _Node) -> None:
+        if u.parent is self._nil:
+            self._root = v
+        elif u is u.parent.left:
+            u.parent.left = v
+        else:
+            u.parent.right = v
+        v.parent = u.parent
+
+    def _minimum(self, node: _Node) -> _Node:
+        while node.left is not self._nil:
+            node = node.left
+        return node
+
+    def remove_node(self, z: _Node) -> None:
+        """Remove a node previously returned by :meth:`insert`."""
+        y = z
+        y_original_color = y.color
+        if z.left is self._nil:
+            x = z.right
+            self._transplant(z, z.right)
+        elif z.right is self._nil:
+            x = z.left
+            self._transplant(z, z.left)
+        else:
+            y = self._minimum(z.right)
+            y_original_color = y.color
+            x = y.right
+            if y.parent is z:
+                x.parent = y
+            else:
+                self._transplant(y, y.right)
+                y.right = z.right
+                y.right.parent = y
+            self._transplant(z, y)
+            y.left = z.left
+            y.left.parent = y
+            y.color = z.color
+        self._size -= 1
+        if y_original_color is BLACK:
+            self._delete_fixup(x)
+
+    def _delete_fixup(self, x: _Node) -> None:
+        while x is not self._root and x.color is BLACK:
+            if x is x.parent.left:
+                w = x.parent.right
+                if w.color is RED:
+                    w.color = BLACK
+                    x.parent.color = RED
+                    self._rotate_left(x.parent)
+                    w = x.parent.right
+                if w.left.color is BLACK and w.right.color is BLACK:
+                    w.color = RED
+                    x = x.parent
+                else:
+                    if w.right.color is BLACK:
+                        w.left.color = BLACK
+                        w.color = RED
+                        self._rotate_right(w)
+                        w = x.parent.right
+                    w.color = x.parent.color
+                    x.parent.color = BLACK
+                    w.right.color = BLACK
+                    self._rotate_left(x.parent)
+                    x = self._root
+            else:
+                w = x.parent.left
+                if w.color is RED:
+                    w.color = BLACK
+                    x.parent.color = RED
+                    self._rotate_right(x.parent)
+                    w = x.parent.left
+                if w.right.color is BLACK and w.left.color is BLACK:
+                    w.color = RED
+                    x = x.parent
+                else:
+                    if w.left.color is BLACK:
+                        w.right.color = BLACK
+                        w.color = RED
+                        self._rotate_left(w)
+                        w = x.parent.left
+                    w.color = x.parent.color
+                    x.parent.color = BLACK
+                    w.left.color = BLACK
+                    self._rotate_right(x.parent)
+                    x = self._root
+        x.color = BLACK
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def min_item(self) -> tuple[float, Any]:
+        """Smallest (key, value) — the next timer to expire."""
+        if self._root is self._nil:
+            raise KeyError("tree is empty")
+        node = self._minimum(self._root)
+        return node.key, node.value
+
+    def pop_min(self) -> tuple[float, Any]:
+        """Remove and return the smallest (key, value)."""
+        if self._root is self._nil:
+            raise KeyError("tree is empty")
+        node = self._minimum(self._root)
+        item = (node.key, node.value)
+        self.remove_node(node)
+        return item
+
+    def items(self) -> Iterator[tuple[float, Any]]:
+        """In-order (sorted) walk over all (key, value) pairs."""
+        stack: list[_Node] = []
+        node = self._root
+        while stack or node is not self._nil:
+            while node is not self._nil:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.key, node.value
+            node = node.right
+
+    # ------------------------------------------------------------------
+    # validation (tests)
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check all red-black invariants; raises AssertionError if broken."""
+        assert self._root.color is BLACK, "root must be black"
+
+        def walk(node: _Node) -> int:
+            if node is self._nil:
+                return 1
+            if node.color is RED:
+                assert node.left.color is BLACK and node.right.color is BLACK, \
+                    "red node with red child"
+            if node.left is not self._nil:
+                assert node.left.key <= node.key, "BST order violated"
+            if node.right is not self._nil:
+                assert node.right.key >= node.key, "BST order violated"
+            lh = walk(node.left)
+            rh = walk(node.right)
+            assert lh == rh, "black heights differ"
+            return lh + (0 if node.color is RED else 1)
+
+        walk(self._root)
+        assert sum(1 for _ in self.items()) == self._size, "size mismatch"

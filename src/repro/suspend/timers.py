@@ -1,0 +1,107 @@
+"""High-resolution timer registry (paper section V-B).
+
+Simulates the kernel hrtimer subsystem: every sleeping process that set
+a wakeup registers a timer in a red-black tree keyed by expiry.  On
+suspension, the suspending module walks the tree for the earliest timer
+that belongs to a non-blacklisted process — that is the waking date.  If
+no valid timer exists, the host "can remain suspended indefinitely until
+the waking module wakes it up because of an external request".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.host import Host
+from ..cluster.vm import VM, ServiceTimer
+from .process import DEFAULT_BLACKLIST
+from .rbtree import RedBlackTree
+
+
+@dataclass(frozen=True)
+class TimerEntry:
+    """One registered hrtimer."""
+
+    fire_time_s: float
+    process_name: str
+    timer_name: str
+    vm_name: str | None = None
+
+
+class TimerRegistry:
+    """Red-black tree of pending timers with process-based filtering."""
+
+    def __init__(self) -> None:
+        self._tree = RedBlackTree()
+        self._handles: dict[tuple[str, str], object] = {}
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    def register(self, entry: TimerEntry) -> None:
+        """Register (or re-arm) a timer; re-arming replaces the old expiry."""
+        key = (entry.process_name, entry.timer_name)
+        old = self._handles.pop(key, None)
+        if old is not None:
+            self._tree.remove_node(old)
+        self._handles[key] = self._tree.insert(entry.fire_time_s, entry)
+
+    def cancel(self, process_name: str, timer_name: str) -> bool:
+        """Cancel a timer; returns False if it was not registered."""
+        handle = self._handles.pop((process_name, timer_name), None)
+        if handle is None:
+            return False
+        self._tree.remove_node(handle)
+        return True
+
+    def earliest_valid(self, blacklist: frozenset[str] = DEFAULT_BLACKLIST) -> TimerEntry | None:
+        """Earliest timer of a non-blacklisted process (the waking date).
+
+        This is the section V-B walk: timers registered by the same
+        processes the idleness check ignores are filtered out, so a
+        watchdog's periodic timer cannot wake the host.
+        """
+        for _, entry in self._tree.items():
+            if entry.process_name not in blacklist:
+                return entry
+        return None
+
+    def entries(self) -> list[TimerEntry]:
+        """All pending timers in expiry order."""
+        return [entry for _, entry in self._tree.items()]
+
+
+def build_host_registry(host: Host, now: float,
+                        daemon_period_s: float = 60.0) -> TimerRegistry:
+    """Snapshot the hrtimer tree of a host at time ``now``.
+
+    Each VM contributes the next expiry of each of its service timers;
+    host daemons contribute their own periodic timers (which must be
+    filtered out by the blacklist — they are the "false positives" of
+    section V-B).
+    """
+    registry = TimerRegistry()
+    for daemon in sorted(DEFAULT_BLACKLIST):
+        registry.register(TimerEntry(
+            fire_time_s=now + daemon_period_s,
+            process_name=daemon, timer_name=f"{daemon}-tick"))
+    for vm in host.vms:
+        for timer in vm.timers:
+            registry.register(TimerEntry(
+                fire_time_s=timer.next_fire(now),
+                process_name=timer.process_name,
+                timer_name=f"{vm.name}:{timer.name}",
+                vm_name=vm.name))
+    return registry
+
+
+def compute_waking_date(host: Host, now: float,
+                        blacklist: frozenset[str] = DEFAULT_BLACKLIST) -> float | None:
+    """The waking date for a host about to suspend, or None.
+
+    None means no work of interest is scheduled: the host may sleep
+    until an external request arrives (section V-B).
+    """
+    registry = build_host_registry(host, now)
+    entry = registry.earliest_valid(blacklist)
+    return entry.fire_time_s if entry is not None else None

@@ -1,0 +1,113 @@
+"""Activity traces.
+
+A trace is the hourly activity level of one VM: the fraction of scheduler
+quanta the VM consumed in each hour, in ``[0, 1]`` (paper section III-C).
+An hour with activity exactly 0 is an *idle* hour; the idleness model
+only distinguishes idle vs active, but the activity *level* feeds the
+update magnitude (eq. (2)) and the request generator.
+
+The paper's VM taxonomy (section I) is carried on the trace:
+
+* ``SLMU`` — short-lived mostly-used (e.g. MapReduce tasks);
+* ``LLMU`` — long-lived mostly-used (e.g. popular web services);
+* ``LLMI`` — long-lived mostly-idle (e.g. seasonal web services).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.calendar import HOURS_PER_DAY
+
+
+class VMKind(enum.Enum):
+    """Paper section I VM activity classes."""
+
+    SLMU = "short-lived mostly-used"
+    LLMU = "long-lived mostly-used"
+    LLMI = "long-lived mostly-idle"
+
+
+@dataclass(frozen=True)
+class ActivityTrace:
+    """Hourly activity levels of one VM.
+
+    ``activities[t]`` is the activity level of absolute hour ``t`` (hours
+    since the calendar epoch, a Monday Jan 1).
+    """
+
+    name: str
+    activities: np.ndarray
+    kind: VMKind = VMKind.LLMI
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.activities, dtype=np.float64)
+        if arr.ndim != 1:
+            raise ValueError("activities must be a 1-D array")
+        if arr.size == 0:
+            raise ValueError("trace must contain at least one hour")
+        if np.any((arr < 0.0) | (arr > 1.0)):
+            raise ValueError("activity levels must be in [0, 1]")
+        object.__setattr__(self, "activities", arr)
+
+    # ------------------------------------------------------------------
+    @property
+    def hours(self) -> int:
+        """Trace length in hours."""
+        return int(self.activities.size)
+
+    @property
+    def days(self) -> float:
+        return self.hours / HOURS_PER_DAY
+
+    @property
+    def idle_mask(self) -> np.ndarray:
+        """Bool array: True where the hour is idle (activity == 0)."""
+        return self.activities == 0.0
+
+    @property
+    def idle_fraction(self) -> float:
+        """Fraction of idle hours over the trace."""
+        return float(np.mean(self.idle_mask))
+
+    @property
+    def mean_active_level(self) -> float:
+        """Mean activity level over active hours (0 if never active)."""
+        active = self.activities[~self.idle_mask]
+        return float(active.mean()) if active.size else 0.0
+
+    # ------------------------------------------------------------------
+    def activity(self, hour_index: int) -> float:
+        """Activity level of absolute hour ``hour_index``.
+
+        Hours past the end of the trace wrap around (periodic extension),
+        so a one-week trace can drive a simulation of arbitrary length —
+        this mirrors the paper extending one-week Nutanix traces to three
+        years (Table II).
+        """
+        return float(self.activities[hour_index % self.hours])
+
+    def window(self, start_hour: int, n_hours: int) -> np.ndarray:
+        """Activity levels for ``n_hours`` starting at ``start_hour``."""
+        idx = (start_hour + np.arange(n_hours)) % self.hours
+        return self.activities[idx]
+
+    def tiled(self, total_hours: int, name: str | None = None) -> "ActivityTrace":
+        """Periodic extension of the trace to ``total_hours``."""
+        reps = int(np.ceil(total_hours / self.hours))
+        arr = np.tile(self.activities, reps)[:total_hours]
+        return ActivityTrace(name or f"{self.name}*{reps}", arr, self.kind)
+
+    def with_name(self, name: str) -> "ActivityTrace":
+        return ActivityTrace(name, self.activities, self.kind)
+
+    def __len__(self) -> int:
+        return self.hours
+
+
+def trace_matrix(traces: list[ActivityTrace], n_hours: int) -> np.ndarray:
+    """Stack traces into an ``(n, T)`` matrix (periodically extended)."""
+    return np.stack([t.window(0, n_hours) for t in traces])

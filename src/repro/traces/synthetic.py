@@ -1,0 +1,152 @@
+"""Synthetic workload traces (paper Table II and section I examples).
+
+Each builder returns an :class:`~repro.traces.base.ActivityTrace` whose
+idle/active structure matches one of the workload archetypes the paper
+uses: the daily backup service (Fig. 4a), the online comic strip
+published three times a week except during the summer holidays (Fig. 4b),
+the seasonal diploma-results website (section III-A example), plain
+mostly-used VMs (Fig. 4h) and short-lived tasks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..core.calendar import slots_of_hours
+from .base import ActivityTrace, VMKind
+
+#: Signature of an activity predicate: arrays (h, dw, dm, m, doy) -> bool mask.
+ActiveFn = Callable[[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray], np.ndarray]
+
+
+def build_trace(
+    name: str,
+    hours: int,
+    active_fn: ActiveFn,
+    level: float = 0.2,
+    kind: VMKind = VMKind.LLMI,
+    rng: np.random.Generator | None = None,
+    level_jitter: float = 0.0,
+    p_extra: float = 0.0,
+    p_miss: float = 0.0,
+) -> ActivityTrace:
+    """Build a trace from a calendar predicate.
+
+    ``active_fn`` receives vectorized calendar coordinates for every hour
+    and returns the active mask.  ``level_jitter`` multiplies active
+    levels by lognormal noise; ``p_extra`` / ``p_miss`` flip inactive /
+    active hours with the given probabilities (trace irregularity).
+    """
+    if hours <= 0:
+        raise ValueError("hours must be positive")
+    coords = slots_of_hours(np.arange(hours))
+    mask = np.asarray(active_fn(*coords), dtype=bool)
+    if mask.shape != (hours,):
+        raise ValueError("active_fn must return one bool per hour")
+    if p_extra or p_miss or level_jitter:
+        if rng is None:
+            raise ValueError("rng is required for stochastic traces")
+    if p_extra:
+        mask = mask | (rng.random(hours) < p_extra)
+    if p_miss:
+        mask = mask & ~(rng.random(hours) < p_miss)
+    levels = np.full(hours, level)
+    if level_jitter:
+        levels = levels * rng.lognormal(0.0, level_jitter, size=hours)
+    activities = np.where(mask, np.clip(levels, 0.01, 1.0), 0.0)
+    return ActivityTrace(name, activities, kind)
+
+
+def daily_backup_trace(days: int = 365, backup_hour: int = 2,
+                       level: float = 0.8) -> ActivityTrace:
+    """Backup service running each day at ``backup_hour`` (Fig. 4a)."""
+    return build_trace(
+        "daily-backup", days * 24,
+        lambda h, dw, dm, m, doy: h == backup_hour,
+        level=level)
+
+
+def comic_strips_trace(years: int = 3, publish_days: tuple[int, ...] = (0, 2, 4),
+                       publish_hours: tuple[int, ...] = (8, 9, 10),
+                       holiday_months: tuple[int, ...] = (6, 7),
+                       level: float = 0.35) -> ActivityTrace:
+    """Comic-strip site: three publications a week, none in July/August.
+
+    Fig. 4b's workload: weekly periodicity (Mon/Wed/Fri) modulated by a
+    yearly holiday period, which only the SIy scale can capture — the
+    paper reports ~2 years for the model to fully learn it.
+    """
+    def active(h, dw, dm, m, doy):
+        return (np.isin(dw, publish_days) & np.isin(h, publish_hours)
+                & ~np.isin(m, holiday_months))
+
+    return build_trace("comic-strips", years * 365 * 24, active, level=level)
+
+
+def seasonal_results_trace(years: int = 3, month: int = 6, day_of_month: int = 19,
+                           hours_active: tuple[int, ...] = (14, 15),
+                           level: float = 0.9) -> ActivityTrace:
+    """National diploma-results website (paper section III-A example).
+
+    Mostly used at 2 pm / 3 pm on the 20th of July (0-based: month 6,
+    day 19), every year — the extreme LLMI case where only the yearly
+    scale carries signal.
+    """
+    def active(h, dw, dm, m, doy):
+        return (m == month) & (dm == day_of_month) & np.isin(h, hours_active)
+
+    return build_trace("diploma-results", years * 365 * 24, active, level=level)
+
+
+def llmu_trace(hours: int = 3 * 365 * 24, base_level: float = 0.55,
+               diurnal_amplitude: float = 0.25, floor: float = 0.05,
+               seed: int = 7) -> ActivityTrace:
+    """Long-lived mostly-used VM: always active, diurnal load (Fig. 4h).
+
+    Models a popular web service a la CloudSuite Media Streaming; the
+    defining property for the model is that no hour is ever idle.
+    """
+    rng = np.random.default_rng(seed)
+    t = np.arange(hours)
+    diurnal = base_level + diurnal_amplitude * np.sin(2 * np.pi * (t % 24) / 24.0)
+    noise = rng.normal(0.0, 0.05, size=hours)
+    levels = np.clip(diurnal + noise, floor, 1.0)
+    return ActivityTrace("llmu", levels, VMKind.LLMU)
+
+
+def slmu_trace(lifetime_hours: int = 8, level: float = 0.9,
+               total_hours: int | None = None) -> ActivityTrace:
+    """Short-lived mostly-used task (e.g. MapReduce job, section I).
+
+    Fully active for ``lifetime_hours`` then gone; if ``total_hours`` is
+    given the tail is zero-padded so the trace composes with others.
+    """
+    total = total_hours if total_hours is not None else lifetime_hours
+    if total < lifetime_hours:
+        raise ValueError("total_hours must cover the lifetime")
+    arr = np.zeros(total)
+    arr[:lifetime_hours] = level
+    return ActivityTrace("slmu", arr, VMKind.SLMU)
+
+
+def weekly_pattern_trace(name: str, active_hours_by_weekday: dict[int, tuple[int, ...]],
+                         weeks: int = 1, level: float = 0.2,
+                         rng: np.random.Generator | None = None,
+                         level_jitter: float = 0.0) -> ActivityTrace:
+    """Generic weekly schedule: map weekday -> active hours of day."""
+    table = np.zeros((7, 24), dtype=bool)
+    for dw, hs in active_hours_by_weekday.items():
+        table[dw, list(hs)] = True
+
+    def active(h, dw, dm, m, doy):
+        return table[dw, h]
+
+    return build_trace(name, weeks * 7 * 24, active, level=level, rng=rng,
+                       level_jitter=level_jitter)
+
+
+def always_idle_trace(hours: int, name: str = "always-idle") -> ActivityTrace:
+    """Degenerate trace: never any activity (cold-start edge case)."""
+    return ActivityTrace(name, np.zeros(hours), VMKind.LLMI)

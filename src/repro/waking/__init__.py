@@ -1,0 +1,17 @@
+"""Waking subsystem: packet analysis, WoL, scheduled wakes, failover."""
+
+from .failover import ReplicatedWakingService
+from .module import WakingModule, WakingModuleState, WolSender
+from .packets import Packet, PacketKind, WoLPacket
+from .sharding import RackShardedWakingService
+
+__all__ = [
+    "Packet",
+    "PacketKind",
+    "RackShardedWakingService",
+    "ReplicatedWakingService",
+    "WakingModule",
+    "WakingModuleState",
+    "WoLPacket",
+    "WolSender",
+]

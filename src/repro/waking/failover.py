@@ -1,0 +1,109 @@
+"""Waking-module fault tolerance (paper section V).
+
+"All waking modules work in a collaborated manner.  Each waking module
+monitors — via a heart beat mechanism — and mirrors another one.  In
+this way, when a waking module is defective, it is replaced with an
+identical version."
+
+:class:`ReplicatedWakingService` fronts a primary/mirror pair: every
+state-changing call is applied to the primary and synchronously
+replicated to the mirror's state; a heartbeat monitor promotes the
+mirror when the primary misses enough beats.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..cluster.events import EventSimulator
+from ..cluster.host import Host
+from ..core.params import DEFAULT_PARAMS, DrowsyParams
+from .module import WakingModule, WolSender
+from .packets import Packet
+
+
+class ReplicatedWakingService:
+    """Primary/mirror pair of waking modules with heartbeat failover."""
+
+    def __init__(self, sim: EventSimulator, wol_sender: WolSender,
+                 params: DrowsyParams = DEFAULT_PARAMS,
+                 name: str = "rack0") -> None:
+        self.sim = sim
+        self.params = params
+        self.primary = WakingModule(f"{name}-primary", sim, wol_sender, params)
+        self.mirror = WakingModule(f"{name}-mirror", sim, self._mirror_wol_guard(wol_sender), params)
+        # The mirror holds state but must not emit WoL until promoted.
+        self._mirror_active = False
+        self._missed_beats = 0
+        self.failovers = 0
+        self._heartbeat_event = sim.schedule_in(
+            params.heartbeat_period_s, self._heartbeat)
+
+    def _mirror_wol_guard(self, sender: WolSender) -> WolSender:
+        def guarded(packet, now):
+            if self._mirror_active:
+                sender(packet, now)
+        return guarded
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> WakingModule:
+        return self.mirror if self._mirror_active else self.primary
+
+    def _ensure_live(self) -> WakingModule:
+        """Fail fast: a call hitting a dead primary (an RPC timeout in a
+        real deployment) promotes the mirror immediately, without waiting
+        for the heartbeat to notice."""
+        if not self.active.alive and not self._mirror_active:
+            self._promote_mirror()
+        return self.active
+
+    def register_suspension(self, host: Host, waking_date_s: float | None) -> None:
+        self._ensure_live().register_suspension(host, waking_date_s)
+        self._replicate()
+
+    def on_host_awake(self, host: Host) -> None:
+        self._ensure_live().on_host_awake(host)
+        self._replicate()
+
+    def analyze_packet(self, packet: Packet) -> bool:
+        module = self._ensure_live()
+        if not module.alive:  # both replicas down
+            return False
+        return module.analyze_packet(packet)
+
+    def _replicate(self) -> None:
+        """Synchronous state mirroring after each update."""
+        standby = self.primary if self._mirror_active else self.mirror
+        if standby.alive:
+            standby.state = self.active.snapshot()
+
+    # ------------------------------------------------------------------
+    def _heartbeat(self) -> None:
+        """Periodic liveness check of the primary by the mirror."""
+        if self._mirror_active:
+            return  # already failed over; single module remains
+        if self.primary.alive:
+            self._missed_beats = 0
+        else:
+            self._missed_beats += 1
+            if self._missed_beats >= self.params.heartbeat_miss_limit:
+                self._promote_mirror()
+                return
+        self._heartbeat_event = self.sim.schedule_in(
+            self.params.heartbeat_period_s, self._heartbeat)
+
+    def _promote_mirror(self) -> None:
+        """Mirror takes over with the replicated state, re-arming wakes."""
+        self._mirror_active = True
+        self.failovers += 1
+        self.mirror.restore(self.mirror.state)
+
+    def fail_primary(self) -> None:
+        """Fault injection: crash the primary module."""
+        self.primary.fail()
+
+    @property
+    def detection_delay_s(self) -> float:
+        """Worst-case failover detection latency."""
+        return self.params.heartbeat_period_s * self.params.heartbeat_miss_limit

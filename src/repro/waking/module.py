@@ -1,0 +1,153 @@
+"""The waking module (paper section V).
+
+Runs on the never-sleeping SDN switch (one per rack).  Holds two
+hashmaps:
+
+* VM IP address -> MAC address of the drowsy server hosting it, consulted
+  by the packet analyzer for every inbound request (section V-A);
+* waking date -> MAC address, fed by the suspending modules, used to send
+  Wake-on-LAN *ahead of time* so the host is up when the timer fires
+  (section V-B).
+
+Per the paper's footnote 4, the VM->host mappings are only refreshed
+when a host suspends.
+
+The module is deliberately free of host-object manipulation: it emits
+WoL packets through a callback supplied by the simulation driver, which
+owns the host power-state machine.  This keeps it mirrorable — its whole
+state is the two maps — which the fault-tolerance layer exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..cluster.events import Event, EventSimulator
+from ..cluster.host import Host
+from ..core.params import DEFAULT_PARAMS, DrowsyParams
+from .packets import Packet, PacketKind, WoLPacket
+
+WolSender = Callable[[WoLPacket, float], None]
+
+
+@dataclass
+class WakingModuleState:
+    """The replicable state of a waking module (mirrored on each update)."""
+
+    #: VM IP -> MAC of the suspended host running it.
+    vm_to_mac: dict[str, str] = field(default_factory=dict)
+    #: MAC -> registered waking date (absolute seconds), None = none.
+    waking_dates: dict[str, float | None] = field(default_factory=dict)
+
+    def copy(self) -> "WakingModuleState":
+        return WakingModuleState(dict(self.vm_to_mac), dict(self.waking_dates))
+
+
+class WakingModule:
+    """Rack-level wake coordinator."""
+
+    def __init__(self, name: str, sim: EventSimulator, wol_sender: WolSender,
+                 params: DrowsyParams = DEFAULT_PARAMS) -> None:
+        self.name = name
+        self.sim = sim
+        self.params = params
+        self._wol_sender = wol_sender
+        self.state = WakingModuleState()
+        self._scheduled: dict[str, Event] = {}
+        self.alive = True
+        #: Statistics for the evaluation.
+        self.wol_sent = 0
+        self.packets_analyzed = 0
+
+    # ------------------------------------------------------------------
+    # registration (from suspending modules)
+    # ------------------------------------------------------------------
+    def register_suspension(self, host: Host, waking_date_s: float | None) -> None:
+        """A host is going drowsy: refresh maps, arm the scheduled wake."""
+        if not self.alive:
+            raise RuntimeError(f"waking module {self.name} is down")
+        mac = host.mac_address
+        for vm in host.vms:
+            self.state.vm_to_mac[vm.ip_address] = mac
+        self.state.waking_dates[mac] = waking_date_s
+        self._cancel_scheduled(mac)
+        if waking_date_s is not None:
+            # Send the WoL ahead of time by the resume latency (plus a
+            # small margin) so the host is up when the timer fires.
+            lead = 0.0
+            if self.params.ahead_of_time_wake:
+                lead = self.params.resume_latency_s + self.params.wake_ahead_margin_s
+            at = max(waking_date_s - lead, self.sim.now)
+            self._scheduled[mac] = self.sim.schedule_at(
+                at, self._fire_scheduled_wake, mac)
+
+    def on_host_awake(self, host: Host) -> None:
+        """A host resumed: drop its mappings and scheduled wake."""
+        mac = host.mac_address
+        self._cancel_scheduled(mac)
+        self.state.waking_dates.pop(mac, None)
+        stale = [ip for ip, m in self.state.vm_to_mac.items() if m == mac]
+        for ip in stale:
+            del self.state.vm_to_mac[ip]
+
+    def _cancel_scheduled(self, mac: str) -> None:
+        ev = self._scheduled.pop(mac, None)
+        if ev is not None:
+            ev.cancel()
+
+    # ------------------------------------------------------------------
+    # wake paths
+    # ------------------------------------------------------------------
+    def _fire_scheduled_wake(self, mac: str) -> None:
+        if not self.alive:
+            return
+        self._scheduled.pop(mac, None)
+        self.state.waking_dates.pop(mac, None)
+        self._send_wol(mac, reason="scheduled-date")
+
+    def analyze_packet(self, packet: Packet) -> bool:
+        """Section V-A packet analysis.  Returns True if a WoL was sent."""
+        if not self.alive:
+            raise RuntimeError(f"waking module {self.name} is down")
+        self.packets_analyzed += 1
+        if packet.kind is not PacketKind.REQUEST:
+            return False
+        mac = self.state.vm_to_mac.get(packet.dst_ip)
+        if mac is None:
+            return False
+        self._send_wol(mac, reason="inbound-request")
+        return True
+
+    def _send_wol(self, mac: str, reason: str) -> None:
+        self.wol_sent += 1
+        self._wol_sender(WoLPacket(mac_address=mac, reason=reason), self.sim.now)
+
+    # ------------------------------------------------------------------
+    # mirroring hooks (fault tolerance, section V)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> WakingModuleState:
+        """State to replicate to the mirror module."""
+        return self.state.copy()
+
+    def restore(self, state: WakingModuleState) -> None:
+        """Adopt a mirrored state and re-arm every scheduled wake."""
+        for ev in self._scheduled.values():
+            ev.cancel()
+        self._scheduled.clear()
+        self.state = state.copy()
+        lead = 0.0
+        if self.params.ahead_of_time_wake:
+            lead = self.params.resume_latency_s + self.params.wake_ahead_margin_s
+        for mac, date in self.state.waking_dates.items():
+            if date is not None:
+                at = max(date - lead, self.sim.now)
+                self._scheduled[mac] = self.sim.schedule_at(
+                    at, self._fire_scheduled_wake, mac)
+
+    def fail(self) -> None:
+        """Kill this module (fault injection)."""
+        self.alive = False
+        for ev in self._scheduled.values():
+            ev.cancel()
+        self._scheduled.clear()

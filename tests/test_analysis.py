@@ -1,0 +1,160 @@
+"""Tests for the analysis helpers (colocation, energy, SLA, evaluation)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ColocationTracker,
+    RunSummary,
+    energy_table,
+    evaluate_traces,
+    evaluation_table,
+    improvement_pct,
+    sla_report,
+    summarize_testbed,
+    suspension_table,
+)
+from repro.cluster import DataCenter, Host, HostCapacity, ResourceSpec, VM
+from repro.network.requests import Request, RequestLog
+from repro.traces.synthetic import always_idle_trace, daily_backup_trace, llmu_trace
+
+CAP = HostCapacity(cpus=8, memory_mb=16384, cpu_overcommit=1.0)
+FLAVOR = ResourceSpec(cpus=2, memory_mb=6144)
+
+
+def make_dc():
+    hosts = [Host("h0", CAP), Host("h1", CAP)]
+    dc = DataCenter(hosts)
+    for i, hname in enumerate(("h0", "h0", "h1", "h1")):
+        dc.place(VM(f"V{i}", always_idle_trace(48), FLAVOR), dc.host(hname))
+    return dc
+
+
+class TestColocation:
+    def test_pair_fraction(self):
+        dc = make_dc()
+        tracker = ColocationTracker(dc)
+        tracker.sample()
+        tracker.sample()
+        assert tracker.pair_fraction("V0", "V1") == 1.0
+        assert tracker.pair_fraction("V0", "V2") == 0.0
+        assert tracker.pair_fraction("V0", "V0") == 1.0
+
+    def test_fraction_after_migration(self):
+        dc = make_dc()
+        tracker = ColocationTracker(dc)
+        tracker.sample()
+        v0 = next(v for v in dc.vms if v.name == "V0")
+        v2 = next(v for v in dc.vms if v.name == "V2")
+        dc.apply_assignment({"V0": dc.host("h1"), "V2": dc.host("h0")}, now=1.0)
+        tracker.sample()
+        assert tracker.pair_fraction("V0", "V3") == 0.5
+
+    def test_matrix_layout(self):
+        dc = make_dc()
+        tracker = ColocationTracker(dc)
+        tracker.sample()
+        m = tracker.matrix(["V0", "V1", "V2", "V3"])
+        assert m.shape == (4, 4)
+        np.testing.assert_allclose(np.diag(m), 100.0)
+        np.testing.assert_allclose(m, m.T)
+
+    def test_no_samples(self):
+        dc = make_dc()
+        tracker = ColocationTracker(dc)
+        assert tracker.pair_fraction("V0", "V1") == 0.0
+
+    def test_render_includes_migrations(self):
+        dc = make_dc()
+        tracker = ColocationTracker(dc)
+        tracker.sample()
+        text = tracker.render(["V0", "V1"], {"V0": 2, "V1": 0})
+        assert "#mig" in text and "V0" in text
+
+    def test_summarize_testbed(self):
+        dc = make_dc()
+        tracker = ColocationTracker(dc)
+        tracker.sample()
+        s = summarize_testbed(tracker, {"V0": 1, "V1": 0},
+                              llmu_pair=("V0", "V1"),
+                              same_workload_pair=("V2", "V3"))
+        assert s.llmu_pair_fraction == 1.0
+        assert s.same_workload_pair_fraction == 1.0
+        assert s.total_migrations == 1
+
+
+class TestEnergyTables:
+    def test_improvement_pct(self):
+        assert improvement_pct(40.0, 18.0) == pytest.approx(55.0)
+        with pytest.raises(ValueError):
+            improvement_pct(0.0, 1.0)
+
+    def test_suspension_table_format(self):
+        runs = [RunSummary("Drowsy-DC", 18.0, {"P2": 0.0, "P3": 0.94}),
+                RunSummary("Neat", 24.0, {"P2": 0.89, "P3": 0.07})]
+        text = suspension_table(runs, ["P2", "P3"])
+        assert "Drowsy-DC" in text and "Global" in text
+
+    def test_energy_table_savings_column(self):
+        runs = [RunSummary("base", 40.0, {}), RunSummary("new", 20.0, {})]
+        text = energy_table(runs)
+        assert "50.0%" in text
+
+    def test_global_fraction(self):
+        r = RunSummary("x", 1.0, {"a": 0.5, "b": 1.0})
+        assert r.global_suspended_fraction == pytest.approx(0.75)
+        assert RunSummary("y", 1.0, {}).global_suspended_fraction == 0.0
+
+
+class TestSLAReport:
+    def make_log(self):
+        log = RequestLog()
+        for lat, woke in [(0.05, False)] * 99 + [(0.8, True)]:
+            r = Request(arrival_s=0.0, vm_name="v", service_time_s=lat)
+            r.completion_s = lat
+            r.woke_host = woke
+            log.record(r)
+        return log
+
+    def test_report_fields(self):
+        report = sla_report(self.make_log())
+        assert report.total_requests == 100
+        assert report.sla_fraction == pytest.approx(0.99)
+        assert not report.sla_met  # needs strictly more than 99 %
+        assert report.wake_requests == 1
+        assert report.max_wake_latency_s == pytest.approx(0.8)
+
+    def test_render(self):
+        text = sla_report(self.make_log()).render()
+        assert "requests" in text and "SLA" in text
+
+
+class TestEvaluationHarness:
+    def test_fleet_evaluation_matches_trace_count(self):
+        traces = [daily_backup_trace(days=30), llmu_trace(hours=30 * 24)]
+        evals = evaluate_traces(traces, sample_every=24)
+        assert len(evals) == 2
+        assert evals[0].trace_name == "daily-backup"
+
+    def test_backup_learns_fast(self):
+        traces = [daily_backup_trace(days=60)]
+        ev = evaluate_traces(traces)[0]
+        assert ev.final_f_measure > 0.95
+
+    def test_llmu_specificity(self):
+        ev = evaluate_traces([llmu_trace(hours=30 * 24)])[0]
+        assert ev.final_specificity > 0.99
+
+    def test_table_rendering(self):
+        evals = evaluate_traces([daily_backup_trace(days=14)])
+        text = evaluation_table(evals)
+        assert "f-measure" in text and "daily-backup" in text
+
+    def test_requires_traces(self):
+        with pytest.raises(ValueError):
+            evaluate_traces([])
+
+    def test_shorter_traces_extend_periodically(self):
+        traces = [daily_backup_trace(days=7), daily_backup_trace(days=14)]
+        evals = evaluate_traces(traces)
+        assert evals[0].curves.hours[-1] == evals[1].curves.hours[-1]

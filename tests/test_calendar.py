@@ -1,0 +1,123 @@
+"""Tests for the simulation calendar."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.calendar import (
+    DAYS_PER_WEEK,
+    DAYS_PER_YEAR,
+    HOURS_PER_DAY,
+    HOURS_PER_YEAR,
+    MONTH_LENGTHS,
+    MONTH_STARTS,
+    hour_index,
+    hour_of_time,
+    slot_of_hour,
+    slots_of_hours,
+    time_of_hour,
+)
+
+
+class TestSlotOfHour:
+    def test_epoch_is_monday_jan1_midnight(self):
+        s = slot_of_hour(0)
+        assert s.hour == 0
+        assert s.day_of_week == 0
+        assert s.day_of_month == 0
+        assert s.month == 0
+        assert s.day_of_year == 0
+
+    def test_hour_within_day(self):
+        s = slot_of_hour(13)
+        assert s.hour == 13
+        assert s.day_of_week == 0
+
+    def test_next_day_is_tuesday(self):
+        s = slot_of_hour(24)
+        assert s.hour == 0
+        assert s.day_of_week == 1
+        assert s.day_of_month == 1
+
+    def test_week_wraps(self):
+        s = slot_of_hour(7 * 24)
+        assert s.day_of_week == 0
+        assert s.day_of_month == 7
+
+    def test_february_start(self):
+        s = slot_of_hour(31 * 24)
+        assert s.month == 1
+        assert s.day_of_month == 0
+        assert s.day_of_year == 31
+
+    def test_december_end(self):
+        s = slot_of_hour(364 * 24 + 23)
+        assert s.month == 11
+        assert s.day_of_month == 30
+        assert s.hour == 23
+
+    def test_year_wraps(self):
+        s = slot_of_hour(HOURS_PER_YEAR)
+        assert s.day_of_year == 0
+        assert s.month == 0
+        # 365 % 7 == 1: the next year starts one weekday later.
+        assert s.day_of_week == 1
+
+    def test_negative_hour_rejected(self):
+        with pytest.raises(ValueError):
+            slot_of_hour(-1)
+
+    def test_month_lengths_sum_to_year(self):
+        assert sum(MONTH_LENGTHS) == DAYS_PER_YEAR
+
+    def test_month_starts_consistent(self):
+        assert MONTH_STARTS[0] == 0
+        assert MONTH_STARTS[1] == 31
+        assert MONTH_STARTS[-1] == DAYS_PER_YEAR - MONTH_LENGTHS[-1]
+
+
+class TestVectorized:
+    @given(st.integers(min_value=0, max_value=10 * HOURS_PER_YEAR))
+    def test_matches_scalar(self, hour):
+        h, dw, dm, m, doy = slots_of_hours(np.array([hour]))
+        s = slot_of_hour(hour)
+        assert h[0] == s.hour
+        assert dw[0] == s.day_of_week
+        assert dm[0] == s.day_of_month
+        assert m[0] == s.month
+        assert doy[0] == s.day_of_year
+
+    def test_batch_shape(self):
+        out = slots_of_hours(np.arange(1000))
+        assert all(arr.shape == (1000,) for arr in out)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            slots_of_hours(np.array([-5]))
+
+    def test_ranges(self):
+        h, dw, dm, m, doy = slots_of_hours(np.arange(3 * HOURS_PER_YEAR))
+        assert h.min() == 0 and h.max() == HOURS_PER_DAY - 1
+        assert dw.min() == 0 and dw.max() == DAYS_PER_WEEK - 1
+        assert dm.min() == 0 and dm.max() == 30
+        assert m.min() == 0 and m.max() == 11
+        assert doy.min() == 0 and doy.max() == DAYS_PER_YEAR - 1
+
+
+class TestTimeConversions:
+    def test_hour_of_time(self):
+        assert hour_of_time(0.0) == 0
+        assert hour_of_time(3599.9) == 0
+        assert hour_of_time(3600.0) == 1
+
+    def test_time_of_hour_roundtrip(self):
+        for t in (0, 5, 1000):
+            assert hour_of_time(time_of_hour(t)) == t
+
+    def test_hour_index(self):
+        assert hour_index(0, 5) == 5
+        assert hour_index(2, 3) == 51
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            hour_of_time(-1.0)

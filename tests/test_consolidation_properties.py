@@ -1,0 +1,138 @@
+"""Property-based tests for consolidation policies.
+
+Invariants that must hold for arbitrary populations: placements never
+overfill hosts, selectors return permutations of the host's VMs, the
+opportunistic step never widens IP ranges globally, groupings conserve
+VMs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import Host, HostCapacity, ResourceSpec, VM
+from repro.consolidation import (
+    IPAwarePlacement,
+    IPDistanceSelector,
+    MinimumMigrationTimeSelector,
+    PowerAwareBestFitDecreasing,
+    drowsy_linear_grouping,
+    pairwise_matching_grouping,
+)
+from repro.traces.synthetic import always_idle_trace
+
+CAP = HostCapacity(cpus=16, memory_mb=32768, cpu_overcommit=1.0)
+
+
+def make_population(rng, n_vms, n_hosts, trained_hours=100):
+    hosts = [Host(f"h{i}", CAP) for i in range(n_hosts)]
+    vms = []
+    for i in range(n_vms):
+        vm = VM(f"v{i}", always_idle_trace(48),
+                ResourceSpec(cpus=int(rng.integers(1, 5)),
+                             memory_mb=int(rng.integers(1, 9)) * 1024))
+        pattern_start = int(rng.integers(0, 24))
+        for t in range(trained_hours):
+            active = (t % 24) in range(pattern_start, min(pattern_start + 4, 24))
+            vm.model.observe(t, 0.4 if active else 0.0)
+        vm.current_activity = float(rng.uniform(0, 1)) if rng.random() < 0.5 else 0.0
+        vms.append(vm)
+    return vms, hosts
+
+
+placement_policies = [
+    ("pabfd", lambda: PowerAwareBestFitDecreasing()),
+    ("ip", lambda: IPAwarePlacement()),
+]
+
+
+class TestPlacementProperties:
+    @pytest.mark.parametrize("name,factory", placement_policies)
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_never_overfills(self, name, factory, seed):
+        rng = np.random.default_rng(seed)
+        vms, hosts = make_population(rng, n_vms=10, n_hosts=3)
+        placement = factory().place(vms, hosts, 100, {})
+        # Apply virtually and check capacity per host.
+        load = {h.name: [0, 0] for h in hosts}
+        for vm in vms:
+            dest = placement.get(vm.name)
+            if dest is None:
+                continue
+            load[dest.name][0] += vm.resources.cpus
+            load[dest.name][1] += vm.resources.memory_mb
+        for h in hosts:
+            assert load[h.name][0] <= h.capacity.schedulable_cpus
+            assert load[h.name][1] <= h.capacity.memory_mb
+
+    @pytest.mark.parametrize("name,factory", placement_policies)
+    def test_each_vm_placed_at_most_once(self, name, factory):
+        rng = np.random.default_rng(3)
+        vms, hosts = make_population(rng, n_vms=8, n_hosts=2)
+        placement = factory().place(vms, hosts, 100, {})
+        assert set(placement) <= {vm.name for vm in vms}
+
+    @pytest.mark.parametrize("name,factory", placement_policies)
+    def test_excludes_current_host(self, name, factory):
+        rng = np.random.default_rng(4)
+        vms, hosts = make_population(rng, n_vms=4, n_hosts=2)
+        current = {vms[0].name: hosts[0]}
+        placement = factory().place([vms[0]], hosts, 100, current)
+        if vms[0].name in placement:
+            assert placement[vms[0].name] is not hosts[0]
+
+
+class TestSelectorProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_orders_are_permutations(self, seed):
+        rng = np.random.default_rng(seed)
+        host = Host("h", CAP)
+        names = set()
+        for i in range(4):
+            vm = VM(f"v{i}", always_idle_trace(48), ResourceSpec(2, 2048))
+            vm.current_activity = float(rng.uniform(0, 1))
+            host.add_vm(vm)
+            names.add(vm.name)
+        for selector in (MinimumMigrationTimeSelector(), IPDistanceSelector()):
+            order = selector.order(host, 10)
+            assert {vm.name for vm in order} == names
+            assert len(order) == len(names)
+
+
+class TestGroupingProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_linear_grouping_conserves_vms(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 32))
+        hosts = [Host(f"h{i}", CAP) for i in range((n + 3) // 4)]
+        vms = []
+        for i in range(n):
+            vm = VM(f"v{i}", always_idle_trace(48), ResourceSpec(2, 8192))
+            for t in range(50):
+                vm.model.observe(t, 0.3 if (t + i) % 7 == 0 else 0.0)
+            vms.append(vm)
+        groups = drowsy_linear_grouping(vms, hosts, 50)
+        grouped = [vm.name for g in groups for vm in g]
+        assert sorted(grouped) == sorted(vm.name for vm in vms)
+        for host, group in zip(hosts, groups):
+            mem = sum(vm.resources.memory_mb for vm in group)
+            assert mem <= host.capacity.memory_mb
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_pairwise_grouping_no_duplicates(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 24))
+        hosts = [Host(f"h{i}", CAP) for i in range((n + 3) // 4)]
+        vms = []
+        for i in range(n):
+            vm = VM(f"v{i}", always_idle_trace(48), ResourceSpec(2, 8192))
+            for t in range(50):
+                vm.model.observe(t, 0.3 if (t + i) % 5 == 0 else 0.0)
+            vms.append(vm)
+        groups = pairwise_matching_grouping(vms, hosts, 50)
+        grouped = [vm.name for g in groups for vm in g]
+        assert len(grouped) == len(set(grouped))

@@ -1,0 +1,138 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster.events import EventSimulator
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        sim = EventSimulator()
+        order = []
+        sim.schedule_at(5.0, order.append, "b")
+        sim.schedule_at(1.0, order.append, "a")
+        sim.schedule_at(9.0, order.append, "c")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_within_timestamp(self):
+        sim = EventSimulator()
+        order = []
+        for tag in "abc":
+            sim.schedule_at(1.0, order.append, tag)
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances(self):
+        sim = EventSimulator()
+        seen = []
+        sim.schedule_at(3.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [3.0]
+
+    def test_schedule_in_relative(self):
+        sim = EventSimulator(start_time=10.0)
+        seen = []
+        sim.schedule_in(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [15.0]
+
+    def test_cannot_schedule_in_past(self):
+        sim = EventSimulator(start_time=10.0)
+        with pytest.raises(ValueError):
+            sim.schedule_at(5.0, lambda: None)
+        with pytest.raises(ValueError):
+            sim.schedule_in(-1.0, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        sim = EventSimulator()
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule_in(1.0, lambda: order.append("second"))
+
+        sim.schedule_at(1.0, first)
+        sim.run()
+        assert order == ["first", "second"]
+        assert sim.now == 2.0
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        sim = EventSimulator()
+        fired = []
+        ev = sim.schedule_at(1.0, fired.append, "x")
+        ev.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_pending_excludes_cancelled(self):
+        sim = EventSimulator()
+        ev = sim.schedule_at(1.0, lambda: None)
+        sim.schedule_at(2.0, lambda: None)
+        assert sim.pending == 2
+        ev.cancel()
+        assert sim.pending == 1
+
+    def test_peek_skips_cancelled(self):
+        sim = EventSimulator()
+        ev = sim.schedule_at(1.0, lambda: None)
+        sim.schedule_at(2.0, lambda: None)
+        ev.cancel()
+        assert sim.peek_time() == 2.0
+
+
+class TestRunUntil:
+    def test_stops_at_boundary(self):
+        sim = EventSimulator()
+        fired = []
+        sim.schedule_at(1.0, fired.append, 1)
+        sim.schedule_at(5.0, fired.append, 5)
+        sim.run_until(3.0)
+        assert fired == [1]
+        assert sim.now == 3.0
+
+    def test_inclusive_boundary(self):
+        sim = EventSimulator()
+        fired = []
+        sim.schedule_at(3.0, fired.append, 3)
+        sim.run_until(3.0)
+        assert fired == [3]
+
+    def test_advances_clock_when_drained(self):
+        sim = EventSimulator()
+        sim.run_until(100.0)
+        assert sim.now == 100.0
+
+    def test_step_returns_false_when_empty(self):
+        assert EventSimulator().step() is False
+
+
+class TestPropertyOrdering:
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1,
+                    max_size=60))
+    def test_never_processes_out_of_order(self, times):
+        sim = EventSimulator()
+        processed = []
+        for t in times:
+            sim.schedule_at(t, lambda t=t: processed.append(sim.now))
+        sim.run()
+        assert processed == sorted(processed)
+        assert sim.events_processed == len(times)
+
+    @given(st.lists(st.tuples(st.floats(min_value=0, max_value=100),
+                              st.booleans()), max_size=40))
+    def test_cancellation_is_exact(self, spec):
+        sim = EventSimulator()
+        fired = []
+        expected = []
+        for i, (t, keep) in enumerate(spec):
+            ev = sim.schedule_at(t, fired.append, i)
+            if keep:
+                expected.append((t, i))
+            else:
+                ev.cancel()
+        sim.run()
+        assert sorted(fired) == sorted(i for _, i in expected)

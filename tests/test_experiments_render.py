@@ -1,0 +1,120 @@
+"""Rendering and data-contract tests for the experiment drivers.
+
+Every driver's result object must render a human-readable summary that
+names the artifact it reproduces, and expose the fields the benches and
+EXPERIMENTS.md rely on.  These run at minimal scales.
+"""
+
+import pytest
+
+
+class TestRenderContracts:
+    def test_fig1(self):
+        from repro.experiments import fig1_traces
+
+        data = fig1_traces.run(days=2)
+        text = data.render()
+        assert "Fig. 1" in text
+        assert data.daily_peaks("VM3").shape == (2,)
+
+    def test_fig2(self):
+        from repro.experiments import fig2_colocation
+
+        data = fig2_colocation.run(days=2)
+        assert "Fig. 2" in data.render()
+        assert 0.0 <= data.summary.llmu_pair_fraction <= 1.0
+
+    def test_table1(self):
+        from repro.experiments import table1_suspension
+
+        data = table1_suspension.run(days=2)
+        text = data.render()
+        assert "Table I" in text and "Drowsy-DC" in text and "Neat" in text
+
+    def test_energy(self):
+        from repro.experiments import energy_totals
+
+        data = energy_totals.run(days=2)
+        text = data.render()
+        assert "kWh" in text and "saved" in text
+
+    def test_suspending_eval_render(self):
+        from repro.experiments import suspending_eval
+
+        data = suspending_eval.run()
+        text = data.render()
+        for needle in ("precision", "oscillation", "waking date", "us"):
+            assert needle in text
+
+    def test_scalability_render(self):
+        from repro.experiments import scalability
+
+        data = scalability.run(sizes=(32, 64), repeats=1)
+        text = data.render()
+        assert "n^" in text
+        assert len(data.drowsy_s) == 2
+
+    def test_detector_study_render(self):
+        from repro.experiments import detector_study
+
+        data = detector_study.run(n_hosts=3, n_vms=9, days=1)
+        assert "SLATAH" in data.render()
+
+    def test_fleet_sweep_point_properties(self):
+        from repro.experiments.fleet_sweep import SweepPoint
+
+        p = SweepPoint(llmi_fraction=0.5, drowsy_kwh=10.0, neat_kwh=20.0,
+                       neat_no_s3_kwh=40.0, oasis_kwh=15.0)
+        assert p.drowsy_vs_neat_pct == pytest.approx(50.0)
+        assert p.drowsy_vs_neat_no_s3_pct == pytest.approx(75.0)
+        assert p.drowsy_vs_oasis_pct == pytest.approx(100.0 / 3.0)
+
+    def test_backup_render_flags(self):
+        from repro.experiments.backup_anticipation import BackupData
+
+        good = BackupData(margins_s=[0.2, 0.3], suspended_fraction=0.9,
+                          ahead_of_time=True)
+        bad = BackupData(margins_s=[-0.8], suspended_fraction=0.9,
+                         ahead_of_time=False)
+        assert good.all_anticipated and not bad.all_anticipated
+        assert "YES" in good.render() and "NO" in bad.render()
+
+    def test_waking_failover_render(self):
+        from repro.analysis.sla import SLAReport
+        from repro.experiments.waking_failover import FailoverData
+
+        sla = SLAReport(total_requests=100, sla_fraction=0.995, p50_s=0.05,
+                        p99_s=0.1, max_s=0.9, wake_requests=1,
+                        max_wake_latency_s=0.9)
+        data = FailoverData(failovers=1, detection_delay_s=3.0,
+                            wol_after_crash=2, resumes_after_crash=2, sla=sla)
+        assert data.service_continued
+        assert "failure injection" in data.render()
+
+    def test_initial_placement_render(self):
+        from repro.experiments.initial_placement import (
+            InitialPlacementData,
+            PlacementRunResult,
+        )
+
+        d = PlacementRunResult("idleness weigher", 10.0, 5, 0, 1)
+        v = PlacementRunResult("vanilla", 12.0, 5, 0, 3)
+        data = InitialPlacementData(drowsy=d, vanilla=v)
+        assert data.disturbance_reduction == 2
+        assert "weigher" in data.render()
+
+
+class TestCLIQuickPaths:
+    def test_run_with_kwargs(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "suspending_eval"]) == 0
+        assert "suspending module" in capsys.readouterr().out
+
+    def test_report_exit_code(self, capsys):
+        from repro.cli import main
+
+        code = main(["report", "--days", "2", "--years", "1"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "claims hold" in out

@@ -1,0 +1,289 @@
+"""Tests for the extension modules: adaptive alpha/beta, persistence,
+idleness heuristics, rack sharding, plotting, CLI."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.cluster import EventSimulator, Host, TESTBED_VM, VM
+from repro.core import (
+    AdaptiveBands,
+    AdaptiveIdlenessModel,
+    FleetIdlenessModel,
+    IdlenessModel,
+    load_fleet,
+    load_model,
+    model_from_bytes,
+    model_to_bytes,
+    save_fleet,
+    save_model,
+)
+from repro.core.params import DEFAULT_PARAMS
+from repro.suspend import (
+    CombinedHeuristic,
+    DirtyRateHeuristic,
+    ResourceFractionHeuristic,
+    SuspendDecision,
+    SuspendingModule,
+)
+from repro.traces.synthetic import always_idle_trace, daily_backup_trace
+from repro.waking import Packet, RackShardedWakingService
+from repro.waking.packets import WoLPacket
+
+
+class TestAdaptiveModel:
+    def test_stable_activity_keeps_low_cv(self):
+        m = AdaptiveIdlenessModel()
+        for h in range(200):
+            m.observe(h, 0.3)
+        assert m.coefficient_of_variation < 0.1
+        # Stable behaviour -> gentle alpha, high beta.
+        assert m.effective_alpha < DEFAULT_PARAMS.alpha
+        assert m.effective_beta > DEFAULT_PARAMS.beta
+
+    def test_volatile_activity_raises_alpha(self):
+        rng = np.random.default_rng(0)
+        m = AdaptiveIdlenessModel()
+        for h in range(400):
+            m.observe(h, float(rng.choice([0.02, 0.9])))
+        assert m.coefficient_of_variation > 0.5
+        assert m.effective_alpha > DEFAULT_PARAMS.alpha
+        assert m.effective_beta < DEFAULT_PARAMS.beta
+
+    def test_bands_derive_edges(self):
+        bands = AdaptiveBands()
+        a_lo, b_hi = bands.derive(0.0)
+        a_hi, b_lo = bands.derive(10.0)
+        assert a_lo == bands.alpha_min and b_hi == bands.beta_max
+        assert a_hi == bands.alpha_max and b_lo == bands.beta_min
+
+    def test_still_learns_patterns(self):
+        from repro.core.calendar import slot_of_hour
+
+        m = AdaptiveIdlenessModel()
+        for h in range(30 * 24):
+            m.observe(h, 0.4 if h % 24 == 9 else 0.0)
+        assert not m.predict_idle(slot_of_hour(30 * 24 + 9))
+        assert m.predict_idle(slot_of_hour(30 * 24 + 3))
+
+    def test_cold_start_cv_zero(self):
+        assert AdaptiveIdlenessModel().coefficient_of_variation == 0.0
+
+
+class TestSerialization:
+    def train(self, model, hours=300):
+        for h in range(hours):
+            model.observe(h, 0.3 if h % 24 < 8 else 0.0)
+        return model
+
+    def test_scalar_roundtrip(self, tmp_path):
+        model = self.train(IdlenessModel())
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        restored = load_model(path)
+        np.testing.assert_array_equal(restored.sid, model.sid)
+        np.testing.assert_array_equal(restored.siy, model.siy)
+        np.testing.assert_array_equal(restored.weights, model.weights)
+        assert restored.hours_observed == model.hours_observed
+        assert restored.mean_active_activity == model.mean_active_activity
+
+    def test_restored_model_continues_identically(self, tmp_path):
+        model = self.train(IdlenessModel())
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        restored = load_model(path)
+        for h in range(300, 350):
+            a = 0.3 if h % 24 < 8 else 0.0
+            model.observe(h, a)
+            restored.observe(h, a)
+        np.testing.assert_array_equal(restored.sid, model.sid)
+        np.testing.assert_array_equal(restored.weights, model.weights)
+
+    def test_fleet_roundtrip(self, tmp_path):
+        fleet = FleetIdlenessModel(3)
+        A = np.where(np.random.default_rng(0).random((3, 200)) < 0.6, 0.0, 0.4)
+        fleet.run_trace_matrix(A)
+        path = tmp_path / "fleet.npz"
+        save_fleet(fleet, path)
+        restored = load_fleet(path)
+        assert restored.n == 3
+        np.testing.assert_array_equal(restored.siw, fleet.siw)
+        np.testing.assert_array_equal(restored._active_hours, fleet._active_hours)
+
+    def test_kind_mismatch_rejected(self, tmp_path):
+        model = self.train(IdlenessModel())
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        with pytest.raises(ValueError):
+            load_fleet(path)
+
+    def test_bytes_roundtrip(self):
+        model = self.train(IdlenessModel())
+        blob = model_to_bytes(model)
+        restored = model_from_bytes(blob)
+        np.testing.assert_array_equal(restored.sid, model.sid)
+
+
+class TestHeuristics:
+    def make_host(self, activity):
+        host = Host("h")
+        vm = VM("v", always_idle_trace(48), TESTBED_VM)
+        vm.current_activity = activity
+        host.add_vm(vm)
+        return host, vm
+
+    def test_dirty_rate_veto(self):
+        host, vm = self.make_host(0.0)
+        h = DirtyRateHeuristic(threshold=0.01)
+        assert h.host_seems_idle(host)
+        vm.current_activity = 0.2  # dirty rate follows activity
+        assert not h.host_seems_idle(host)
+
+    def test_resource_fraction(self):
+        host, vm = self.make_host(0.0)
+        assert ResourceFractionHeuristic().host_seems_idle(host)
+        vm.current_activity = 0.9
+        assert not ResourceFractionHeuristic().host_seems_idle(host)
+
+    def test_combined_all_must_agree(self):
+        host, vm = self.make_host(0.0)
+        combined = CombinedHeuristic((DirtyRateHeuristic(),
+                                      ResourceFractionHeuristic()))
+        assert combined.host_seems_idle(host)
+        vm.current_activity = 0.5
+        assert not combined.host_seems_idle(host)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            DirtyRateHeuristic(threshold=2.0)
+        with pytest.raises(ValueError):
+            ResourceFractionHeuristic(cpu_threshold=-0.1)
+
+    def test_module_integration(self):
+        """A dirty-but-process-idle VM triggers the heuristic veto."""
+
+        class AlwaysDirty:
+            def host_seems_idle(self, host):
+                return False
+
+        host, vm = self.make_host(0.0)
+        module = SuspendingModule(host, heuristic=AlwaysDirty())
+        verdict = module.evaluate(now=10.0)
+        assert verdict.decision is SuspendDecision.HEURISTIC_VETO
+
+    def test_module_without_heuristic_unchanged(self):
+        host, vm = self.make_host(0.0)
+        module = SuspendingModule(host)
+        assert module.evaluate(now=10.0).should_suspend
+
+
+class TestRackSharding:
+    def make_service(self, n_racks=2, hosts_per_rack=2):
+        sim = EventSimulator()
+        wols = []
+        hosts = []
+        rack_of_host = {}
+        for r in range(n_racks):
+            for i in range(hosts_per_rack):
+                host = Host(f"r{r}h{i}")
+                vm = VM(f"vm-r{r}h{i}", always_idle_trace(48), TESTBED_VM,
+                        ip_address=f"10.{r}.{i}.1")
+                host.add_vm(vm)
+                hosts.append(host)
+                rack_of_host[host.name] = f"rack{r}"
+        service = RackShardedWakingService(
+            sim, lambda p, t: wols.append(p), rack_of_host)
+        return sim, service, hosts, wols
+
+    def test_routing_to_owning_shard(self):
+        sim, service, hosts, wols = self.make_service()
+        service.register_suspension(hosts[0], None)
+        shard0 = service.shards["rack0"]
+        shard1 = service.shards["rack1"]
+        assert shard0.active.state.vm_to_mac
+        assert not shard1.active.state.vm_to_mac
+
+    def test_packet_routed_and_wakes(self):
+        sim, service, hosts, wols = self.make_service()
+        service.register_suspension(hosts[3], None)
+        vm_ip = hosts[3].vms[0].ip_address
+        assert service.analyze_packet(Packet(dst_ip=vm_ip))
+        assert len(wols) == 1
+        assert wols[0].mac_address == hosts[3].mac_address
+
+    def test_unknown_destination(self):
+        sim, service, hosts, wols = self.make_service()
+        assert not service.analyze_packet(Packet(dst_ip="1.2.3.4"))
+
+    def test_shard_failover_isolated(self):
+        sim, service, hosts, wols = self.make_service()
+        service.register_suspension(hosts[0], waking_date_s=500.0)
+        service.fail_rack_primary("rack0")
+        sim.run_until(600.0)
+        # The rack0 mirror still delivered the scheduled wake.
+        assert any(w.mac_address == hosts[0].mac_address for w in wols)
+        # rack1 untouched.
+        assert service.shards["rack1"].active is service.shards["rack1"].primary
+
+    def test_unassigned_host_rejected(self):
+        sim, service, hosts, wols = self.make_service()
+        stray = Host("stray")
+        with pytest.raises(KeyError):
+            service.register_suspension(stray, None)
+
+    def test_requires_assignments(self):
+        with pytest.raises(ValueError):
+            RackShardedWakingService(EventSimulator(), lambda p, t: None, {})
+
+
+class TestPlotting:
+    def test_sparkline_range(self):
+        from repro.analysis import sparkline
+
+        line = sparkline([0.0, 0.5, 1.0])
+        assert len(line) == 3
+        assert line[0] == " " and line[-1] == "@"
+
+    def test_sparkline_skips_nan(self):
+        from repro.analysis import sparkline
+
+        assert sparkline([float("nan")] * 5) == "(no defined values)"
+
+    def test_ascii_chart_shape(self):
+        from repro.analysis import ascii_chart
+
+        chart = ascii_chart(np.linspace(0, 1, 30), width=30, height=5)
+        lines = chart.splitlines()
+        assert len(lines) == 6
+        assert "*" in chart
+
+    def test_compare_table(self):
+        from repro.analysis import compare_table
+
+        text = compare_table({"a": {"x": 1.0, "y": float("nan")},
+                              "b": {"x": 2.0, "y": 3.0}})
+        assert "a" in text and "x" in text and "-" in text
+        assert compare_table({}) == "(empty)"
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2_colocation" in out
+
+    def test_run_small(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "fig1_traces", "--days", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 1" in out and "finished in" in out
+
+    def test_unknown_experiment(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["run", "nope"])

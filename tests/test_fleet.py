@@ -1,0 +1,115 @@
+"""Tests for the vectorized fleet model, incl. scalar equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fleet import FleetIdlenessModel
+from repro.core.model import IdlenessModel
+from repro.core.params import DEFAULT_PARAMS
+
+
+class TestBasics:
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            FleetIdlenessModel(0)
+
+    def test_rejects_bad_shapes(self):
+        fleet = FleetIdlenessModel(3)
+        with pytest.raises(ValueError):
+            fleet.observe(0, np.zeros(2))
+
+    def test_rejects_out_of_range(self):
+        fleet = FleetIdlenessModel(2)
+        with pytest.raises(ValueError):
+            fleet.observe(0, np.array([0.5, 1.5]))
+
+    def test_initial_probability(self):
+        fleet = FleetIdlenessModel(4)
+        np.testing.assert_allclose(fleet.idleness_probability(0), 0.5)
+
+    def test_predictions_start_active(self):
+        fleet = FleetIdlenessModel(4)
+        assert not fleet.predict_idle(0).any()
+
+
+activity_matrix = st.integers(min_value=1, max_value=4).flatmap(
+    lambda n: st.lists(
+        st.lists(st.sampled_from([0.0, 0.25, 0.7, 1.0]), min_size=30, max_size=60),
+        min_size=n, max_size=n,
+    ).filter(lambda rows: len({len(r) for r in rows}) == 1)
+)
+
+
+class TestScalarEquivalence:
+    """The fleet model must agree with the scalar model bit-for-bit."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(activity_matrix)
+    def test_exact_equivalence(self, rows):
+        A = np.array(rows)
+        n, T = A.shape
+        fleet = FleetIdlenessModel(n)
+        scalars = [IdlenessModel() for _ in range(n)]
+        fleet_pred, fleet_act = fleet.run_trace_matrix(A)
+        for i, m in enumerate(scalars):
+            for t in range(T):
+                m.observe(t, float(A[i, t]))
+            np.testing.assert_allclose(fleet.sid[i], m.sid, atol=0)
+            np.testing.assert_allclose(fleet.siw[i], m.siw, atol=0)
+            np.testing.assert_allclose(fleet.weights[i], m.weights, atol=1e-12)
+
+    def test_predictions_match_scalar(self):
+        rng = np.random.default_rng(3)
+        A = np.where(rng.random((3, 120)) < 0.6, 0.0, 0.4)
+        fleet = FleetIdlenessModel(3)
+        preds, actual = fleet.run_trace_matrix(A)
+        for i in range(3):
+            m = IdlenessModel()
+            expected = []
+            for t in range(120):
+                p, _ = m.predict_and_observe(t, float(A[i, t]))
+                expected.append(p)
+            np.testing.assert_array_equal(preds[i], expected)
+
+    def test_mean_active_activity_matches(self):
+        A = np.array([[0.5, 0.0, 0.3, 0.0], [0.0, 0.0, 0.0, 0.0]])
+        fleet = FleetIdlenessModel(2)
+        fleet.run_trace_matrix(A)
+        assert fleet.mean_active_activity[0] == pytest.approx(0.4)
+        # Never-active VM falls back to default_activity.
+        assert fleet.mean_active_activity[1] == pytest.approx(
+            DEFAULT_PARAMS.default_activity)
+
+
+class TestRunTraceMatrix:
+    def test_output_shapes(self):
+        fleet = FleetIdlenessModel(2)
+        A = np.zeros((2, 48))
+        preds, actual = fleet.run_trace_matrix(A)
+        assert preds.shape == (2, 48)
+        assert actual.shape == (2, 48)
+        assert actual.all()
+
+    def test_shape_validation(self):
+        fleet = FleetIdlenessModel(2)
+        with pytest.raises(ValueError):
+            fleet.run_trace_matrix(np.zeros((3, 10)))
+
+    def test_start_hour_offset(self):
+        """Starting mid-calendar indexes different slots."""
+        A = np.tile(np.array([[0.0] * 3 + [0.5] * 21]), (1, 10))
+        f0 = FleetIdlenessModel(1)
+        f0.run_trace_matrix(A)
+        f1 = FleetIdlenessModel(1)
+        f1.run_trace_matrix(A, start_hour=12)
+        assert not np.allclose(f0.sid[0], f1.sid[0])
+
+
+class TestFleetScaleAblation:
+    def test_masked_scales_zero(self):
+        params = DEFAULT_PARAMS.replace(use_yearly_scale=False)
+        fleet = FleetIdlenessModel(2, params)
+        fleet.observe(0, np.array([0.0, 0.5]))
+        assert np.all(fleet.siy == 0)
+        assert np.all(fleet.weights[:, 3] == 0)

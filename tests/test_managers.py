@@ -1,0 +1,163 @@
+"""Tests for the distributed Neat architecture (local/global managers)."""
+
+import pytest
+
+from repro.cluster import DataCenter, Host, HostCapacity, PowerState, ResourceSpec, VM
+from repro.consolidation.managers import (
+    DistributedNeat,
+    GlobalManager,
+    HostStatus,
+    LocalManager,
+    LocalManagerReport,
+)
+from repro.sim.hourly import HourlyConfig, HourlySimulator
+from repro.traces.synthetic import always_idle_trace, llmu_trace
+
+CAP = HostCapacity(cpus=8, memory_mb=16384, cpu_overcommit=2.0)
+FLAVOR = ResourceSpec(cpus=2, memory_mb=4096)
+
+
+def make_vm(name, activity):
+    vm = VM(name, always_idle_trace(24 * 10), FLAVOR)
+    vm.current_activity = activity
+    return vm
+
+
+class TestLocalManager:
+    def test_normal_report(self):
+        host = Host("h", CAP)
+        host.add_vm(make_vm("a", 0.5))  # util 1/8 -> normal? 0.5*2/8 = .125
+        host.add_vm(make_vm("b", 0.9))  # total util .35
+        lm = LocalManager(host, underload_threshold=0.1)
+        lm.observe(0)
+        report = lm.report(0)
+        assert report.status is HostStatus.NORMAL
+        assert report.migration_candidates == ()
+
+    def test_underload_offers_everything(self):
+        host = Host("h", CAP)
+        host.add_vm(make_vm("a", 0.1))
+        lm = LocalManager(host, underload_threshold=0.2)
+        lm.observe(0)
+        report = lm.report(0)
+        assert report.status is HostStatus.UNDERLOADED
+        assert report.migration_candidates == ("a",)
+
+    def test_overload_selects_subset(self):
+        host = Host("h", CAP)
+        for i in range(4):
+            host.add_vm(make_vm(f"v{i}", 1.0))  # util 8/8
+        lm = LocalManager(host)
+        lm.observe(0)
+        report = lm.report(0)
+        assert report.status is HostStatus.OVERLOADED
+        assert 0 < len(report.migration_candidates) < 4
+
+    def test_sleeping_host(self):
+        host = Host("h", CAP)
+        host.add_vm(make_vm("a", 0.0))
+        host.begin_suspend(0.0)
+        host.finish_suspend(1.0)
+        lm = LocalManager(host)
+        assert lm.report(0).status is HostStatus.SLEEPING
+
+    def test_empty_host_is_normal(self):
+        lm = LocalManager(Host("h", CAP))
+        lm.observe(0)
+        assert lm.report(0).status is HostStatus.NORMAL
+
+
+class TestGlobalManager:
+    def test_overload_resolution(self):
+        h0, h1 = Host("h0", CAP), Host("h1", CAP)
+        dc = DataCenter([h0, h1])
+        for i in range(4):
+            dc.place(make_vm(f"v{i}", 1.0), h0)
+        gm = GlobalManager(dc)
+        report = LocalManagerReport("h0", HostStatus.OVERLOADED, 1.0, ("v0",))
+        moved = gm.step([report], 0, 0.0,
+                        lambda vm, dest: dc.migrate(vm, dest, 0.0))
+        assert moved == 1
+        assert dc.host_of(next(v for v in dc.vms if v.name == "v0")).name == "h1"
+
+    def test_underload_evacuation_with_receiver_guard(self):
+        h0, h1 = Host("h0", CAP), Host("h1", CAP)
+        dc = DataCenter([h0, h1])
+        a = make_vm("a", 0.05)
+        b = make_vm("b", 0.10)
+        dc.place(a, h0)
+        dc.place(b, h1)
+        gm = GlobalManager(dc)
+        reports = [
+            LocalManagerReport("h0", HostStatus.UNDERLOADED, 0.0125, ("a",)),
+            LocalManagerReport("h1", HostStatus.UNDERLOADED, 0.025, ("b",)),
+        ]
+        gm.step(reports, 0, 0.0, lambda vm, dest: dc.migrate(vm, dest, 0.0))
+        # Exactly one evacuation: the receiving host is protected.
+        assert (len(h0.vms), len(h1.vms)) in ((2, 0), (0, 2))
+
+    def test_reactivates_off_hosts_for_overload(self):
+        h0, h1 = Host("h0", CAP), Host("h1", CAP)
+        dc = DataCenter([h0, h1])
+        for i in range(4):
+            dc.place(make_vm(f"v{i}", 1.0), h0)
+        h1.power_off(0.0)
+        gm = GlobalManager(dc)
+        report = LocalManagerReport("h0", HostStatus.OVERLOADED, 1.0,
+                                    ("v0", "v1"))
+        moved = gm.step([report], 0, 0.0,
+                        lambda vm, dest: dc.migrate(vm, dest, 0.0))
+        assert moved == 2
+        assert len(h1.vms) == 2
+
+
+class TestDistributedNeat:
+    def test_matches_monolithic_on_static_scenario(self):
+        """Same inputs, same outcome class: consolidates the small host."""
+        def build():
+            h0, h1 = Host("h0", CAP), Host("h1", CAP)
+            dc = DataCenter([h0, h1])
+            dc.place(make_vm("a", 0.3), h0)
+            dc.place(make_vm("b", 0.3), h0)
+            dc.place(make_vm("c", 0.1), h1)
+            return dc
+
+        from repro.consolidation import NeatController
+
+        dc1 = build()
+        mono = NeatController(dc1)
+        mono.observe_hour(0)
+        mono.step(0, 0.0)
+
+        dc2 = build()
+        dist = DistributedNeat(dc2)
+        dist.observe_hour(0)
+        dist.step(0, 0.0)
+
+        empties1 = sorted(h.name for h in dc1.hosts if not h.vms)
+        empties2 = sorted(h.name for h in dc2.hosts if not h.vms)
+        assert empties1 == empties2 == ["h1"]
+
+    def test_runs_under_hourly_simulator(self):
+        hosts = [Host(f"h{i}", CAP) for i in range(3)]
+        dc = DataCenter(hosts)
+        for i, h in enumerate(hosts):
+            dc.place(VM(f"busy{i}", llmu_trace(hours=24 * 5, seed=i), FLAVOR), h)
+            dc.place(VM(f"idle{i}", always_idle_trace(24 * 5), FLAVOR), h)
+        ctrl = DistributedNeat(dc)
+        sim = HourlySimulator(dc, ctrl,
+                              config=HourlyConfig(power_off_empty=True))
+        result = sim.run(48)
+        dc.check_invariants()
+        assert result.controller_name == "neat-distributed"
+        assert ctrl.last_reports, "reports must have been produced"
+
+    def test_reports_cover_all_hosts(self):
+        hosts = [Host(f"h{i}", CAP) for i in range(4)]
+        dc = DataCenter(hosts)
+        dc.place(make_vm("a", 0.5), hosts[0])
+        ctrl = DistributedNeat(dc)
+        ctrl.observe_hour(0)
+        ctrl.step(0, 0.0)
+        assert {r.host_name for r in ctrl.last_reports} == \
+            {h.name for h in hosts}

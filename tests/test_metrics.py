@@ -1,0 +1,120 @@
+"""Tests for prediction metrics (paper Table III)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.metrics import ConfusionCounts, cumulative_curves
+
+
+class TestConfusionCounts:
+    def test_perfect_predictions(self):
+        c = ConfusionCounts()
+        for _ in range(10):
+            c.update(True, True)
+            c.update(False, False)
+        assert c.recall == 1.0
+        assert c.precision == 1.0
+        assert c.f_measure == 1.0
+        assert c.specificity == 1.0
+
+    def test_table_iii_definitions(self):
+        c = ConfusionCounts(tp=6, fp=2, tn=8, fn=4)
+        assert c.recall == pytest.approx(6 / 10)
+        assert c.precision == pytest.approx(6 / 8)
+        assert c.specificity == pytest.approx(8 / 10)
+        r, p = 0.6, 0.75
+        assert c.f_measure == pytest.approx(2 * r * p / (r + p))
+
+    def test_update_routing(self):
+        c = ConfusionCounts()
+        c.update(True, True)    # TP
+        c.update(True, False)   # FP
+        c.update(False, True)   # FN
+        c.update(False, False)  # TN
+        assert (c.tp, c.fp, c.fn, c.tn) == (1, 1, 1, 1)
+        assert c.total == 4
+
+    def test_empty_metrics_are_nan(self):
+        c = ConfusionCounts()
+        assert math.isnan(c.recall)
+        assert math.isnan(c.precision)
+        assert math.isnan(c.f_measure)
+        assert math.isnan(c.specificity)
+
+    def test_never_idle_trace_has_specificity_only(self):
+        """LLMU case (Fig. 4h): no positives, specificity defined."""
+        c = ConfusionCounts()
+        for _ in range(20):
+            c.update(False, False)
+        assert c.specificity == 1.0
+        assert math.isnan(c.recall)
+
+    def test_batch_matches_loop(self):
+        rng = np.random.default_rng(0)
+        pred = rng.random(200) < 0.5
+        act = rng.random(200) < 0.5
+        batch = ConfusionCounts()
+        batch.update_batch(pred, act)
+        loop = ConfusionCounts()
+        for p, a in zip(pred, act):
+            loop.update(bool(p), bool(a))
+        assert (batch.tp, batch.fp, batch.tn, batch.fn) == \
+            (loop.tp, loop.fp, loop.tn, loop.fn)
+
+    def test_batch_shape_mismatch(self):
+        c = ConfusionCounts()
+        with pytest.raises(ValueError):
+            c.update_batch(np.ones(3, bool), np.ones(4, bool))
+
+    def test_as_dict_keys(self):
+        d = ConfusionCounts(tp=1, fp=1, tn=1, fn=1).as_dict()
+        assert set(d) == {"recall", "precision", "f_measure", "specificity"}
+
+
+class TestCumulativeCurves:
+    def test_final_matches_total_counts(self):
+        rng = np.random.default_rng(1)
+        pred = rng.random(240) < 0.7
+        act = rng.random(240) < 0.7
+        curves = cumulative_curves(pred, act, sample_every=24)
+        total = ConfusionCounts()
+        total.update_batch(pred, act)
+        final = curves.final()
+        assert final["recall"] == pytest.approx(total.recall)
+        assert final["f_measure"] == pytest.approx(total.f_measure)
+
+    def test_sampling_positions(self):
+        pred = np.ones(72, bool)
+        act = np.ones(72, bool)
+        curves = cumulative_curves(pred, act, sample_every=24)
+        assert curves.hours == [24, 48, 72]
+
+    def test_monotone_for_perfect_predictor(self):
+        pred = act = np.ones(100, bool)
+        curves = cumulative_curves(pred, act, sample_every=10)
+        assert all(f == 1.0 for f in curves.f_measure)
+
+    def test_requires_1d_equal_length(self):
+        with pytest.raises(ValueError):
+            cumulative_curves(np.ones(5, bool), np.ones(6, bool))
+
+    def test_empty_curves_final_raises(self):
+        from repro.core.metrics import MetricCurves
+
+        with pytest.raises(ValueError):
+            MetricCurves().final()
+
+    @given(st.integers(min_value=30, max_value=200), st.integers(0, 2**31 - 1))
+    def test_curves_bounded(self, n, seed):
+        rng = np.random.default_rng(seed)
+        pred = rng.random(n) < 0.5
+        act = rng.random(n) < 0.5
+        curves = cumulative_curves(pred, act, sample_every=7)
+        for series in (curves.recall, curves.precision,
+                       curves.f_measure, curves.specificity):
+            arr = np.array(series)
+            valid = arr[~np.isnan(arr)]
+            assert np.all(valid >= 0.0) and np.all(valid <= 1.0)

@@ -1,0 +1,202 @@
+"""Tests for the per-VM idleness model (paper section III)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.calendar import slot_of_hour
+from repro.core.model import IdlenessModel
+from repro.core.params import DEFAULT_PARAMS, SIGMA, u_coefficient
+
+
+@pytest.fixture
+def model():
+    return IdlenessModel()
+
+
+class TestInitialState:
+    def test_scores_start_undetermined(self, model):
+        assert np.all(model.sid == 0)
+        assert np.all(model.siw == 0)
+        assert np.all(model.sim == 0)
+        assert np.all(model.siy == 0)
+
+    def test_weights_start_uniform(self, model):
+        np.testing.assert_allclose(model.weights, 0.25)
+
+    def test_probability_starts_at_half(self, model):
+        assert model.idleness_probability(slot_of_hour(0)) == pytest.approx(0.5)
+
+    def test_initial_prediction_is_active(self, model):
+        """IP == 50% is not strictly above the threshold."""
+        assert not model.predict_idle(slot_of_hour(0))
+
+    def test_table_shapes_match_paper(self, model):
+        """24 SId, 24x7 SIw, 24x31 SIm, 24x365 SIy (section III-A)."""
+        assert model.sid.shape == (24,)
+        assert model.siw.shape == (7, 24)
+        assert model.sim.shape == (31, 24)
+        assert model.siy.shape == (365, 24)
+
+
+class TestUCoefficient:
+    def test_value_at_zero(self):
+        # u(0) = 1/(1+e^(0.7*(0-0.5))) = 1/(1+e^-0.35)
+        assert u_coefficient(0.0) == pytest.approx(1 / (1 + math.exp(-0.35)))
+
+    def test_decreasing_in_si(self):
+        values = [u_coefficient(x) for x in (0.0, 0.25, 0.5, 0.75, 1.0)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_beta_is_halfway_point(self):
+        assert u_coefficient(0.5) == pytest.approx(0.5)
+
+
+class TestObserve:
+    def test_idle_hour_raises_scores(self, model):
+        model.observe(0, 0.0)
+        s = slot_of_hour(0)
+        assert model.sid[0] > 0
+        assert model.siw[s.day_of_week, 0] > 0
+        assert model.sim[s.day_of_month, 0] > 0
+        assert model.siy[s.day_of_year, 0] > 0
+
+    def test_active_hour_lowers_scores(self, model):
+        model.observe(0, 0.5)
+        assert model.sid[0] < 0
+
+    def test_update_magnitude_eq3(self, model):
+        """First update: v = sigma * a * u(0)."""
+        model.observe(0, 1.0)
+        expected = SIGMA * 1.0 * u_coefficient(0.0)
+        assert model.sid[0] == pytest.approx(-expected)
+
+    def test_idle_uses_mean_active_level(self):
+        m = IdlenessModel()
+        m.observe(0, 0.4)  # hour 0 active at 0.4
+        before = m.sid[1]
+        m.observe(1, 0.0)  # idle hour: update uses a-bar = 0.4
+        delta = m.sid[1] - before
+        assert delta == pytest.approx(SIGMA * 0.4 * u_coefficient(0.0))
+
+    def test_cold_start_idle_uses_default_activity(self):
+        m = IdlenessModel(DEFAULT_PARAMS.replace(default_activity=1.0))
+        m.observe(0, 0.0)
+        assert m.sid[0] == pytest.approx(SIGMA * 1.0 * u_coefficient(0.0))
+
+    def test_activity_out_of_range_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.observe(0, 1.5)
+        with pytest.raises(ValueError):
+            model.observe(0, -0.1)
+
+    def test_only_one_cell_per_table_touched(self, model):
+        model.observe(50, 0.0)  # hour 2 of day 2
+        assert np.count_nonzero(model.sid) == 1
+        assert np.count_nonzero(model.siw) == 1
+        assert np.count_nonzero(model.sim) == 1
+        assert np.count_nonzero(model.siy) == 1
+
+    def test_mean_active_activity_tracks(self, model):
+        model.observe(0, 0.2)
+        model.observe(1, 0.6)
+        model.observe(2, 0.0)
+        assert model.mean_active_activity == pytest.approx(0.4)
+
+    def test_hours_observed_counter(self, model):
+        for h in range(5):
+            model.observe(h, 0.0)
+        assert model.hours_observed == 5
+
+
+class TestBounds:
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(st.sampled_from([0.0, 0.3, 1.0]), min_size=50, max_size=300))
+    def test_scores_stay_in_bounds(self, activities):
+        m = IdlenessModel()
+        for h, a in enumerate(activities):
+            m.observe(h, a)
+        for table in (m.sid, m.siw, m.sim, m.siy):
+            assert np.all(table >= -1.0) and np.all(table <= 1.0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(st.sampled_from([0.0, 0.5]), min_size=20, max_size=100))
+    def test_weights_stay_on_simplex(self, activities):
+        m = IdlenessModel()
+        for h, a in enumerate(activities):
+            m.observe(h, a)
+        assert np.all(m.weights >= -1e-12)
+        assert m.weights.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_year_of_constant_activity_bounded(self):
+        """Sigma calibration: a year of full activity cannot overshoot -1."""
+        m = IdlenessModel()
+        # Simulate a year of updates on a single sid cell via direct math:
+        # |SId| after 365 updates of at most sigma each is <= 365*sigma < 0.05
+        for day in range(365):
+            m.observe(day * 24, 1.0)
+        assert -1.0 <= m.sid[0] < 0.0
+        assert abs(m.sid[0]) < 365 * SIGMA  # damped by u
+
+
+class TestPrediction:
+    def test_learns_daily_idle_hour(self):
+        m = IdlenessModel()
+        # Hour 3 always idle, others active, for 30 days.
+        for h in range(30 * 24):
+            m.observe(h, 0.0 if h % 24 == 3 else 0.5)
+        idle_slot = slot_of_hour(30 * 24 + 3)
+        busy_slot = slot_of_hour(30 * 24 + 4)
+        assert m.predict_idle(idle_slot)
+        assert not m.predict_idle(busy_slot)
+        assert m.idleness_probability(idle_slot) > 0.5
+        assert m.idleness_probability(busy_slot) < 0.5
+
+    def test_raw_ip_is_weighted_sum(self, model):
+        model.observe(0, 0.0)
+        s = slot_of_hour(0)
+        assert model.raw_ip(s) == pytest.approx(
+            float(model.weights @ model.si_vector(s)))
+
+    def test_predict_and_observe_protocol(self):
+        """Prediction must be made before the observation is ingested."""
+        m = IdlenessModel()
+        predicted, actual = m.predict_and_observe(0, 0.0)
+        assert predicted is False  # model knew nothing yet
+        assert actual is True
+
+    def test_weekly_pattern_needs_weekly_scale(self):
+        """Weekend-idle pattern: weekly scale separates Sat from Mon."""
+        m = IdlenessModel()
+        for h in range(8 * 7 * 24):
+            dw = (h // 24) % 7
+            active = dw < 5 and 9 <= h % 24 <= 17
+            m.observe(h, 0.3 if active else 0.0)
+        # Monday 10 am: active; Saturday 10 am: idle.
+        monday = slot_of_hour(8 * 7 * 24 + 10)
+        saturday = slot_of_hour(8 * 7 * 24 + 5 * 24 + 10)
+        assert monday.day_of_week == 0 and saturday.day_of_week == 5
+        assert m.idleness_probability(saturday) > m.idleness_probability(monday)
+
+
+class TestScaleAblation:
+    def test_disabled_scales_stay_zero(self):
+        params = DEFAULT_PARAMS.replace(use_yearly_scale=False,
+                                        use_monthly_scale=False)
+        m = IdlenessModel(params)
+        for h in range(100):
+            m.observe(h, 0.0)
+        assert np.all(m.siy == 0)
+        assert np.all(m.sim == 0)
+        assert m.weights[2] == 0.0 and m.weights[3] == 0.0
+
+    def test_day_only_still_learns(self):
+        params = DEFAULT_PARAMS.replace(use_weekly_scale=False,
+                                        use_monthly_scale=False,
+                                        use_yearly_scale=False)
+        m = IdlenessModel(params)
+        for h in range(14 * 24):
+            m.observe(h, 0.0 if h % 24 == 2 else 0.4)
+        assert m.predict_idle(slot_of_hour(14 * 24 + 2))

@@ -1,0 +1,121 @@
+"""Dynamics of the idleness model: responsiveness, damping, stability.
+
+Paper §III-C claims the u-coefficient exists so that "(1) SI* increase
+or decrease quickly when undetermined to learn the VM's behavior
+quickly; and (2) SI* do not reach very extreme values so that the IM can
+respond to unexpected VM behavior quickly."  These tests pin both
+properties, plus regime-change responsiveness end to end.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.calendar import slot_of_hour
+from repro.core.metrics import ConfusionCounts
+from repro.core.model import IdlenessModel
+from repro.core.params import DEFAULT_PARAMS, SIGMA, u_coefficient
+
+
+class TestUpdateDamping:
+    def test_updates_shrink_as_scores_grow(self):
+        """Claim (2): per-update magnitude decreases with |SI|."""
+        m = IdlenessModel()
+        deltas = []
+        prev = 0.0
+        for day in range(200):
+            m.observe(day * 24, 0.0)  # hour 0, idle, every day
+            deltas.append(m.sid[0] - prev)
+            prev = m.sid[0]
+        assert all(d > 0 for d in deltas)
+        # Damping: later updates strictly smaller than early ones.
+        assert deltas[-1] < deltas[0]
+
+    def test_scores_cannot_reach_extremes_quickly(self):
+        """Claim (2): even a year of pure idleness keeps |SI| moderate."""
+        m = IdlenessModel()
+        for day in range(365):
+            m.observe(day * 24, 0.0)
+        assert m.sid[0] < 0.05  # sigma-scaled: far from the +1 bound
+
+    def test_undetermined_learns_fastest(self):
+        """Claim (1): the first updates are the largest."""
+        assert u_coefficient(0.0) > u_coefficient(0.3) > u_coefficient(0.9)
+
+
+class TestRegimeChangeResponsiveness:
+    def test_flip_detected_faster_than_it_was_learned(self):
+        """A VM idle at hour 3 for a month, then active: the hour-3
+        prediction flips in *less* time than the original pattern took
+        to learn — the u-damping plus weight correction at work.
+        (Measured: ~17 days of new regime after 30 days of old.)"""
+        phase1_days = 30
+        m = IdlenessModel()
+        for h in range(phase1_days * 24):
+            m.observe(h, 0.0 if h % 24 == 3 else 0.4)
+        assert m.predict_idle(slot_of_hour(phase1_days * 24 + 3))
+        flip_day = None
+        for day in range(phase1_days, phase1_days + 60):
+            for hod in range(24):
+                h = day * 24 + hod
+                m.observe(h, 0.4 if h % 24 == 3 else 0.0)
+            if not m.predict_idle(slot_of_hour((day + 1) * 24 + 3)):
+                flip_day = day - phase1_days
+                break
+        assert flip_day is not None, "prediction never flipped"
+        assert flip_day < phase1_days, \
+            f"unlearning ({flip_day} d) should beat learning ({phase1_days} d)"
+
+    def test_prediction_quality_recovers_after_flip(self):
+        m = IdlenessModel()
+        for h in range(60 * 24):
+            m.observe(h, 0.3 if 9 <= h % 24 <= 17 else 0.0)
+        # Flip: night-shift pattern.
+        counts_late = ConfusionCounts()
+        for h in range(60 * 24, 150 * 24):
+            pred, actual = m.predict_and_observe(
+                h, 0.3 if h % 24 <= 6 else 0.0)
+            if h >= 120 * 24:  # after 60 days of the new regime
+                counts_late.update(pred, actual)
+        assert counts_late.f_measure > 0.85
+
+    def test_faster_learning_with_higher_activity(self):
+        """Eq. (2)'s intent: idleness after *heavy* activity is learned
+        faster than after light activity (a-bar scales the update)."""
+        heavy, light = IdlenessModel(), IdlenessModel()
+        for h in range(24):
+            heavy.observe(h, 0.9 if h != 3 else 0.0)
+            light.observe(h, 0.1 if h != 3 else 0.0)
+        assert heavy.sid[3] > light.sid[3]
+
+
+class TestScoreSequences:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=1, max_value=60))
+    def test_monotone_under_constant_idleness(self, days):
+        m = IdlenessModel()
+        values = []
+        for day in range(days):
+            m.observe(day * 24, 0.0)
+            values.append(m.sid[0])
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.floats(min_value=0.05, max_value=1.0))
+    def test_symmetric_updates_cancel(self, level):
+        """One idle + one active observation with identical a leave SId
+        almost unchanged (u varies slightly between the two)."""
+        m = IdlenessModel()
+        m.observe(0, level)          # active: a_h = level
+        after_active = m.sid[0]
+        m.observe(24, 0.0)           # idle: a-bar = level
+        assert abs(m.sid[0] - after_active) == pytest.approx(
+            SIGMA * level * u_coefficient(abs(after_active)), rel=1e-9)
+
+    def test_weights_never_leave_simplex_under_stress(self):
+        rng = np.random.default_rng(8)
+        m = IdlenessModel()
+        for h in range(1000):
+            m.observe(h, float(rng.choice([0.0, 0.1, 0.9])))
+            assert m.weights.min() >= -1e-12
+            assert m.weights.sum() == pytest.approx(1.0, abs=1e-9)

@@ -1,0 +1,179 @@
+"""One test per headline sentence of the paper.
+
+A reading guide in test form: each test quotes a claim from the paper
+and checks the reproduced system exhibits it (at reduced scale where the
+full experiment would be slow — the benchmarks run the full versions).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.params import DEFAULT_PARAMS, SIGMA
+
+
+class TestAbstractClaims:
+    def test_colocation_enables_suspension_of_nonempty_servers(self):
+        """'a DC server may be suspended despite not being empty (i.e.
+        it is hosting VMs)' — §I."""
+        from repro.cluster import DataCenter, Host, TESTBED_VM, VM
+        from repro.sim.hourly import HourlyConfig, HourlySimulator
+        from repro.traces.synthetic import always_idle_trace
+        from tests.test_sim_hourly import PassiveController
+
+        host = Host("h")
+        dc = DataCenter([host])
+        dc.place(VM("a", always_idle_trace(48), TESTBED_VM), host)
+        dc.place(VM("b", always_idle_trace(48), TESTBED_VM), host)
+        result = HourlySimulator(
+            dc, PassiveController(),
+            config=HourlyConfig(power_off_empty=False)).run(24)
+        assert len(host.vms) == 2, "server is not empty"
+        assert result.suspended_fraction_by_host["h"] > 0.9
+
+    def test_suspended_power_is_an_order_of_magnitude_lower(self):
+        """'The energy consumed by a host when suspended is about 5W,
+        around 10% of the consumption in idle S0 state' — §VI-A.2."""
+        from repro.cluster.power import PowerModel, PowerState
+
+        m = PowerModel.from_params(DEFAULT_PARAMS)
+        s3 = m.power(PowerState.SUSPENDED, 0.0)
+        s0 = m.power(PowerState.ON, 0.0)
+        assert s3 / s0 == pytest.approx(0.1)
+
+
+class TestSectionIIIClaims:
+    def test_im_is_four_scales_and_four_weights(self):
+        """'a VM's idleness model is composed of many synthesized
+        idleness scores (24 SId, 24×7 SIw, 24×31 SIm, 24×365 SIy) and 4
+        weights' — §III-A."""
+        from repro.core.model import IdlenessModel
+
+        m = IdlenessModel()
+        assert m.sid.size == 24
+        assert m.siw.size == 24 * 7
+        assert m.sim.size == 24 * 31
+        assert m.siy.size == 24 * 365
+        assert m.weights.size == 4
+
+    def test_ip_is_weighted_sum(self):
+        """Eq. (1): IP = w^T · SI."""
+        from repro.core.calendar import slot_of_hour
+        from repro.core.model import IdlenessModel
+
+        m = IdlenessModel()
+        for h in range(100):
+            m.observe(h, 0.0 if h % 3 else 0.4)
+        s = slot_of_hour(100)
+        assert m.raw_ip(s) == pytest.approx(float(m.weights @ m.si_vector(s)))
+
+    def test_sigma_calibration_sentence(self):
+        """'a VM needs constant activity (ah = 1) during an entire year
+        to bring its SId from 0 to −1 (ignoring the coefficient u)' —
+        §III-C: 8760 updates of size sigma sum to exactly 1."""
+        assert 365 * 24 * SIGMA == pytest.approx(1.0)
+
+    def test_range_threshold_is_a_week_of_activity(self):
+        """'the threshold of a too wide IP range to 7σ ... roughly
+        represents a difference of a week of constant maximum activity
+        in a SId' — §III-D: 7 daily updates of sigma each."""
+        assert DEFAULT_PARAMS.ip_range_threshold == pytest.approx(7 * SIGMA)
+
+    def test_no_overhead_on_wrong_predictions(self):
+        """'there is no overhead in the case of wrong predictions ...
+        actual suspension or wake up of a server is always executed
+        because of real factors' — §III-D-c: a VM wrongly predicted
+        idle does NOT cause its (active) host to suspend."""
+        from repro.cluster import Host, TESTBED_VM, VM
+        from repro.suspend.module import SuspendDecision, SuspendingModule
+        from repro.traces.synthetic import always_idle_trace
+
+        host = Host("h")
+        vm = VM("v", always_idle_trace(48), TESTBED_VM)
+        host.add_vm(vm)
+        # Train the model to (wrongly) predict idleness...
+        for h in range(14 * 24):
+            vm.model.observe(h, 0.0)
+        # ...but the VM is actually computing right now.
+        vm.current_activity = 0.6
+        verdict = SuspendingModule(host).evaluate(now=14 * 24 * 3600.0)
+        assert verdict.decision is SuspendDecision.ACTIVE
+
+
+class TestSectionIVClaims:
+    def test_grace_prevents_oscillation_by_design(self):
+        """'when a drowsy server is resumed, there is some time during
+        which it cannot be suspended again, whatever its activity
+        level' — §IV."""
+        from repro.cluster import Host, TESTBED_VM, VM
+        from repro.suspend.module import SuspendDecision, SuspendingModule
+        from repro.traces.synthetic import always_idle_trace
+
+        host = Host("h")
+        host.add_vm(VM("v", always_idle_trace(48), TESTBED_VM))
+        host.begin_suspend(0.0)
+        host.finish_suspend(3.0)
+        host.begin_resume(10.0)
+        host.finish_resume(10.8, grace_s=60.0)
+        verdict = SuspendingModule(host).evaluate(now=30.0)
+        assert verdict.decision is SuspendDecision.IN_GRACE
+
+    def test_grace_bounds_match_paper(self):
+        """'We empirically set the grace time between 5s and 2min' —
+        §IV (exponential in the IP)."""
+        from repro.suspend.grace import grace_time_s
+
+        values = [grace_time_s(p) for p in np.linspace(0, 1, 50)]
+        assert min(values) == pytest.approx(5.0)
+        assert max(values) == pytest.approx(120.0)
+
+
+class TestSectionVClaims:
+    def test_no_valid_timer_means_indefinite_sleep(self):
+        """'The host can remain suspended indefinitely until the waking
+        module wakes it up because of an external request' — §V-B."""
+        from repro.cluster import Host, TESTBED_VM, VM
+        from repro.suspend.timers import compute_waking_date
+        from repro.traces.synthetic import always_idle_trace
+
+        host = Host("h")
+        host.add_vm(VM("v", always_idle_trace(48), TESTBED_VM))  # no timers
+        assert compute_waking_date(host, now=0.0) is None
+
+    def test_wol_sent_ahead_of_waking_date(self):
+        """'This request is sent ahead of time in order to take into
+        account the waking latency' — §V-B."""
+        from repro.cluster import EventSimulator, Host, TESTBED_VM, VM
+        from repro.traces.synthetic import always_idle_trace
+        from repro.waking import WakingModule
+
+        sim = EventSimulator()
+        sent = []
+        module = WakingModule("wm", sim, lambda p, t: sent.append(t))
+        host = Host("h")
+        host.add_vm(VM("v", always_idle_trace(48), TESTBED_VM))
+        module.register_suspension(host, waking_date_s=1000.0)
+        sim.run()
+        assert sent and sent[0] < 1000.0
+
+
+class TestSectionVIIClaims:
+    def test_linear_vs_quadratic_gap_at_scale(self):
+        """'Drowsy-DC's complexity is O(n), compared to O(n²) for the
+        other system' — §VII: at n=256 the pairwise matcher is at least
+        5x slower than the linear grouping."""
+        import time
+
+        from repro.consolidation.baseline import (
+            drowsy_linear_grouping,
+            pairwise_matching_grouping,
+        )
+        from repro.experiments.scalability import _make_population
+
+        vms, hosts = _make_population(256, DEFAULT_PARAMS, trained_hours=24)
+        t0 = time.perf_counter()
+        drowsy_linear_grouping(vms, hosts, 25)
+        linear = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        pairwise_matching_grouping(vms, hosts, 25)
+        quadratic = time.perf_counter() - t0
+        assert quadratic > 5 * linear

@@ -1,0 +1,101 @@
+"""Tests for DrowsyParams and the paper constants."""
+
+import math
+
+import pytest
+
+from repro.core.params import (
+    DEFAULT_PARAMS,
+    GRACE_MAX_S,
+    GRACE_MIN_S,
+    HOURS_PER_YEAR,
+    IP_RANGE_THRESHOLD,
+    SIGMA,
+    DrowsyParams,
+    u_coefficient,
+)
+
+
+class TestPaperConstants:
+    def test_sigma_definition(self):
+        """Eq. (3): sigma = 1 / (365 * 24)."""
+        assert SIGMA == pytest.approx(1.0 / 8760.0)
+        assert HOURS_PER_YEAR == 8760
+
+    def test_ip_range_threshold_is_seven_sigma(self):
+        """Section III-D: 'We empirically set the threshold ... to 7σ'."""
+        assert IP_RANGE_THRESHOLD == pytest.approx(7.0 * SIGMA)
+
+    def test_grace_bounds(self):
+        """Section IV: between 5 s and 2 min."""
+        assert GRACE_MIN_S == 5.0
+        assert GRACE_MAX_S == 120.0
+
+    def test_alpha_beta_defaults(self):
+        """Section III-C: alpha = 0.7, beta = 0.5."""
+        assert DEFAULT_PARAMS.alpha == 0.7
+        assert DEFAULT_PARAMS.beta == 0.5
+
+    def test_power_constants(self):
+        """Section VI-A.2: S3 ~ 5 W, about 10 % of idle."""
+        assert DEFAULT_PARAMS.suspend_power_w == pytest.approx(
+            0.1 * DEFAULT_PARAMS.idle_power_w)
+
+    def test_resume_latencies(self):
+        """Section VI-A.3: 1500 ms baseline, 800 ms optimized."""
+        from repro.core.params import (
+            RESUME_LATENCY_BASELINE_S,
+            RESUME_LATENCY_OPTIMIZED_S,
+        )
+
+        assert RESUME_LATENCY_BASELINE_S == pytest.approx(1.5)
+        assert RESUME_LATENCY_OPTIMIZED_S == pytest.approx(0.8)
+        assert DEFAULT_PARAMS.resume_latency_s == RESUME_LATENCY_OPTIMIZED_S
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"sigma": 0.0},
+        {"weight_descent_steps": -1},
+        {"weight_learning_rate": -0.1},
+        {"default_activity": 1.5},
+        {"ip_range_threshold": -1.0},
+        {"grace_min_s": 0.0},
+        {"grace_min_s": 200.0},  # min > max
+        {"grace_ip_scale": 0.0},
+        {"resume_latency_s": -1.0},
+        {"suspend_check_period_s": 0.0},
+        {"heartbeat_miss_limit": 0},
+        {"suspend_power_w": 60.0},  # above idle
+        {"idle_power_w": 200.0},    # above max
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            DEFAULT_PARAMS.replace(**kwargs)
+
+    def test_replace_preserves_others(self):
+        p = DEFAULT_PARAMS.replace(alpha=0.9)
+        assert p.alpha == 0.9
+        assert p.beta == DEFAULT_PARAMS.beta
+        assert DEFAULT_PARAMS.alpha == 0.7  # original untouched
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_PARAMS.alpha = 0.1  # type: ignore[misc]
+
+
+class TestUCoefficientShape:
+    def test_symmetric_around_beta(self):
+        """u(beta - x) + u(beta + x) == 1 for the logistic form."""
+        for x in (0.1, 0.2, 0.4):
+            assert u_coefficient(0.5 - x) + u_coefficient(0.5 + x) == \
+                pytest.approx(1.0)
+
+    def test_custom_alpha_steepens(self):
+        gentle = u_coefficient(1.0, alpha=0.1)
+        steep = u_coefficient(1.0, alpha=5.0)
+        assert steep < gentle
+
+    def test_range(self):
+        for si in (0.0, 0.25, 0.5, 0.75, 1.0):
+            assert 0.0 < u_coefficient(si) < 1.0

@@ -1,0 +1,145 @@
+"""Tests for PlanetLab-like traces, the detector study and failover exp."""
+
+import numpy as np
+import pytest
+
+from repro.traces import planetlab_fleet, planetlab_like_trace
+from repro.traces.base import VMKind
+
+
+class TestPlanetLabTraces:
+    def test_always_active(self):
+        tr = planetlab_like_trace(hours=24 * 14, seed=1)
+        assert tr.idle_fraction == 0.0
+        assert tr.kind is VMKind.LLMU
+
+    def test_low_median_heavy_tail(self):
+        tr = planetlab_like_trace(hours=24 * 60, seed=2)
+        a = tr.activities
+        assert np.median(a) < 0.35
+        assert a.max() > 0.6  # bursts exist
+
+    def test_autocorrelated(self):
+        tr = planetlab_like_trace(hours=24 * 60, seed=3)
+        a = tr.activities
+        lag1 = np.corrcoef(a[:-1], a[1:])[0, 1]
+        assert lag1 > 0.3
+
+    def test_deterministic(self):
+        a = planetlab_like_trace(hours=100, seed=9)
+        b = planetlab_like_trace(hours=100, seed=9)
+        np.testing.assert_array_equal(a.activities, b.activities)
+
+    def test_fleet(self):
+        fleet = planetlab_fleet(6, hours=48, seed=0)
+        assert len(fleet) == 6
+        assert len({t.name for t in fleet}) == 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            planetlab_like_trace(hours=0)
+        with pytest.raises(ValueError):
+            planetlab_like_trace(hours=10, ar_coeff=1.2)
+
+
+class TestDetectorStudy:
+    @pytest.fixture(scope="class")
+    def data(self):
+        from repro.experiments import detector_study
+
+        return detector_study.run(n_hosts=4, n_vms=12, days=2)
+
+    def test_full_grid(self, data):
+        assert len(data.cells) == 12
+        assert {c.detector for c in data.cells} == {"thr", "mad", "iqr", "lr"}
+        assert {c.selector for c in data.cells} == {"mmt", "rs", "mc"}
+
+    def test_metrics_sane(self, data):
+        for c in data.cells:
+            assert c.energy_kwh > 0
+            assert c.migrations >= 0
+            assert 0.0 <= c.slatah <= 1.0
+            assert c.esv == pytest.approx(c.energy_kwh * c.slatah)
+
+    def test_cell_lookup(self, data):
+        cell = data.cell("thr", "mmt")
+        assert cell.detector == "thr"
+        with pytest.raises(KeyError):
+            data.cell("nope", "mmt")
+
+    def test_render(self, data):
+        text = data.render()
+        assert "SLATAH" in text and "lr" in text
+
+
+class TestSlatahAccounting:
+    def test_saturated_host_counts(self):
+        from repro.cluster import DataCenter, Host, HostCapacity, ResourceSpec, VM
+        from repro.sim.hourly import HourlyConfig, HourlySimulator
+        from repro.traces.synthetic import llmu_trace
+        from tests.test_sim_hourly import PassiveController
+
+        host = Host("h", HostCapacity(cpus=2, memory_mb=16384, cpu_overcommit=2.0))
+        dc = DataCenter([host])
+        # Two VMs at full demand: 2 x 1.0 x 2 vcpus = 4 > 2 cores.
+        for i in range(2):
+            dc.place(VM(f"v{i}", llmu_trace(hours=48, floor=0.99,
+                                            base_level=1.0,
+                                            diurnal_amplitude=0.0),
+                        ResourceSpec(2, 1024)), host)
+        sim = HourlySimulator(dc, PassiveController(),
+                              config=HourlyConfig(power_off_empty=False))
+        result = sim.run(10)
+        assert result.active_host_hours == 10
+        assert result.overload_host_hours == 10
+        assert result.slatah == 1.0
+        assert result.esv == pytest.approx(result.total_energy_kwh)
+
+    def test_idle_host_no_slatah(self):
+        from repro.cluster import DataCenter, Host, TESTBED_VM, VM
+        from repro.sim.hourly import HourlyConfig, HourlySimulator
+        from repro.traces.synthetic import always_idle_trace
+        from tests.test_sim_hourly import PassiveController
+
+        host = Host("h")
+        dc = DataCenter([host])
+        dc.place(VM("v", always_idle_trace(48), TESTBED_VM), host)
+        sim = HourlySimulator(dc, PassiveController(),
+                              config=HourlyConfig(power_off_empty=False))
+        result = sim.run(10)
+        assert result.slatah == 0.0
+
+
+class TestWakingFailoverExperiment:
+    def test_run_and_claims(self):
+        from repro.experiments import waking_failover
+
+        data = waking_failover.run(days=1, crash_hour=6)
+        assert data.failovers == 1
+        assert data.service_continued
+        assert "failure injection" in data.render()
+
+
+class TestHostReactivation:
+    def test_overload_relief_uses_off_hosts(self):
+        """An overloaded pool with only OFF spares powers one back on."""
+        from repro.cluster import DataCenter, Host, HostCapacity, ResourceSpec, VM
+        from repro.consolidation import NeatController, ThresholdDetector
+        from repro.traces.synthetic import llmu_trace
+
+        cap = HostCapacity(cpus=4, memory_mb=16384, cpu_overcommit=2.0)
+        busy, spare = Host("busy", cap), Host("spare", cap)
+        dc = DataCenter([busy, spare])
+        for i in range(3):
+            vm = VM(f"v{i}", llmu_trace(hours=48, floor=0.9, base_level=0.95,
+                                        diurnal_amplitude=0.0),
+                    ResourceSpec(2, 2048))
+            dc.place(vm, busy)
+            vm.current_activity = 0.95
+        spare.power_off(0.0)
+
+        ctrl = NeatController(dc, detector=ThresholdDetector(0.8))
+        ctrl.observe_hour(0)
+        moved = ctrl.step(0, now=1.0)
+        assert moved >= 1
+        assert len(spare.vms) >= 1

@@ -1,0 +1,114 @@
+"""Tests for the red-black tree (kernel hrtimer structure)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.suspend.rbtree import RedBlackTree
+
+
+class TestBasics:
+    def test_empty(self):
+        t = RedBlackTree()
+        assert len(t) == 0
+        assert not t
+        with pytest.raises(KeyError):
+            t.min_item()
+        with pytest.raises(KeyError):
+            t.pop_min()
+
+    def test_insert_and_min(self):
+        t = RedBlackTree()
+        t.insert(5.0, "five")
+        t.insert(3.0, "three")
+        t.insert(7.0, "seven")
+        assert len(t) == 3
+        assert t.min_item() == (3.0, "three")
+
+    def test_duplicate_keys_allowed(self):
+        t = RedBlackTree()
+        t.insert(1.0, "a")
+        t.insert(1.0, "b")
+        assert len(t) == 2
+        keys = [k for k, _ in t.items()]
+        assert keys == [1.0, 1.0]
+
+    def test_pop_min_drains_sorted(self):
+        t = RedBlackTree()
+        for k in (9, 1, 5, 3, 7):
+            t.insert(float(k), k)
+        drained = [t.pop_min()[0] for _ in range(5)]
+        assert drained == [1.0, 3.0, 5.0, 7.0, 9.0]
+        assert len(t) == 0
+
+    def test_remove_by_handle(self):
+        t = RedBlackTree()
+        h = t.insert(2.0, "x")
+        t.insert(1.0, "y")
+        t.remove_node(h)
+        assert [v for _, v in t.items()] == ["y"]
+
+    def test_items_in_order(self):
+        t = RedBlackTree()
+        for k in (4, 2, 8, 6, 0):
+            t.insert(float(k), None)
+        assert [k for k, _ in t.items()] == [0.0, 2.0, 4.0, 6.0, 8.0]
+
+
+class TestInvariants:
+    def test_validate_after_ascending_inserts(self):
+        t = RedBlackTree()
+        for k in range(200):
+            t.insert(float(k), k)
+        t.validate()
+
+    def test_validate_after_descending_inserts(self):
+        t = RedBlackTree()
+        for k in reversed(range(200)):
+            t.insert(float(k), k)
+        t.validate()
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.floats(min_value=0, max_value=1e9), max_size=150))
+    def test_sorted_iteration_matches_sorted_list(self, keys):
+        t = RedBlackTree()
+        for k in keys:
+            t.insert(k, None)
+        assert [k for k, _ in t.items()] == sorted(keys)
+        t.validate()
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.floats(min_value=0, max_value=1e6),
+                              st.booleans()), max_size=120))
+    def test_mixed_inserts_and_deletes(self, spec):
+        """Reference-model test: tree behaves like a sorted multiset."""
+        t = RedBlackTree()
+        handles = []
+        reference = []
+        for key, delete_one in spec:
+            handles.append((key, t.insert(key, key)))
+            reference.append(key)
+            if delete_one and handles:
+                k, h = handles.pop(len(handles) // 2)
+                t.remove_node(h)
+                reference.remove(k)
+        assert [k for k, _ in t.items()] == sorted(reference)
+        t.validate()
+
+    def test_heavy_randomized_churn(self):
+        rng = np.random.default_rng(7)
+        t = RedBlackTree()
+        live = []
+        for step in range(2000):
+            if live and rng.random() < 0.4:
+                idx = int(rng.integers(len(live)))
+                _, h = live.pop(idx)
+                t.remove_node(h)
+            else:
+                k = float(rng.uniform(0, 1e6))
+                live.append((k, t.insert(k, None)))
+            if step % 500 == 0:
+                t.validate()
+        t.validate()
+        assert len(t) == len(live)
+        assert [k for k, _ in t.items()] == sorted(k for k, _ in live)

@@ -1,0 +1,136 @@
+"""Tests for the Nova-like filter scheduler and weighers."""
+
+import pytest
+
+from repro.cluster import Host, HostCapacity, ResourceSpec, TESTBED_VM, VM
+from repro.core.params import DEFAULT_PARAMS
+from repro.sched import (
+    ComputeFilter,
+    CoreFilter,
+    DifferentHostFilter,
+    FilterScheduler,
+    IdlenessWeigher,
+    MaxVMsFilter,
+    RamFilter,
+    RamStackWeigher,
+    WeightedWeigher,
+    drowsy_scheduler,
+    vanilla_scheduler,
+)
+from repro.traces.synthetic import always_idle_trace
+
+
+def make_vm(name="v", cpus=2, mem=6144):
+    return VM(name, always_idle_trace(48), ResourceSpec(cpus, mem))
+
+
+def make_host(name="h", used=0):
+    host = Host(name)
+    for i in range(used):
+        host.add_vm(make_vm(f"{name}-pre{i}"))
+    return host
+
+
+class TestFilters:
+    def test_ram_filter(self):
+        host = make_host(used=2)  # 12 GB of 16 GB used
+        assert not RamFilter().passes(host, make_vm())
+        assert RamFilter().passes(make_host(), make_vm())
+
+    def test_core_filter(self):
+        host = Host("h", HostCapacity(cpus=2, memory_mb=32768, cpu_overcommit=1.0))
+        host.add_vm(make_vm("a", cpus=2, mem=1024))
+        assert not CoreFilter().passes(host, make_vm("b", cpus=1, mem=1024))
+
+    def test_compute_filter_accepts_suspended(self):
+        """Drowsy hosts are valid placement targets (the whole point)."""
+        host = make_host(used=1)
+        host.begin_suspend(1.0)
+        host.finish_suspend(2.0)
+        assert ComputeFilter().passes(host, make_vm())
+
+    def test_compute_filter_rejects_off(self):
+        host = make_host()
+        host.power_off(1.0)
+        assert not ComputeFilter().passes(host, make_vm())
+
+    def test_max_vms_filter(self):
+        f = MaxVMsFilter(2)
+        host = make_host(used=2)
+        assert not f.passes(host, make_vm())
+        with pytest.raises(ValueError):
+            MaxVMsFilter(0)
+
+    def test_different_host_filter(self):
+        host = make_host(used=1)
+        f = DifferentHostFilter(frozenset({"h-pre0"}))
+        assert not f.passes(host, make_vm())
+        assert f.passes(make_host("g"), make_vm())
+
+
+class TestWeighers:
+    def test_ram_stack_prefers_fuller_host(self):
+        w = RamStackWeigher()
+        empty, fuller = make_host("e"), make_host("f", used=1)
+        vm = make_vm()
+        assert w.weigh(fuller, vm, 0) > w.weigh(empty, vm, 0)
+
+    def test_idleness_weigher_prefers_matching_ip(self):
+        idle_host, busy_host = make_host("i"), make_host("b")
+        idle_mate, busy_mate = make_vm("im"), make_vm("bm")
+        candidate = make_vm("c")
+        for h in range(14 * 24):
+            idle_mate.model.observe(h, 0.0)
+            busy_mate.model.observe(h, 0.6)
+            candidate.model.observe(h, 0.0)
+        idle_host.add_vm(idle_mate)
+        busy_host.add_vm(busy_mate)
+        w = IdlenessWeigher()
+        hour = 14 * 24
+        assert w.weigh(idle_host, candidate, hour) > w.weigh(busy_host, candidate, hour)
+
+    def test_weighted_multiplier(self):
+        w = WeightedWeigher(RamStackWeigher(), multiplier=2.0)
+        host, vm = make_host(used=1), make_vm()
+        assert w.weigh(host, vm, 0) == pytest.approx(
+            2.0 * RamStackWeigher().weigh(host, vm, 0))
+
+
+class TestFilterScheduler:
+    def test_select_best_host(self):
+        sched = vanilla_scheduler()
+        hosts = [make_host("a"), make_host("b", used=1)]
+        # Stacking: prefer the fuller host b.
+        assert sched.select_host(hosts, make_vm(), 0).name == "b"
+
+    def test_returns_none_when_nothing_fits(self):
+        sched = vanilla_scheduler()
+        hosts = [make_host("a", used=2)]
+        assert sched.select_host(hosts, make_vm(), 0) is None
+
+    def test_rank_deterministic_tiebreak(self):
+        sched = FilterScheduler()
+        hosts = [make_host("b"), make_host("a")]
+        ranked = sched.rank(hosts, make_vm(), 0)
+        assert [h.name for _, h in ranked] == ["a", "b"]
+
+    def test_drowsy_scheduler_picks_idleness_match(self):
+        params = DEFAULT_PARAMS
+        sched = drowsy_scheduler(params)
+        idle_host, busy_host = make_host("idle"), make_host("busy")
+        idle_mate, busy_mate = make_vm("im"), make_vm("bm")
+        candidate = make_vm("cand")
+        for h in range(14 * 24):
+            idle_mate.model.observe(h, 0.0)
+            busy_mate.model.observe(h, 0.7)
+            candidate.model.observe(h, 0.0)
+        idle_host.add_vm(idle_mate)
+        busy_host.add_vm(busy_mate)
+        chosen = sched.select_host([busy_host, idle_host], candidate, 14 * 24)
+        assert chosen.name == "idle"
+
+    def test_filters_applied_before_weighing(self):
+        sched = drowsy_scheduler(extra_filters=(MaxVMsFilter(1),))
+        full = make_host("full", used=1)
+        empty = make_host("empty")
+        assert sched.select_host([full, empty], make_vm(), 0).name == "empty"

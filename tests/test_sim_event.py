@@ -1,0 +1,139 @@
+"""Tests for the event-driven full-stack simulation."""
+
+import pytest
+
+from repro.cluster import (
+    DataCenter,
+    Host,
+    HostCapacity,
+    PowerState,
+    ResourceSpec,
+    ServiceTimer,
+    VM,
+)
+from repro.consolidation import NeatController
+from repro.core.params import DEFAULT_PARAMS
+from repro.network.requests import RequestProfile
+from repro.sim.event_driven import EventConfig, EventDrivenSimulation
+from repro.traces.synthetic import always_idle_trace, daily_backup_trace, llmu_trace
+
+CAP = HostCapacity(cpus=8, memory_mb=16384, cpu_overcommit=1.0)
+FLAVOR = ResourceSpec(cpus=2, memory_mb=6144)
+
+
+def build_sim(traces, params=DEFAULT_PARAMS, config=None, timers=(),
+              interactive=True):
+    host = Host("h0", CAP, params)
+    dc = DataCenter([host], params)
+    for i, tr in enumerate(traces):
+        dc.place(VM(f"vm{i}", tr, FLAVOR, params=params, timers=timers,
+                    interactive=interactive), host)
+    ctrl = NeatController(dc, params=params)
+    return EventDrivenSimulation(
+        dc, ctrl, params, config or EventConfig()), dc
+
+
+class TestSuspendResumeCycle:
+    def test_idle_host_suspends(self):
+        sim, dc = build_sim([always_idle_trace(48)])
+        result = sim.run(6)
+        assert result.suspended_fraction_by_host["h0"] > 0.95
+        assert result.suspend_cycles_by_host["h0"] == 1
+
+    def test_suspend_disabled(self):
+        sim, dc = build_sim([always_idle_trace(48)],
+                            config=EventConfig(suspend_enabled=False))
+        result = sim.run(6)
+        assert result.suspended_fraction_by_host["h0"] == 0.0
+
+    def test_interactive_requests_wake_host(self):
+        # Idle at night, active during hour 2 onward.
+        tr = daily_backup_trace(days=2, backup_hour=2, level=0.5)
+        sim, dc = build_sim([tr])
+        result = sim.run(6)
+        assert result.resume_cycles_by_host["h0"] >= 1
+        assert result.request_summary["requests"] > 0
+
+    def test_wake_latency_bounded_by_resume(self):
+        tr = daily_backup_trace(days=2, backup_hour=2, level=0.5)
+        sim, dc = build_sim([tr])
+        sim.run(6)
+        wake = sim.switch.log.wake_requests
+        assert wake, "expected at least one request to hit a drowsy host"
+        for r in wake:
+            assert r.latency_s <= (DEFAULT_PARAMS.resume_latency_s
+                                   + r.service_time_s + 0.2)
+
+    def test_scheduled_wake_via_timer(self):
+        """A timer-driven VM wakes its host ahead of the cron fire."""
+        timer = ServiceTimer("cron", period_s=24 * 3600.0,
+                             first_fire_s=2 * 3600.0)
+        sim, dc = build_sim([daily_backup_trace(days=2)], timers=(timer,),
+                            interactive=False)
+        result = sim.run(26)
+        host = dc.host("h0")
+        # Host was up at hour 2 + 26 (wrap) etc.; at least 2 resumes.
+        assert result.resume_cycles_by_host["h0"] >= 1
+        assert result.wol_sent >= 1
+
+    def test_energy_between_bounds(self):
+        sim, dc = build_sim([always_idle_trace(48)])
+        result = sim.run(10)
+        s3_only = 10 * DEFAULT_PARAMS.suspend_power_w / 1000.0
+        idle_only = 10 * DEFAULT_PARAMS.idle_power_w / 1000.0
+        assert s3_only <= result.total_energy_kwh <= idle_only
+
+
+class TestGraceInEventSim:
+    @staticmethod
+    def _last_resume_time(host):
+        return max(t.time for t in host.transitions
+                   if t.to_state is PowerState.ON)
+
+    def test_grace_applied_after_resume(self):
+        tr = daily_backup_trace(days=2, backup_hour=2, level=0.5)
+        sim, dc = build_sim([tr])
+        sim.run(6)
+        host = dc.host("h0")
+        assert host.grace_until >= (self._last_resume_time(host)
+                                    + DEFAULT_PARAMS.grace_min_s)
+
+    def test_no_grace_when_disabled(self):
+        params = DEFAULT_PARAMS.replace(use_grace=False)
+        tr = daily_backup_trace(days=2, backup_hour=2, level=0.5)
+        sim, dc = build_sim([tr], params=params)
+        sim.run(6)
+        host = dc.host("h0")
+        # The grace window collapses to the resume instant itself.
+        assert host.grace_until <= self._last_resume_time(host) + 1e-9
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        r1 = build_sim([daily_backup_trace(days=2, level=0.5)],
+                       config=EventConfig(seed=9))[0].run(8)
+        r2 = build_sim([daily_backup_trace(days=2, level=0.5)],
+                       config=EventConfig(seed=9))[0].run(8)
+        assert r1.total_energy_kwh == pytest.approx(r2.total_energy_kwh)
+        assert r1.request_summary == r2.request_summary
+        assert r1.events_processed == r2.events_processed
+
+    def test_different_seed_differs(self):
+        r1 = build_sim([llmu_trace(hours=48)], config=EventConfig(seed=1))[0].run(4)
+        r2 = build_sim([llmu_trace(hours=48)], config=EventConfig(seed=2))[0].run(4)
+        assert r1.request_summary["requests"] != r2.request_summary["requests"]
+
+
+class TestValidation:
+    def test_rejects_nonpositive_hours(self):
+        sim, _ = build_sim([always_idle_trace(48)])
+        with pytest.raises(ValueError):
+            sim.run(0)
+
+    def test_state_machine_consistent_after_run(self):
+        sim, dc = build_sim([daily_backup_trace(days=2, level=0.4)])
+        sim.run(12)
+        host = dc.host("h0")
+        assert host.state in (PowerState.ON, PowerState.SUSPENDED,
+                              PowerState.SUSPENDING, PowerState.RESUMING)
+        dc.check_invariants()

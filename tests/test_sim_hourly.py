@@ -1,0 +1,167 @@
+"""Tests for the hourly simulator (power accounting, suspension logic)."""
+
+import pytest
+
+from repro.cluster import DataCenter, Host, HostCapacity, PowerState, ResourceSpec, VM
+from repro.consolidation import NeatController, OasisController
+from repro.core.params import DEFAULT_PARAMS
+from repro.sim.hourly import HourlyConfig, HourlySimulator
+from repro.traces.base import ActivityTrace
+from repro.traces.synthetic import always_idle_trace, daily_backup_trace, llmu_trace
+
+import numpy as np
+
+CAP = HostCapacity(cpus=8, memory_mb=16384, cpu_overcommit=1.0)
+FLAVOR = ResourceSpec(cpus=2, memory_mb=6144)
+
+
+def build(traces_by_host, params=DEFAULT_PARAMS):
+    hosts = [Host(f"h{i}", CAP, params) for i in range(len(traces_by_host))]
+    dc = DataCenter(hosts, params)
+    k = 0
+    for host, traces in zip(hosts, traces_by_host):
+        for tr in traces:
+            dc.place(VM(f"vm{k}", tr, FLAVOR, params=params), host)
+            k += 1
+    return dc
+
+
+class PassiveController:
+    """Controller stub: observes but never migrates."""
+
+    name = "passive"
+    uses_idleness = False
+
+    def observe_hour(self, hour_index):
+        pass
+
+    def step(self, hour_index, now, executor=None):
+        return 0
+
+
+class TestSuspension:
+    def test_idle_host_suspends_for_most_of_the_hour(self):
+        dc = build([[always_idle_trace(48)]])
+        sim = HourlySimulator(dc, PassiveController(),
+                              config=HourlyConfig(power_off_empty=False))
+        result = sim.run(24)
+        frac = result.suspended_fraction_by_host["h0"]
+        assert frac > 0.95
+        # Energy must be close to pure-S3: 24h x 5W = 0.12 kWh.
+        assert result.total_energy_kwh < 0.15
+
+    def test_suspend_disabled_stays_on(self):
+        dc = build([[always_idle_trace(48)]])
+        sim = HourlySimulator(dc, PassiveController(),
+                              config=HourlyConfig(suspend_enabled=False,
+                                                  power_off_empty=False))
+        result = sim.run(24)
+        assert result.suspended_fraction_by_host["h0"] == 0.0
+        # 24h x 50W idle = 1.2 kWh.
+        assert result.total_energy_kwh == pytest.approx(1.2, rel=0.01)
+
+    def test_active_vm_prevents_suspension(self):
+        dc = build([[llmu_trace(hours=48)]])
+        sim = HourlySimulator(dc, PassiveController(),
+                              config=HourlyConfig(power_off_empty=False))
+        result = sim.run(24)
+        assert result.suspended_fraction_by_host["h0"] == 0.0
+
+    def test_host_resumes_on_activity(self):
+        dc = build([[daily_backup_trace(days=3)]])
+        sim = HourlySimulator(dc, PassiveController(),
+                              config=HourlyConfig(power_off_empty=False))
+        result = sim.run(3 * 24)
+        host = dc.host("h0")
+        # One resume per backup day (plus initial hours awake).
+        assert host.resume_count >= 2
+        assert 0.7 < result.suspended_fraction_by_host["h0"] < 0.99
+
+    def test_empty_host_powers_off(self):
+        dc = build([[]])
+        sim = HourlySimulator(dc, PassiveController(),
+                              config=HourlyConfig(power_off_empty=True))
+        result = sim.run(10)
+        assert dc.host("h0").state is PowerState.OFF
+        assert result.total_energy_kwh == pytest.approx(0.0)
+
+    def test_energy_ordering_suspend_beats_no_suspend(self):
+        """Fundamental inequality: S3 never costs more energy."""
+        for cfg_suspend in (True, False):
+            dc = build([[daily_backup_trace(days=2)]])
+            sim = HourlySimulator(
+                dc, PassiveController(),
+                config=HourlyConfig(suspend_enabled=cfg_suspend,
+                                    power_off_empty=False))
+            result = sim.run(48)
+            if cfg_suspend:
+                with_suspend = result.total_energy_kwh
+            else:
+                without = result.total_energy_kwh
+        assert with_suspend < without
+
+    def test_mixed_host_never_sleeps(self):
+        dc = build([[always_idle_trace(48), llmu_trace(hours=48)]])
+        sim = HourlySimulator(dc, PassiveController(),
+                              config=HourlyConfig(power_off_empty=False))
+        result = sim.run(24)
+        assert result.suspended_fraction_by_host["h0"] == 0.0
+
+
+class TestAccounting:
+    def test_result_fields(self):
+        dc = build([[always_idle_trace(48)], [llmu_trace(hours=48)]])
+        sim = HourlySimulator(dc, NeatController(dc),
+                              config=HourlyConfig(power_off_empty=False))
+        result = sim.run(24)
+        assert result.hours == 24
+        assert set(result.energy_kwh_by_host) == {"h0", "h1"}
+        assert result.controller_name == "neat"
+        assert result.global_suspended_fraction == pytest.approx(
+            np.mean(list(result.suspended_fraction_by_host.values())))
+
+    def test_meter_covers_whole_run(self):
+        dc = build([[always_idle_trace(48)]])
+        sim = HourlySimulator(dc, PassiveController(),
+                              config=HourlyConfig(power_off_empty=False))
+        sim.run(24)
+        assert dc.host("h0").meter.total_seconds == pytest.approx(24 * 3600.0)
+
+    def test_rejects_nonpositive_hours(self):
+        dc = build([[always_idle_trace(48)]])
+        sim = HourlySimulator(dc, PassiveController())
+        with pytest.raises(ValueError):
+            sim.run(0)
+
+    def test_hour_hooks_called(self):
+        dc = build([[always_idle_trace(48)]])
+        calls = []
+        sim = HourlySimulator(dc, PassiveController(),
+                              config=HourlyConfig(power_off_empty=False),
+                              hour_hooks=(lambda t, now: calls.append(t),))
+        sim.run(5)
+        assert calls == [0, 1, 2, 3, 4]
+
+
+class TestOasisIntegration:
+    def test_oasis_consolidation_host_burns_power(self):
+        idle = always_idle_trace(48)
+        dc = build([[idle], [idle]])
+        ctrl = OasisController(dc, n_consolidation_hosts=1)
+        sim = HourlySimulator(dc, ctrl,
+                              config=HourlyConfig(power_off_empty=False))
+        result = sim.run(24)
+        # Worker sleeps, consolidation host stays awake at idle power.
+        assert result.suspended_fraction_by_host["h1"] > 0.9
+        assert result.suspended_fraction_by_host["h0"] == 0.0
+
+    def test_oasis_worse_than_plain_suspend_on_idle_fleet(self):
+        """With everything idle, Oasis pays for the consolidation host."""
+        idle = always_idle_trace(48)
+        dc1 = build([[idle], [idle]])
+        plain = HourlySimulator(dc1, PassiveController(),
+                                config=HourlyConfig(power_off_empty=False)).run(24)
+        dc2 = build([[idle], [idle]])
+        oasis = HourlySimulator(dc2, OasisController(dc2),
+                                config=HourlyConfig(power_off_empty=False)).run(24)
+        assert oasis.total_energy_kwh > plain.total_energy_kwh

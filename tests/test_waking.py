@@ -1,0 +1,171 @@
+"""Tests for the waking module, packet analysis and failover."""
+
+import pytest
+
+from repro.cluster import EventSimulator, Host, TESTBED_VM, VM
+from repro.core.params import DEFAULT_PARAMS
+from repro.traces.synthetic import always_idle_trace
+from repro.waking import (
+    Packet,
+    PacketKind,
+    ReplicatedWakingService,
+    WakingModule,
+    WoLPacket,
+)
+
+
+class WolSpy:
+    def __init__(self):
+        self.sent = []
+
+    def __call__(self, packet: WoLPacket, now: float) -> None:
+        self.sent.append((packet, now))
+
+
+def make_host(name="h1"):
+    host = Host(name)
+    vm = VM(f"vm-{name}", always_idle_trace(48), TESTBED_VM,
+            ip_address=f"10.1.0.{len(name)}")
+    host.add_vm(vm)
+    return host, vm
+
+
+@pytest.fixture
+def setup():
+    sim = EventSimulator()
+    spy = WolSpy()
+    module = WakingModule("wm", sim, spy)
+    host, vm = make_host()
+    return sim, spy, module, host, vm
+
+
+class TestPacketAnalysis:
+    def test_request_to_suspended_host_triggers_wol(self, setup):
+        sim, spy, module, host, vm = setup
+        module.register_suspension(host, waking_date_s=None)
+        woke = module.analyze_packet(Packet(dst_ip=vm.ip_address))
+        assert woke
+        assert spy.sent[0][0].mac_address == host.mac_address
+        assert module.wol_sent == 1
+
+    def test_unknown_destination_ignored(self, setup):
+        sim, spy, module, host, vm = setup
+        module.register_suspension(host, None)
+        assert not module.analyze_packet(Packet(dst_ip="10.99.99.99"))
+        assert spy.sent == []
+
+    def test_non_request_packets_ignored(self, setup):
+        sim, spy, module, host, vm = setup
+        module.register_suspension(host, None)
+        assert not module.analyze_packet(
+            Packet(dst_ip=vm.ip_address, kind=PacketKind.HEARTBEAT))
+
+    def test_mapping_removed_on_awake(self, setup):
+        sim, spy, module, host, vm = setup
+        module.register_suspension(host, None)
+        module.on_host_awake(host)
+        assert not module.analyze_packet(Packet(dst_ip=vm.ip_address))
+
+    def test_packets_analyzed_counter(self, setup):
+        sim, spy, module, host, vm = setup
+        module.analyze_packet(Packet(dst_ip="10.0.0.1"))
+        module.analyze_packet(Packet(dst_ip="10.0.0.2"))
+        assert module.packets_analyzed == 2
+
+
+class TestScheduledWake:
+    def test_wol_sent_ahead_of_waking_date(self, setup):
+        sim, spy, module, host, vm = setup
+        module.register_suspension(host, waking_date_s=100.0)
+        sim.run()
+        assert len(spy.sent) == 1
+        packet, at = spy.sent[0]
+        lead = (DEFAULT_PARAMS.resume_latency_s
+                + DEFAULT_PARAMS.wake_ahead_margin_s)
+        assert at == pytest.approx(100.0 - lead)
+        assert packet.reason == "scheduled-date"
+
+    def test_no_ahead_of_time_when_disabled(self):
+        sim = EventSimulator()
+        spy = WolSpy()
+        params = DEFAULT_PARAMS.replace(ahead_of_time_wake=False)
+        module = WakingModule("wm", sim, spy, params)
+        host, _ = make_host()
+        module.register_suspension(host, waking_date_s=100.0)
+        sim.run()
+        assert spy.sent[0][1] == pytest.approx(100.0)
+
+    def test_resume_cancels_scheduled_wake(self, setup):
+        sim, spy, module, host, vm = setup
+        module.register_suspension(host, waking_date_s=100.0)
+        module.on_host_awake(host)
+        sim.run()
+        assert spy.sent == []
+
+    def test_reregistration_replaces_date(self, setup):
+        sim, spy, module, host, vm = setup
+        module.register_suspension(host, waking_date_s=100.0)
+        module.register_suspension(host, waking_date_s=500.0)
+        sim.run()
+        assert len(spy.sent) == 1
+        assert spy.sent[0][1] > 400.0
+
+    def test_none_date_means_no_scheduled_wake(self, setup):
+        sim, spy, module, host, vm = setup
+        module.register_suspension(host, waking_date_s=None)
+        sim.run()
+        assert spy.sent == []
+
+
+class TestFailover:
+    def make_service(self):
+        sim = EventSimulator()
+        spy = WolSpy()
+        service = ReplicatedWakingService(sim, spy)
+        host, vm = make_host()
+        return sim, spy, service, host, vm
+
+    def test_state_is_mirrored(self):
+        sim, spy, service, host, vm = self.make_service()
+        service.register_suspension(host, waking_date_s=1000.0)
+        assert service.mirror.state.vm_to_mac == service.primary.state.vm_to_mac
+        assert service.mirror.state.waking_dates == service.primary.state.waking_dates
+
+    def test_failover_promotes_mirror(self):
+        sim, spy, service, host, vm = self.make_service()
+        service.register_suspension(host, waking_date_s=1000.0)
+        service.fail_primary()
+        sim.run_until(service.detection_delay_s + 2.0)
+        assert service.active is service.mirror
+        assert service.failovers == 1
+
+    def test_no_waking_date_lost_across_failover(self):
+        """The paper's fault-tolerance guarantee: the mirror still wakes
+        the host at the registered date."""
+        sim, spy, service, host, vm = self.make_service()
+        service.register_suspension(host, waking_date_s=1000.0)
+        service.fail_primary()
+        sim.run_until(2000.0)
+        assert len(spy.sent) == 1
+        packet, at = spy.sent[0]
+        assert packet.mac_address == host.mac_address
+        assert at <= 1000.0
+
+    def test_packet_analysis_after_failover(self):
+        sim, spy, service, host, vm = self.make_service()
+        service.register_suspension(host, waking_date_s=None)
+        service.fail_primary()
+        sim.run_until(service.detection_delay_s + 2.0)
+        assert service.analyze_packet(Packet(dst_ip=vm.ip_address))
+
+    def test_healthy_primary_keeps_running(self):
+        sim, spy, service, host, vm = self.make_service()
+        sim.run_until(60.0)
+        assert service.active is service.primary
+        assert service.failovers == 0
+
+    def test_dead_module_rejects_calls(self):
+        sim, spy, service, host, vm = self.make_service()
+        service.fail_primary()
+        with pytest.raises(RuntimeError):
+            service.primary.analyze_packet(Packet(dst_ip=vm.ip_address))

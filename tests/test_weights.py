@@ -1,0 +1,146 @@
+"""Tests for the weight learner and simplex projection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.weights import (
+    N_SCALES,
+    descend_weights,
+    initial_weights,
+    project_to_simplex,
+)
+
+finite_vec = st.lists(
+    st.floats(min_value=-10, max_value=10, allow_nan=False), min_size=4, max_size=4
+).map(np.array)
+
+
+class TestProjection:
+    def test_already_on_simplex(self):
+        v = np.array([0.25, 0.25, 0.25, 0.25])
+        np.testing.assert_allclose(project_to_simplex(v), v)
+
+    def test_negative_coordinates_clipped(self):
+        out = project_to_simplex(np.array([1.0, -1.0, 0.5, 0.0]))
+        assert np.all(out >= 0)
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_dominant_coordinate(self):
+        out = project_to_simplex(np.array([100.0, 0.0, 0.0, 0.0]))
+        np.testing.assert_allclose(out, [1.0, 0.0, 0.0, 0.0])
+
+    @given(finite_vec)
+    def test_output_is_on_simplex(self, v):
+        out = project_to_simplex(v)
+        assert np.all(out >= -1e-12)
+        assert out.sum() == pytest.approx(1.0, abs=1e-9)
+
+    @given(finite_vec)
+    def test_projection_idempotent(self, v):
+        once = project_to_simplex(v)
+        twice = project_to_simplex(once)
+        np.testing.assert_allclose(once, twice, atol=1e-9)
+
+    @given(finite_vec)
+    def test_projection_is_closest_point(self, v):
+        """Euclidean projection dominates any other simplex point."""
+        out = project_to_simplex(v)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            other = rng.dirichlet(np.ones(4))
+            assert (np.linalg.norm(v - out)
+                    <= np.linalg.norm(v - other) + 1e-9)
+
+    def test_mask_zeroes_inactive(self):
+        mask = np.array([True, False, True, False])
+        out = project_to_simplex(np.array([0.5, 9.0, 0.5, 9.0]), mask)
+        assert out[1] == 0.0 and out[3] == 0.0
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_all_masked_rejected(self):
+        with pytest.raises(ValueError):
+            project_to_simplex(np.ones(4), np.zeros(4, dtype=bool))
+
+    def test_batched(self):
+        v = np.array([[1.0, 2.0, 3.0, 4.0], [0.25, 0.25, 0.25, 0.25]])
+        out = project_to_simplex(v)
+        assert out.shape == (2, 4)
+        np.testing.assert_allclose(out.sum(axis=1), [1.0, 1.0])
+
+
+class TestInitialWeights:
+    def test_uniform(self):
+        np.testing.assert_allclose(initial_weights(), 0.25)
+
+    def test_masked(self):
+        mask = np.array([True, True, False, False])
+        w = initial_weights(mask)
+        np.testing.assert_allclose(w, [0.5, 0.5, 0.0, 0.0])
+
+    def test_batch(self):
+        w = initial_weights(batch=3)
+        assert w.shape == (3, N_SCALES)
+
+    def test_empty_mask_rejected(self):
+        with pytest.raises(ValueError):
+            initial_weights(np.zeros(4, dtype=bool))
+
+
+class TestDescent:
+    def test_zero_si_leaves_weights(self):
+        w0 = initial_weights()
+        w = descend_weights(w0, np.zeros(4), np.zeros(4), steps=8,
+                            learning_rate=0.5)
+        np.testing.assert_allclose(w, w0)
+
+    def test_moves_toward_target(self):
+        """After descent the prediction error |w.SI - w0.SI'| shrinks."""
+        w0 = initial_weights()
+        si_old = np.array([0.01, -0.005, 0.002, 0.0])
+        si_new = si_old + 1e-4
+        before = abs(w0 @ si_new - w0 @ si_old)
+        w = descend_weights(w0, si_old, si_new, steps=8, learning_rate=0.5)
+        after = abs(w0 @ si_new - w @ si_old)
+        assert after <= before
+
+    def test_result_on_simplex(self):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            w0 = rng.dirichlet(np.ones(4))
+            si_old = rng.normal(0, 0.01, 4)
+            si_new = si_old + rng.normal(0, 1e-4, 4)
+            w = descend_weights(w0, si_old, si_new, steps=4, learning_rate=0.3)
+            assert np.all(w >= -1e-12)
+            assert w.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_batched_matches_scalar(self):
+        rng = np.random.default_rng(2)
+        w0 = np.stack([rng.dirichlet(np.ones(4)) for _ in range(5)])
+        si_old = rng.normal(0, 0.01, (5, 4))
+        si_new = si_old + rng.normal(0, 1e-4, (5, 4))
+        batched = descend_weights(w0, si_old, si_new, steps=3, learning_rate=0.5)
+        for i in range(5):
+            single = descend_weights(w0[i], si_old[i], si_new[i], steps=3,
+                                     learning_rate=0.5)
+            np.testing.assert_allclose(batched[i], single, atol=1e-12)
+
+    def test_mask_respected(self):
+        mask = np.array([True, True, True, False])
+        w0 = initial_weights(mask)
+        si_old = np.array([0.01, -0.01, 0.005, 0.02])
+        si_new = si_old * 1.01
+        w = descend_weights(w0, si_old, si_new, steps=8, learning_rate=0.5,
+                            mask=mask)
+        assert w[3] == 0.0
+
+    @settings(max_examples=30)
+    @given(st.floats(min_value=1e-6, max_value=0.02),
+           st.floats(min_value=-0.02, max_value=-1e-6))
+    def test_boosts_correct_scale(self, pos, neg):
+        """An idle hour (all SI rise) boosts scales with positive SI."""
+        w0 = initial_weights()
+        si_old = np.array([pos, neg, 0.0, 0.0])
+        si_new = si_old + 2e-4  # idle update: everything up
+        w = descend_weights(w0, si_old, si_new, steps=4, learning_rate=0.5)
+        assert w[0] >= w0[0] - 1e-9
