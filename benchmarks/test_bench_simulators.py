@@ -1,0 +1,106 @@
+"""Simulator hot-path benches: the columnar fleet binding (DESIGN.md §6).
+
+Throughput of both simulators at 64/256/1024 VMs, plus the acceptance
+check for the columnar refactor: the fleet-bound hourly simulator must
+beat the seed per-VM scalar path by >= 3x at 1024 VMs x 168 h while
+producing *bit-identical* results (energy, migrations, SLATAH) — the
+speedup is pure mechanics, never a semantics change.
+"""
+
+import os
+import time
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.consolidation.drowsy import DrowsyController
+from repro.experiments.common import build_fleet
+from repro.sim.event_driven import EventConfig, EventDrivenSimulation
+from repro.sim.hourly import HourlyConfig, HourlySimulator
+
+WEEK_H = 168
+
+
+def _fleet(n_vms: int, hours: int):
+    return build_fleet(n_hosts=n_vms // 4, n_vms=n_vms,
+                       llmi_fraction=0.5, hours=hours, seed=7)
+
+
+# ----------------------------------------------------------------------
+# hourly simulator
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("n_vms", [64, 256, 1024])
+def test_hourly_fleet_throughput(benchmark, n_vms):
+    dc = _fleet(n_vms, WEEK_H)
+    sim = HourlySimulator(dc, DrowsyController(dc))
+    result = run_once(benchmark, sim.run, WEEK_H)
+    assert result.hours == WEEK_H
+    assert result.total_energy_kwh > 0.0
+
+
+def test_hourly_speedup_and_parity():
+    """Acceptance: >= 3x over the seed per-VM path at 1024 VMs x 168 h,
+    with identical energy totals, migration counts and SLATAH."""
+    n_vms, hours = 1024, WEEK_H
+
+    dc_scalar = _fleet(n_vms, hours)
+    sim_scalar = HourlySimulator(dc_scalar, DrowsyController(dc_scalar),
+                                 config=HourlyConfig(use_fleet_model=False))
+    t0 = time.perf_counter()
+    scalar = sim_scalar.run(hours)
+    scalar_s = time.perf_counter() - t0
+
+    dc_fleet = _fleet(n_vms, hours)
+    sim_fleet = HourlySimulator(dc_fleet, DrowsyController(dc_fleet))
+    t0 = time.perf_counter()
+    fleet = sim_fleet.run(hours)
+    fleet_s = time.perf_counter() - t0
+
+    # Parity first: a fast-but-different simulator is worthless.
+    assert fleet.total_energy_kwh == scalar.total_energy_kwh
+    assert fleet.energy_kwh_by_host == scalar.energy_kwh_by_host
+    assert fleet.migrations == scalar.migrations
+    assert fleet.vm_migrations == scalar.vm_migrations
+    assert fleet.slatah == scalar.slatah
+    assert fleet.suspend_cycles_by_host == scalar.suspend_cycles_by_host
+
+    speedup = scalar_s / fleet_s
+    print(f"\nhourly 1024 VMs x {hours} h: scalar {scalar_s:.2f} s, "
+          f"fleet-bound {fleet_s:.2f} s -> {speedup:.2f}x")
+    # Local margin is 3.9-4.5x.  Shared CI runners are too noisy to gate
+    # at the full bar, so CI only catches gross regressions; the 3x
+    # acceptance floor is enforced on dedicated hardware.
+    floor = 1.5 if os.environ.get("CI") else 3.0
+    assert speedup >= floor, (
+        f"columnar hot path regressed: {speedup:.2f}x < {floor}x "
+        f"(scalar {scalar_s:.2f} s vs fleet {fleet_s:.2f} s)")
+
+
+# ----------------------------------------------------------------------
+# event-driven simulator
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("n_vms,hours", [(64, 12), (256, 4), (1024, 1)])
+def test_event_fleet_throughput(benchmark, n_vms, hours):
+    dc = _fleet(n_vms, max(hours, 24))
+    sim = EventDrivenSimulation(dc, DrowsyController(dc))
+    result = run_once(benchmark, sim.run, hours)
+    assert result.events_processed > 0
+    assert result.total_energy_kwh > 0.0
+
+
+def test_event_parity_small():
+    """Fleet binding changes nothing observable in the event sim."""
+    def run(use_fleet):
+        dc = _fleet(64, 24)
+        sim = EventDrivenSimulation(
+            dc, DrowsyController(dc),
+            config=EventConfig(use_fleet_model=use_fleet))
+        return sim.run(6)
+
+    scalar, fleet = run(False), run(True)
+    assert fleet.total_energy_kwh == scalar.total_energy_kwh
+    assert fleet.migrations == scalar.migrations
+    assert fleet.request_summary == scalar.request_summary
+    assert fleet.events_processed == scalar.events_processed

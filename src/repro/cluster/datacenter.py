@@ -34,6 +34,11 @@ class DataCenter:
         if len(set(names)) != len(names):
             raise PlacementError("duplicate host names")
         self._host_by_name = {h.name: h for h in self.hosts}
+        #: Placement index (vm name -> host), maintained by every
+        #: placement-changing operation so :meth:`host_of` is O(1) on the
+        #: migration and request paths instead of an O(hosts x vms) scan.
+        self._placement: dict[str, Host] = {
+            vm.name: host for host in self.hosts for vm in host.vms}
 
     # ------------------------------------------------------------------
     @property
@@ -42,9 +47,16 @@ class DataCenter:
         return [vm for host in self.hosts for vm in host.vms]
 
     def host_of(self, vm: VM) -> Host:
+        host = self._placement.get(vm.name)
+        if host is not None and vm in host.vms:
+            return host
+        # Index miss or staleness (e.g. tests wiring host.vms directly):
+        # fall back to the scan once and repair the index.
         for host in self.hosts:
             if vm in host.vms:
+                self._placement[vm.name] = host
                 return host
+        self._placement.pop(vm.name, None)
         raise PlacementError(f"{vm.name} is not placed")
 
     def host(self, name: str) -> Host:
@@ -56,10 +68,19 @@ class DataCenter:
     # ------------------------------------------------------------------
     def place(self, vm: VM, host: Host) -> None:
         """Initial placement of an unplaced VM."""
+        current = self._placement.get(vm.name)
+        if current is not None and vm in current.vms:
+            raise PlacementError(f"{vm.name} already placed on {current.name}")
+        # Index miss/stale: scan, so VMs wired onto a host directly (the
+        # pattern host_of's repair fallback supports) are still rejected
+        # instead of double-placed.  Placement is a cold path; O(1)
+        # lookups matter on the migration/request paths (host_of).
         for h in self.hosts:
             if vm in h.vms:
+                self._placement[vm.name] = h
                 raise PlacementError(f"{vm.name} already placed on {h.name}")
         host.add_vm(vm)
+        self._placement[vm.name] = host
 
     def migrate(self, vm: VM, destination: Host, now: float) -> MigrationRecord:
         """Move ``vm`` to ``destination``, recording the migration.
@@ -77,6 +98,7 @@ class DataCenter:
         destination.sync_meter(now)
         source.remove_vm(vm)
         destination.add_vm(vm)
+        self._placement[vm.name] = destination
         vm.migrations += 1
         record = MigrationRecord(time=now, vm_name=vm.name,
                                  source=source.name,
@@ -106,6 +128,7 @@ class DataCenter:
         self.sync_meters(now)
         for vm, src, _ in moves:
             src.remove_vm(vm)
+            self._placement.pop(vm.name, None)
         records = []
         for vm, src, dest in moves:
             if not dest.can_host(vm):
@@ -113,6 +136,7 @@ class DataCenter:
                 raise PlacementError(
                     f"assignment overfills {dest.name} with {vm.name}")
             dest.add_vm(vm)
+            self._placement[vm.name] = dest
             vm.migrations += 1
             record = MigrationRecord(
                 time=now, vm_name=vm.name, source=src.name,
@@ -133,6 +157,7 @@ class DataCenter:
         host = self.host_of(vm)
         host.sync_meter(max(now, host.meter.last_time))
         host.remove_vm(vm)
+        self._placement.pop(vm.name, None)
 
     # ------------------------------------------------------------------
     def available_hosts(self) -> list[Host]:
@@ -159,8 +184,13 @@ class DataCenter:
                 vm.current_activity = vm.activity_at(hour_index)
 
     def check_invariants(self) -> None:
-        """Structural sanity: each VM on exactly one host, capacity held."""
-        seen: dict[str, str] = {}
+        """Structural sanity: each VM on exactly one host, capacity held.
+
+        The walk also reconciles the O(1) placement index with the real
+        host membership, so code that wires ``host.vms`` directly (tests,
+        failure injection) converges back to a consistent index.
+        """
+        seen: dict[str, Host] = {}
         for host in self.hosts:
             used = host.used_resources
             if used.memory_mb > host.capacity.memory_mb:
@@ -170,5 +200,6 @@ class DataCenter:
             for vm in host.vms:
                 if vm.name in seen:
                     raise PlacementError(
-                        f"{vm.name} on both {seen[vm.name]} and {host.name}")
-                seen[vm.name] = host.name
+                        f"{vm.name} on both {seen[vm.name].name} and {host.name}")
+                seen[vm.name] = host
+        self._placement = seen

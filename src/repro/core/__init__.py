@@ -14,6 +14,7 @@ from .calendar import (
     time_of_hour,
 )
 from .adaptive import AdaptiveBands, AdaptiveIdlenessModel
+from .binding import FleetBinding, FleetVMView
 from .fleet import FleetIdlenessModel
 from .metrics import ConfusionCounts, MetricCurves, cumulative_curves
 from .model import IdlenessModel, IdlenessObservation
@@ -43,7 +44,9 @@ __all__ = [
     "DAYS_PER_YEAR",
     "DEFAULT_PARAMS",
     "DrowsyParams",
+    "FleetBinding",
     "FleetIdlenessModel",
+    "FleetVMView",
     "HOURS_PER_DAY",
     "HOURS_PER_YEAR",
     "IP_RANGE_THRESHOLD",

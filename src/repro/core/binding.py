@@ -1,0 +1,264 @@
+"""Columnar fleet-state binding: one vectorized model for a data center.
+
+The scalar :class:`~repro.core.model.IdlenessModel` makes the per-VM,
+per-hour update O(1), but driving ``n`` of them from Python costs ``n``
+interpreter round-trips per simulated hour — at fleet scale that loop is
+where both simulators spend their time.  :class:`FleetBinding` owns a
+single :class:`~repro.core.fleet.FleetIdlenessModel` holding every VM's
+SI tables in stacked arrays and replaces each ``vm.model`` with a
+:class:`FleetVMView`: a zero-copy view object satisfying the scalar
+model's API, so consolidation controllers, the suspending module and the
+schedulers keep working unchanged while the simulators ingest a whole
+hour with one vectorized ``observe`` call (DESIGN.md §6).
+
+Bit-for-bit equivalence with the scalar path is a hard requirement (the
+parity suite in ``tests/test_fleet_binding.py`` asserts identical energy
+totals, suspend cycles, migrations and SLATAH): views compute queries
+with exactly the scalar model's expressions over the fleet rows, and the
+batched update is the property-tested vectorized kernel of
+:mod:`repro.core.fleet`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .calendar import CalendarSlot, slot_of_hour
+from .fleet import FleetIdlenessModel
+from .model import IdlenessModel
+from .params import DrowsyParams
+
+
+class FleetVMView:
+    """One VM's window into a :class:`FleetIdlenessModel`.
+
+    Implements the scalar :class:`~repro.core.model.IdlenessModel` API
+    (queries, ``observe``, table/weight attributes) backed by row ``i``
+    of the fleet arrays.  Reads are views, never copies; the scalar
+    fallback :meth:`observe` delegates to the fleet's single-row update.
+    """
+
+    __slots__ = ("_fleet", "_i")
+
+    def __init__(self, fleet: FleetIdlenessModel, index: int) -> None:
+        self._fleet = fleet
+        self._i = index
+
+    # -- state attributes (scalar-model compatible) --------------------
+    @property
+    def fleet(self) -> FleetIdlenessModel:
+        return self._fleet
+
+    @property
+    def fleet_index(self) -> int:
+        return self._i
+
+    @property
+    def params(self) -> DrowsyParams:
+        return self._fleet.params
+
+    @property
+    def scale_mask(self) -> np.ndarray:
+        return self._fleet.scale_mask
+
+    @property
+    def sid(self) -> np.ndarray:
+        return self._fleet.sid[self._i]
+
+    @property
+    def siw(self) -> np.ndarray:
+        return self._fleet.siw[self._i]
+
+    @property
+    def sim(self) -> np.ndarray:
+        return self._fleet.sim[self._i]
+
+    @property
+    def siy(self) -> np.ndarray:
+        return self._fleet.siy[self._i]
+
+    @property
+    def weights(self) -> np.ndarray:
+        return self._fleet.weights[self._i]
+
+    @property
+    def hours_observed(self) -> int:
+        return int(self._fleet.row_hours[self._i])
+
+    @property
+    def _activity_sum(self) -> float:
+        return float(self._fleet._activity_sum[self._i])
+
+    @property
+    def _active_hours(self) -> int:
+        return int(self._fleet._active_hours[self._i])
+
+    @property
+    def mean_active_activity(self) -> float:
+        f, i = self._fleet, self._i
+        if f._active_hours[i] == 0:
+            return f.params.default_activity
+        return f._activity_sum[i] / f._active_hours[i]
+
+    # -- queries -------------------------------------------------------
+    def si_vector(self, slot: CalendarSlot) -> np.ndarray:
+        f, i = self._fleet, self._i
+        h = slot.hour
+        si = np.array([
+            f.sid[i, h],
+            f.siw[i, slot.day_of_week, h],
+            f.sim[i, slot.day_of_month, h],
+            f.siy[i, slot.day_of_year, h],
+        ])
+        return np.where(f.scale_mask, si, 0.0)
+
+    def raw_ip(self, slot: CalendarSlot) -> float:
+        # One vectorized gather serves all n VMs' queries at this slot
+        # (bit-identical to the scalar w @ si, see raw_ip_column).
+        return float(self._fleet.raw_ip_column(slot)[self._i])
+
+    def idleness_probability(self, slot: CalendarSlot) -> float:
+        return (self.raw_ip(slot) + 1.0) / 2.0
+
+    def predict_idle(self, slot: CalendarSlot) -> bool:
+        return self.idleness_probability(slot) > 0.5
+
+    # -- updates -------------------------------------------------------
+    def observe(self, hour_index: int, activity: float):
+        """Single-row scalar update (for VMs observed outside a batch)."""
+        return self._fleet.observe_one(self._i, hour_index, float(activity))
+
+    def predict_and_observe(self, hour_index: int, activity: float) -> tuple[bool, bool]:
+        predicted = self.predict_idle(slot_of_hour(hour_index))
+        obs = self.observe(hour_index, activity)
+        return predicted, obs.idle
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FleetVMView(row={self._i}, n={self._fleet.n})"
+
+
+class FleetBinding:
+    """Bind every VM of a data center to one columnar fleet model.
+
+    Construction imports each VM's current scalar model state into the
+    fleet rows (pre-trained models are preserved exactly) and swaps
+    ``vm.model`` for a :class:`FleetVMView`.  The binding also owns the
+    precomputed ``(n, T)`` trace activity matrix so per-hour trace loads
+    are one column read instead of ``n`` Python calls.
+
+    Use :meth:`try_bind` from simulators: it refuses (returns ``None``)
+    when the data center is empty, when a VM carries a non-standard
+    model (e.g. :class:`~repro.core.adaptive.AdaptiveIdlenessModel`), or
+    when model parameters disagree across VMs — the simulators then keep
+    the scalar per-VM path.
+    """
+
+    def __init__(self, vms: list, params: DrowsyParams) -> None:
+        if not vms:
+            raise ValueError("cannot bind an empty fleet")
+        self.vms = list(vms)
+        self.params = params
+        n = len(self.vms)
+        self.fleet = FleetIdlenessModel(n, params)
+        self.index = {vm.name: i for i, vm in enumerate(self.vms)}
+        if len(self.index) != n:
+            raise ValueError("duplicate VM names in fleet binding")
+        for i, vm in enumerate(self.vms):
+            self._import_row(i, vm.model)
+            vm.model = FleetVMView(self.fleet, i)
+        self._matrix: np.ndarray | None = None
+        self._matrix_start = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def try_bind(cls, dc, params: DrowsyParams) -> "FleetBinding | None":
+        """Bind ``dc``'s VMs if they carry plain, uniform models.
+
+        Reuses the data center's current binding when it still covers
+        the placed VMs.  When the fleet grew (some VMs bound to an older
+        fleet, newcomers scalar), a *fresh* binding is built — views
+        expose the scalar state API, so their rows import exactly and
+        the columnar fast path survives fleet growth.
+        """
+        existing = getattr(dc, "_fleet_binding", None)
+        vms = dc.vms
+        if existing is not None and existing.covers(vms):
+            return existing
+        if not vms:
+            return None
+        for vm in vms:
+            if type(vm.model) not in (IdlenessModel, FleetVMView):
+                return None
+            if vm.model.params != params:
+                return None
+        binding = cls(vms, params)
+        dc._fleet_binding = binding
+        return binding
+
+    def _import_row(self, i: int, model) -> None:
+        """Copy scalar-API model state (IdlenessModel or FleetVMView)
+        into fleet row ``i``."""
+        f = self.fleet
+        if not np.array_equal(model.scale_mask, f.scale_mask):
+            raise ValueError("scale-mask mismatch importing model state")
+        f.sid[i] = model.sid
+        f.siw[i] = model.siw
+        f.sim[i] = model.sim
+        f.siy[i] = model.siy
+        f.weights[i] = model.weights
+        f._activity_sum[i] = model._activity_sum
+        f._active_hours[i] = model._active_hours
+        f.row_hours[i] = model.hours_observed
+
+    # ------------------------------------------------------------------
+    def covers(self, vms: list) -> bool:
+        """True iff every VM in ``vms`` is bound to this fleet."""
+        index = self.index
+        fleet = self.fleet
+        for vm in vms:
+            m = vm.model
+            if type(m) is not FleetVMView or m._fleet is not fleet:
+                return False
+            if index.get(vm.name) != m._i:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # precomputed trace matrix
+    # ------------------------------------------------------------------
+    def ensure_horizon(self, start_hour: int, n_hours: int) -> None:
+        """Precompute the ``(n, T)`` activity matrix for a run horizon."""
+        if (self._matrix is not None and self._matrix_start <= start_hour
+                and start_hour + n_hours <= self._matrix_start + self._matrix.shape[1]):
+            return
+        from ..traces.base import activity_matrix
+
+        self._matrix = activity_matrix([vm.trace for vm in self.vms],
+                                       n_hours, start_hour=start_hour)
+        self._matrix_start = start_hour
+
+    def activities(self, hour_index: int) -> np.ndarray:
+        """(n,) trace activities of the bound VMs for an absolute hour."""
+        m = self._matrix
+        if m is not None:
+            col = hour_index - self._matrix_start
+            if 0 <= col < m.shape[1]:
+                return m[:, col]
+        return np.array([vm.activity_at(hour_index) for vm in self.vms])
+
+    def load_hour(self, hour_index: int) -> np.ndarray:
+        """Set every bound VM's ``current_activity`` for the hour.
+
+        Returns the ``(n,)`` activity column, ready to be fed to
+        :meth:`observe`.  VMs no longer placed on any host keep receiving
+        their trace activity — nothing reads their state, and keeping the
+        column dense keeps the batched update branch-free.
+        """
+        col = self.activities(hour_index)
+        for vm, a in zip(self.vms, col.tolist()):
+            vm.current_activity = a
+        return col
+
+    def observe(self, hour_index: int, activities: np.ndarray) -> None:
+        """Ingest one hour for the whole fleet (one vectorized update)."""
+        self.fleet.observe(hour_index, activities)

@@ -12,6 +12,7 @@ NumPy arrays in the ``*_array`` API used by the fleet model.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Tuple
 
 import numpy as np
@@ -47,8 +48,14 @@ class CalendarSlot:
     day_of_year: int
 
 
+@lru_cache(maxsize=16384)
 def slot_of_hour(hour_index: int) -> CalendarSlot:
-    """Map an absolute hour index (hours since epoch) to calendar coords."""
+    """Map an absolute hour index (hours since epoch) to calendar coords.
+
+    Memoized: every VM model query and update at hour ``t`` shares one
+    slot decode (the hot loops ask for the same handful of hours
+    millions of times; the slot is an immutable value object).
+    """
     if hour_index < 0:
         raise ValueError(f"hour_index must be >= 0, got {hour_index}")
     h = hour_index % HOURS_PER_DAY

@@ -43,6 +43,15 @@ class FleetIdlenessModel:
         self._activity_sum = np.zeros(n)
         self._active_hours = np.zeros(n, dtype=np.int64)
         self.hours_observed = 0
+        #: Per-VM hour counters.  These track the batched counter except
+        #: when rows are updated individually through
+        #: :meth:`observe_one` (the :class:`~repro.core.binding.FleetVMView`
+        #: fallback path for VMs observed outside a batch).
+        self.row_hours = np.zeros(n, dtype=np.int64)
+        #: Monotonic state-version counter keying :meth:`raw_ip_column`'s
+        #: cache; bumped by every update.
+        self.version = 0
+        self._ip_cache: dict = {}
 
     # ------------------------------------------------------------------
     def si_matrix(self, hour_index: int) -> np.ndarray:
@@ -64,6 +73,34 @@ class FleetIdlenessModel:
     def idleness_probability(self, hour_index: int) -> np.ndarray:
         """(n,) normalized IPs in [0, 1]."""
         return (self.raw_ip(hour_index) + 1.0) / 2.0
+
+    def raw_ip_column(self, slot) -> np.ndarray:
+        """(n,) raw IPs for one calendar slot, cached per model version.
+
+        Consolidation controllers query every VM's IP at the same hour
+        (selection distances, host means, the 7-sigma range); this
+        amortizes those n scalar queries into one vectorized gather per
+        (slot, state-version).  The batched product is computed with the
+        same BLAS dot kernel as the scalar model's ``w @ si`` — the
+        per-row values are bit-identical to
+        :meth:`repro.core.model.IdlenessModel.raw_ip`, which the parity
+        suite relies on.
+        """
+        key = (slot.hour, slot.day_of_week, slot.day_of_month,
+               slot.day_of_year, self.version)
+        col = self._ip_cache.get(key)
+        if col is None:
+            h = slot.hour
+            si = np.stack([
+                self.sid[:, h],
+                self.siw[:, slot.day_of_week, h],
+                self.sim[:, slot.day_of_month, h],
+                self.siy[:, slot.day_of_year, h],
+            ], axis=1)
+            si[:, ~self.scale_mask] = 0.0
+            col = (self.weights[:, None, :] @ si[:, :, None]).reshape(self.n)
+            self._ip_cache[key] = col
+        return col
 
     def predict_idle(self, hour_index: int) -> np.ndarray:
         """(n,) bool: predicted idle iff probability > 0.5."""
@@ -122,6 +159,79 @@ class FleetIdlenessModel:
         np.add.at(self._activity_sum, np.nonzero(~idle)[0], a_h[~idle])
         self._active_hours += ~idle
         self.hours_observed += 1
+        self.row_hours += 1
+        self.version += 1
+        self._ip_cache.clear()
+
+    # ------------------------------------------------------------------
+    def observe_one(self, i: int, hour_index: int, activity: float):
+        """Scalar-path hourly update of row ``i`` only.
+
+        Bit-identical to :meth:`repro.core.model.IdlenessModel.observe`
+        on a standalone model holding this row's state — the operations
+        below are the scalar model's, applied to row views.  Used by
+        :class:`~repro.core.binding.FleetVMView` when a bound VM must be
+        observed outside the fleet batch (e.g. after new VMs joined the
+        data center and the simulator fell back to the per-VM loop).
+        """
+        from .model import IdlenessObservation
+
+        if not 0.0 <= activity <= 1.0:
+            raise ValueError(f"activity must be in [0, 1], got {activity}")
+        p = self.params
+        s = slot_of_hour(hour_index)
+        idle = activity == 0.0
+        h = s.hour
+        mask = self.scale_mask
+
+        si_old = np.array([
+            self.sid[i, h],
+            self.siw[i, s.day_of_week, h],
+            self.sim[i, s.day_of_month, h],
+            self.siy[i, s.day_of_year, h],
+        ])
+        si_old = np.where(mask, si_old, 0.0)
+        w = self.weights[i]
+        raw_before = float(w @ si_old)
+
+        if idle:
+            if self._active_hours[i] == 0:
+                a = p.default_activity
+            else:
+                a = self._activity_sum[i] / self._active_hours[i]
+        else:
+            a = activity
+        a_star = p.sigma * a
+        u = 1.0 / (1.0 + np.exp(p.alpha * (np.abs(si_old) - p.beta)))
+        v = a_star * u
+        si_new = np.clip(si_old + v if idle else si_old - v, -1.0, 1.0)
+        si_new = np.where(mask, si_new, 0.0)
+
+        self.sid[i, h] = si_new[0]
+        self.siw[i, s.day_of_week, h] = si_new[1]
+        self.sim[i, s.day_of_month, h] = si_new[2]
+        self.siy[i, s.day_of_year, h] = si_new[3]
+
+        predicted_idle = raw_before > 0.0
+        mispredicted = predicted_idle != idle
+        if p.learn_weights and (mispredicted or not p.weight_update_on_error_only):
+            self.weights[i] = descend_weights(
+                w.copy(), si_old, si_new,
+                steps=p.weight_descent_steps,
+                learning_rate=p.weight_learning_rate,
+                mask=mask)
+
+        if not idle:
+            self._activity_sum[i] += activity
+            self._active_hours[i] += 1
+        self.row_hours[i] += 1
+        self.version += 1
+        self._ip_cache.clear()
+
+        return IdlenessObservation(
+            hour_index=hour_index, activity=activity, idle=idle,
+            raw_ip_before=raw_before,
+            raw_ip_after=float(self.weights[i] @ si_new))
 
     def predict_and_observe(self, hour_index: int, activities: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """(predicted_idle, actually_idle) arrays, online protocol."""
@@ -201,4 +311,7 @@ class FleetIdlenessModel:
             self._activity_sum += np.where(idle, 0.0, a_h)
             self._active_hours += ~idle
             self.hours_observed += 1
+        self.row_hours += T
+        self.version += 1
+        self._ip_cache.clear()
         return preds, actual

@@ -75,6 +75,7 @@ def save_fleet(fleet: FleetIdlenessModel, path: str | Path) -> None:
         activity_sum=fleet._activity_sum,
         active_hours=fleet._active_hours,
         hours_observed=fleet.hours_observed,
+        row_hours=fleet.row_hours,
     )
 
 
@@ -95,6 +96,11 @@ def load_fleet(path: str | Path,
         fleet._activity_sum = data["activity_sum"].copy()
         fleet._active_hours = data["active_hours"].copy()
         fleet.hours_observed = int(data["hours_observed"])
+        if "row_hours" in data.files:
+            fleet.row_hours = data["row_hours"].copy()
+        else:  # archives written before the per-row counters existed
+            fleet.row_hours = np.full(fleet.n, fleet.hours_observed,
+                                      dtype=np.int64)
     return fleet
 
 

@@ -28,6 +28,7 @@ from ..cluster.events import EventSimulator
 from ..cluster.host import Host
 from ..cluster.power import PowerState
 from ..cluster.vm import VM
+from ..core.binding import FleetBinding
 from ..core.calendar import time_of_hour
 from ..core.params import DEFAULT_PARAMS, DrowsyParams
 from ..network.requests import Request, RequestProfile
@@ -47,6 +48,10 @@ class EventConfig:
     update_models: bool = True
     request_profile: RequestProfile = RequestProfile()
     seed: int = 12345
+    #: Columnar idleness-model hot path (one vectorized update per hour
+    #: instead of the per-VM loop; DESIGN.md §6).  Bit-identical to the
+    #: scalar path; disable only for benchmarking the seed loop.
+    use_fleet_model: bool = True
 
 
 @dataclass
@@ -97,6 +102,8 @@ class EventDrivenSimulation:
         self._check_events: dict[str, object] = {}
         self._resume_pending: set[str] = set()
         self._current_hour = 0
+        self._binding = (FleetBinding.try_bind(dc, params)
+                         if config.use_fleet_model else None)
 
     # ------------------------------------------------------------------
     # main loop
@@ -104,6 +111,13 @@ class EventDrivenSimulation:
     def run(self, n_hours: int, start_hour: int = 0) -> EventResult:
         if n_hours <= 0:
             raise ValueError("n_hours must be positive")
+        if self.config.use_fleet_model and (
+                self._binding is None
+                or not self._binding.covers(self.dc.vms)):
+            # Rebind so the columnar path survives VM arrivals.
+            self._binding = FleetBinding.try_bind(self.dc, self.params)
+        if self._binding is not None:
+            self._binding.ensure_horizon(start_hour, n_hours)
         migrations_before = len(self.dc.migrations)
         for t in range(start_hour, start_hour + n_hours):
             self.sim.schedule_at(time_of_hour(t), self._hour_tick, t)
@@ -119,7 +133,15 @@ class EventDrivenSimulation:
     def _hour_tick(self, t: int) -> None:
         now = self.sim.now
         self._current_hour = t
-        self.dc.set_hour_activities(t, now)
+        vms = self.dc.vms
+        binding = self._binding
+        activities = None
+        if binding is not None and binding.covers(vms):
+            # Columnar hot path: one matrix-column load (DESIGN.md §6).
+            self.dc.sync_meters(now)
+            activities = binding.load_hour(t)
+        else:
+            self.dc.set_hour_activities(t, now)
         self.controller.observe_hour(t)
 
         if t % self.config.consolidation_period_h == 0:
@@ -131,8 +153,11 @@ class EventDrivenSimulation:
             self.switch.redispatch_pending()
 
         if self.config.update_models or getattr(self.controller, "uses_idleness", False):
-            for vm in self.dc.vms:
-                vm.model.observe(t, vm.current_activity)
+            if activities is not None:
+                binding.observe(t, activities)
+            else:
+                for vm in vms:
+                    vm.model.observe(t, vm.current_activity)
 
         # Client traffic for interactive VMs active this hour.
         profile = self.config.request_profile

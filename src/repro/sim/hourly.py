@@ -19,6 +19,7 @@ from typing import Callable
 from ..cluster.datacenter import DataCenter
 from ..cluster.host import Host
 from ..cluster.power import PowerState
+from ..core.binding import FleetBinding
 from ..core.calendar import time_of_hour
 from ..core.params import DEFAULT_PARAMS, DrowsyParams
 from ..suspend.grace import grace_from_raw_ip
@@ -46,6 +47,12 @@ class HourlyConfig:
     #: Mean delay before the suspending module notices idleness
     #: (half the check period).
     decision_delay_s: float = 2.5
+    #: Bind all VM idleness models into one columnar
+    #: :class:`~repro.core.fleet.FleetIdlenessModel` and ingest each hour
+    #: with a single vectorized update (DESIGN.md §6).  Bit-identical to
+    #: the scalar per-VM path (see ``tests/test_fleet_binding.py``);
+    #: disable only to benchmark the seed per-VM loop.
+    use_fleet_model: bool = True
 
 
 @dataclass
@@ -102,11 +109,23 @@ class HourlySimulator:
         self.hour_hooks = tuple(hour_hooks)
         self._overload_host_hours = 0
         self._active_host_hours = 0
+        self._binding = (FleetBinding.try_bind(dc, params)
+                         if config.use_fleet_model else None)
+        self._update_models = (config.update_models
+                               or getattr(controller, "uses_idleness", False))
 
     # ------------------------------------------------------------------
     def run(self, n_hours: int, start_hour: int = 0) -> HourlyResult:
         if n_hours <= 0:
             raise ValueError("n_hours must be positive")
+        if self.config.use_fleet_model and (
+                self._binding is None
+                or not self._binding.covers(self.dc.vms)):
+            # The fleet may have grown since construction: rebind so the
+            # columnar path survives VM arrivals between runs.
+            self._binding = FleetBinding.try_bind(self.dc, self.params)
+        if self._binding is not None:
+            self._binding.ensure_horizon(start_hour, n_hours)
         migrations_before = len(self.dc.migrations)
         for t in range(start_hour, start_hour + n_hours):
             self._hour(t)
@@ -118,8 +137,21 @@ class HourlySimulator:
     def _hour(self, t: int) -> None:
         now = time_of_hour(t)
         cfg = self.config
+        # Per-hour invariants, hoisted: the VM population only changes
+        # between hours, never inside the steps below.
+        vms = self.dc.vms
+        hosts = self.dc.hosts
+
         # 1. Charge the previous hour, load this hour's activities.
-        self.dc.set_hour_activities(t, now)
+        #    With an active binding the load is one matrix-column read;
+        #    the binding opts out when unbound VMs joined the fleet.
+        binding = self._binding
+        activities = None
+        if binding is not None and binding.covers(vms):
+            self.dc.sync_meters(now)
+            activities = binding.load_hour(t)
+        else:
+            self.dc.set_hour_activities(t, now)
         self.controller.observe_hour(t)
 
         # 2. Consolidation decisions use models trained through t-1
@@ -130,18 +162,22 @@ class HourlySimulator:
             else:
                 self.controller.step(t, now)
 
-        # 3. Learn this hour's activity.
-        if cfg.update_models or getattr(self.controller, "uses_idleness", False):
-            for vm in self.dc.vms:
-                vm.model.observe(t, vm.current_activity)
+        # 3. Learn this hour's activity: one vectorized update for the
+        #    whole fleet, or the scalar per-VM loop when unbound.
+        if self._update_models:
+            if activities is not None:
+                binding.observe(t, activities)
+            else:
+                for vm in vms:
+                    vm.model.observe(t, vm.current_activity)
 
         # 4. Power-state bookkeeping for the hour.
-        for host in self.dc.hosts:
+        for host in hosts:
             self._host_power_step(host, t, now)
 
         # 5. QoS accounting (Beloglazov's SLATAH): an active host whose
         #    CPU demand saturates capacity is failing its VMs this hour.
-        for host in self.dc.hosts:
+        for host in hosts:
             if host.state is PowerState.ON and host.vms:
                 self._active_host_hours += 1
                 demand = sum(vm.current_activity * vm.resources.cpus

@@ -1,6 +1,6 @@
 """Workload trace generation: synthetic, production-like and Google-like."""
 
-from .base import ActivityTrace, VMKind, trace_matrix
+from .base import ActivityTrace, VMKind, activity_matrix, trace_matrix
 from .google import google_llmu_fleet, google_llmu_trace
 from .noise import (
     DEFAULT_MIN_QUANTUM_S,
@@ -30,6 +30,7 @@ from .synthetic import (
 __all__ = [
     "ActivityTrace",
     "DEFAULT_MIN_QUANTUM_S",
+    "activity_matrix",
     "PRODUCTION_SPECS",
     "QuantaSample",
     "VMKind",

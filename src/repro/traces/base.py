@@ -108,6 +108,22 @@ class ActivityTrace:
         return self.hours
 
 
+def activity_matrix(traces: list[ActivityTrace], n_hours: int,
+                    start_hour: int = 0) -> np.ndarray:
+    """Stack traces into an ``(n, T)`` activity matrix.
+
+    ``matrix[i, k]`` equals ``traces[i].activity(start_hour + k)``
+    (periodic extension per trace).  Building the matrix once and
+    loading one column per simulated hour replaces ``n`` Python trace
+    calls with a single array read — the trace half of the columnar hot
+    path (DESIGN.md §6); :class:`~repro.core.binding.FleetBinding`
+    caches the matrix for a whole run horizon.
+    """
+    if n_hours <= 0:
+        raise ValueError("n_hours must be positive")
+    return np.stack([t.window(start_hour, n_hours) for t in traces])
+
+
 def trace_matrix(traces: list[ActivityTrace], n_hours: int) -> np.ndarray:
     """Stack traces into an ``(n, T)`` matrix (periodically extended)."""
-    return np.stack([t.window(0, n_hours) for t in traces])
+    return activity_matrix(traces, n_hours)

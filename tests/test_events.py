@@ -83,6 +83,25 @@ class TestCancellation:
         ev.cancel()
         assert sim.peek_time() == 2.0
 
+    def test_double_cancel_counts_once(self):
+        sim = EventSimulator()
+        ev = sim.schedule_at(1.0, lambda: None)
+        ev.cancel()
+        ev.cancel()
+        assert sim.pending == 0
+
+    def test_cancel_after_execution_keeps_pending_consistent(self):
+        """Modules keep Event handles around; cancelling a handle whose
+        event already fired must not corrupt the live counter."""
+        sim = EventSimulator()
+        ev = sim.schedule_at(1.0, lambda: None)
+        sim.run()
+        assert sim.pending == 0
+        ev.cancel()
+        assert sim.pending == 0
+        sim.schedule_at(2.0, lambda: None)
+        assert sim.pending == 1
+
 
 class TestRunUntil:
     def test_stops_at_boundary(self):
