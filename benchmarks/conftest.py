@@ -6,7 +6,6 @@ single round: they are measured for wall-clock visibility, while their
 (model update, tree ops, kernel throughput) use normal rounds.
 """
 
-import pytest
 
 
 def run_once(benchmark, fn, *args, **kwargs):

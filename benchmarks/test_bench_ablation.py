@@ -4,7 +4,6 @@ Each ablation disables one Drowsy-DC mechanism and checks the direction
 of the effect the paper attributes to it.
 """
 
-import pytest
 
 from benchmarks.conftest import run_once
 from repro.analysis.evaluation import evaluate_traces

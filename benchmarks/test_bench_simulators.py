@@ -1,10 +1,12 @@
-"""Simulator hot-path benches: the columnar fleet binding (DESIGN.md §6).
+"""Simulator hot-path benches: the columnar fleet binding (DESIGN.md §6)
+and the columnar host accounting on top of it (DESIGN.md §8).
 
 Throughput of both simulators at 64/256/1024 VMs, plus the acceptance
-check for the columnar refactor: the fleet-bound hourly simulator must
-beat the seed per-VM scalar path by >= 3x at 1024 VMs x 168 h while
-producing *bit-identical* results (energy, migrations, SLATAH) — the
-speedup is pure mechanics, never a semantics change.
+checks for the columnar refactors: the fleet-bound hourly simulator must
+beat the seed per-VM scalar path by >= 3x at 1024 VMs x 168 h, and the
+host-accounting layer must further beat the accounting-off fleet path —
+all while producing *bit-identical* results (energy, migrations,
+SLATAH).  The speedups are pure mechanics, never a semantics change.
 """
 
 import os
@@ -75,6 +77,43 @@ def test_hourly_speedup_and_parity():
     assert speedup >= floor, (
         f"columnar hot path regressed: {speedup:.2f}x < {floor}x "
         f"(scalar {scalar_s:.2f} s vs fleet {fleet_s:.2f} s)")
+
+
+def test_hourly_host_accounting_speedup_and_parity():
+    """Acceptance for the host-accounting layer (PR 2): with the fleet
+    binding active in both runs, turning the columnar host view on must
+    keep every observable identical and speed the 1024-VM hourly run up
+    further (local margin ~1.6-1.9x; CI only gates parity + no gross
+    regression)."""
+    n_vms, hours = 1024, WEEK_H
+
+    dc_off = _fleet(n_vms, hours)
+    sim_off = HourlySimulator(dc_off, DrowsyController(dc_off),
+                              config=HourlyConfig(use_host_accounting=False))
+    t0 = time.perf_counter()
+    off = sim_off.run(hours)
+    off_s = time.perf_counter() - t0
+
+    dc_on = _fleet(n_vms, hours)
+    sim_on = HourlySimulator(dc_on, DrowsyController(dc_on))
+    t0 = time.perf_counter()
+    on = sim_on.run(hours)
+    on_s = time.perf_counter() - t0
+
+    assert on.total_energy_kwh == off.total_energy_kwh
+    assert on.energy_kwh_by_host == off.energy_kwh_by_host
+    assert on.migrations == off.migrations
+    assert on.vm_migrations == off.vm_migrations
+    assert on.slatah == off.slatah
+    assert on.suspend_cycles_by_host == off.suspend_cycles_by_host
+
+    speedup = off_s / on_s
+    print(f"\nhourly 1024 VMs x {hours} h: accounting off {off_s:.2f} s, "
+          f"on {on_s:.2f} s -> {speedup:.2f}x")
+    floor = 0.9 if os.environ.get("CI") else 1.2
+    assert speedup >= floor, (
+        f"host accounting regressed: {speedup:.2f}x < {floor}x "
+        f"(off {off_s:.2f} s vs on {on_s:.2f} s)")
 
 
 # ----------------------------------------------------------------------

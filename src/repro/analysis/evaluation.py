@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from ..core.fleet import FleetIdlenessModel
 from ..core.metrics import MetricCurves, cumulative_curves

@@ -24,8 +24,9 @@ EXPERIMENTS: dict[str, dict] = {
     "sla_latency": {"args": {"days": int}},
     "fig4_im_quality": {"args": {"years": int}},
     "suspending_eval": {"args": {}},
-    "fleet_sweep": {"args": {"n_hosts": int, "n_vms": int, "days": int}},
-    "scalability": {"args": {}},
+    "fleet_sweep": {"args": {"n_hosts": int, "n_vms": int, "days": int,
+                             "workers": int}},
+    "scalability": {"args": {"workers": int}},
     "backup_anticipation": {"args": {"days": int}},
     "detector_study": {"args": {"n_hosts": int, "n_vms": int, "days": int}},
     "waking_failover": {"args": {"days": int}},
@@ -97,6 +98,32 @@ def cmd_run_all(args) -> int:
     return 0
 
 
+def cmd_sweep(args) -> int:
+    """Sharded (controller × fleet-size × seed) sweep (DESIGN.md §9)."""
+    from .sim.sweep import CONTROLLER_NAMES, SweepRunner, grid
+
+    controllers = tuple(args.controllers.split(","))
+    unknown = [c for c in controllers if c not in CONTROLLER_NAMES]
+    if unknown:
+        raise SystemExit(f"unknown controllers: {', '.join(unknown)}; "
+                         f"choose from {', '.join(CONTROLLER_NAMES)}")
+    cells = grid(controllers=controllers,
+                 sizes=tuple(int(s) for s in args.sizes.split(",")),
+                 seeds=tuple(int(s) for s in args.seeds.split(",")),
+                 hours=args.hours, llmi_fraction=args.llmi)
+    t0 = time.perf_counter()
+    table = SweepRunner(workers=args.workers).run(cells)
+    elapsed = time.perf_counter() - t0
+    print(table.render())
+    if args.csv:
+        with open(args.csv, "w") as fh:
+            fh.write(table.to_csv())
+        print(f"\n[csv written to {args.csv}]")
+    print(f"\n[{len(cells)} cells on {args.workers} worker(s) "
+          f"in {elapsed:.1f} s]")
+    return 0
+
+
 def cmd_report(args) -> int:
     from .analysis.report import generate_report
 
@@ -119,7 +146,26 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--years", type=int)
     run.add_argument("--n-hosts", dest="n_hosts", type=int)
     run.add_argument("--n-vms", dest="n_vms", type=int)
+    run.add_argument("--workers", type=int,
+                     help="worker processes for shardable experiments")
     run.set_defaults(fn=cmd_run)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="sharded controller x fleet-size x seed sweep (multi-core)")
+    sweep.add_argument("--controllers", default="drowsy,neat,oasis",
+                       help="comma-separated controller names")
+    sweep.add_argument("--sizes", default="32,64",
+                       help="comma-separated fleet sizes (VM counts)")
+    sweep.add_argument("--seeds", default="7",
+                       help="comma-separated fleet seeds")
+    sweep.add_argument("--hours", type=int, default=72)
+    sweep.add_argument("--llmi", type=float, default=0.5,
+                       help="LLMI fraction of each fleet")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="worker processes (spawn), 1 = serial")
+    sweep.add_argument("--csv", help="also write the tidy table as CSV")
+    sweep.set_defaults(fn=cmd_sweep)
 
     run_all = sub.add_parser("run-all", help="run every experiment")
     run_all.add_argument("--quick", action="store_true",

@@ -1,5 +1,6 @@
 """Data-center substrate: hosts, VMs, power, events, migrations."""
 
+from .accounting import HostAccounting, columnar_host_view
 from .datacenter import DataCenter, PlacementError
 from .events import Event, EventSimulator
 from .host import Host, HostStateError, Transition
@@ -11,6 +12,8 @@ from .vm import VM, ServiceTimer
 __all__ = [
     "DataCenter",
     "EnergyMeter",
+    "HostAccounting",
+    "columnar_host_view",
     "Event",
     "EventSimulator",
     "Host",

@@ -34,11 +34,27 @@ class DataCenter:
         if len(set(names)) != len(names):
             raise PlacementError("duplicate host names")
         self._host_by_name = {h.name: h for h in self.hosts}
+        for host in self.hosts:
+            host._dc = self
         #: Placement index (vm name -> host), maintained by every
         #: placement-changing operation so :meth:`host_of` is O(1) on the
         #: migration and request paths instead of an O(hosts x vms) scan.
         self._placement: dict[str, Host] = {
             vm.name: host for host in self.hosts for vm in host.vms}
+        #: Columnar host accounting (attached by the fleet binding, see
+        #: :mod:`repro.cluster.accounting`).  Placement-changing
+        #: operations notify it incrementally so its incidence rows
+        #: track host membership without rescans.
+        self._accounting = None
+
+    # ------------------------------------------------------------------
+    def _note_attach(self, vm: VM, host: Host) -> None:
+        if self._accounting is not None:
+            self._accounting.on_place(vm.name, host)
+
+    def _note_detach(self, vm: VM, host: Host) -> None:
+        if self._accounting is not None:
+            self._accounting.on_remove(vm.name, host)
 
     # ------------------------------------------------------------------
     @property
@@ -81,6 +97,7 @@ class DataCenter:
                 raise PlacementError(f"{vm.name} already placed on {h.name}")
         host.add_vm(vm)
         self._placement[vm.name] = host
+        self._note_attach(vm, host)
 
     def migrate(self, vm: VM, destination: Host, now: float) -> MigrationRecord:
         """Move ``vm`` to ``destination``, recording the migration.
@@ -99,6 +116,8 @@ class DataCenter:
         source.remove_vm(vm)
         destination.add_vm(vm)
         self._placement[vm.name] = destination
+        self._note_detach(vm, source)
+        self._note_attach(vm, destination)
         vm.migrations += 1
         record = MigrationRecord(time=now, vm_name=vm.name,
                                  source=source.name,
@@ -129,6 +148,7 @@ class DataCenter:
         for vm, src, _ in moves:
             src.remove_vm(vm)
             self._placement.pop(vm.name, None)
+            self._note_detach(vm, src)
         records = []
         for vm, src, dest in moves:
             if not dest.can_host(vm):
@@ -137,6 +157,7 @@ class DataCenter:
                     f"assignment overfills {dest.name} with {vm.name}")
             dest.add_vm(vm)
             self._placement[vm.name] = dest
+            self._note_attach(vm, dest)
             vm.migrations += 1
             record = MigrationRecord(
                 time=now, vm_name=vm.name, source=src.name,
@@ -158,16 +179,28 @@ class DataCenter:
         host.sync_meter(max(now, host.meter.last_time))
         host.remove_vm(vm)
         self._placement.pop(vm.name, None)
+        self._note_detach(vm, host)
 
     # ------------------------------------------------------------------
     def available_hosts(self) -> list[Host]:
         """Hosts currently able to run VM work (S0)."""
         return [h for h in self.hosts if h.is_available]
 
-    def sync_meters(self, now: float) -> None:
-        """Advance every host's energy meter to ``now``."""
-        for host in self.hosts:
-            host.sync_meter(now)
+    def sync_meters(self, now: float, utilizations=None) -> None:
+        """Advance every host's energy meter to ``now``.
+
+        ``utilizations`` (optional, ``(n_hosts,)`` in host order) lets
+        the columnar hot path hand each host its precomputed CPU
+        utilization instead of the per-VM ``Host.cpu_utilization`` sum;
+        values must equal the scalar property bit-for-bit (they do when
+        taken from :class:`~repro.cluster.accounting.HostAccounting`).
+        """
+        if utilizations is None:
+            for host in self.hosts:
+                host.sync_meter(now)
+        else:
+            for host, util in zip(self.hosts, utilizations):
+                host.sync_meter(now, float(util))
 
     def total_energy_kwh(self) -> float:
         return sum(h.meter.energy_kwh for h in self.hosts)
@@ -192,10 +225,14 @@ class DataCenter:
         """
         seen: dict[str, Host] = {}
         for host in self.hosts:
-            used = host.used_resources
-            if used.memory_mb > host.capacity.memory_mb:
+            cpus = 0
+            memory_mb = 0
+            for vm in host.vms:
+                cpus += vm.resources.cpus
+                memory_mb += vm.resources.memory_mb
+            if memory_mb > host.capacity.memory_mb:
                 raise PlacementError(f"{host.name} over memory capacity")
-            if used.cpus > host.capacity.schedulable_cpus:
+            if cpus > host.capacity.schedulable_cpus:
                 raise PlacementError(f"{host.name} over CPU capacity")
             for vm in host.vms:
                 if vm.name in seen:
@@ -203,3 +240,5 @@ class DataCenter:
                         f"{vm.name} on both {seen[vm.name].name} and {host.name}")
                 seen[vm.name] = host
         self._placement = seen
+        if self._accounting is not None:
+            self._accounting.resync()

@@ -8,6 +8,7 @@ actually held during it.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 from ..core.params import DEFAULT_PARAMS, DrowsyParams
@@ -18,6 +19,17 @@ from .vm import VM
 
 class HostStateError(RuntimeError):
     """Raised on an illegal power-state transition."""
+
+
+def _default_mac(name: str) -> str:
+    """Deterministic locally-administered MAC derived from the host name.
+
+    Uses a stable digest, not ``hash()``: the builtin is salted per
+    process (PYTHONHASHSEED), which would give sweep workers different
+    MACs for the same host and break WoL matching / run determinism.
+    """
+    h = hashlib.blake2b(name.encode(), digest_size=3).hexdigest()
+    return f"52:54:00:{h[0:2]}:{h[2:4]}:{h[4:6]}"
 
 
 @dataclass(frozen=True)
@@ -43,7 +55,10 @@ class Host:
         self.name = name
         self.capacity = capacity
         self.params = params
-        self.mac_address = mac_address or f"52:54:00:{abs(hash(name)) % 0xFFFFFF:06x}"[:17]
+        #: Back-reference to the owning DataCenter (set on registration);
+        #: lets leaf policies reach the columnar host accounting.
+        self._dc = None
+        self.mac_address = mac_address or _default_mac(name)
         self.vms: list[VM] = []
         self.state = PowerState.ON
         self.meter = EnergyMeter(power_model or PowerModel.from_params(params))
@@ -124,9 +139,12 @@ class Host:
     def is_suspended(self) -> bool:
         return self.state is PowerState.SUSPENDED
 
-    def _advance(self, now: float) -> None:
-        self.meter.advance(now, self.state,
-                           self.cpu_utilization if self.state is PowerState.ON else 0.0)
+    def _advance(self, now: float, utilization: float | None = None) -> None:
+        if self.state is PowerState.ON:
+            util = self.cpu_utilization if utilization is None else utilization
+        else:
+            util = 0.0
+        self.meter.advance(now, self.state, util)
 
     def _transition(self, now: float, allowed_from: tuple[PowerState, ...],
                     to_state: PowerState) -> None:
@@ -164,13 +182,15 @@ class Host:
     def power_on(self, now: float) -> None:
         self._transition(now, (PowerState.OFF,), PowerState.ON)
 
-    def sync_meter(self, now: float) -> None:
+    def sync_meter(self, now: float, utilization: float | None = None) -> None:
         """Charge energy up to ``now`` without changing state.
 
         Call before changing VM activities (utilization) and at the end
-        of a simulation.
+        of a simulation.  ``utilization`` optionally supplies the
+        host's precomputed CPU utilization (the columnar accounting hot
+        path); it must equal :attr:`cpu_utilization` exactly.
         """
-        self._advance(now)
+        self._advance(now, utilization)
 
     def in_grace(self, now: float) -> bool:
         """Within the post-resume grace period? (no suspend allowed)."""

@@ -9,13 +9,20 @@ the false-positive analysis of section IV.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+import hashlib
+from dataclasses import dataclass
 
+from ..core.calendar import slot_of_hour
 from ..core.model import IdlenessModel
 from ..core.params import DEFAULT_PARAMS, DrowsyParams
 from ..traces.base import ActivityTrace, VMKind
 from .resources import ResourceSpec, TESTBED_VM
+
+
+def _default_ip(name: str) -> str:
+    digest = int.from_bytes(hashlib.blake2b(name.encode(), digest_size=4).digest(),
+                            "big")
+    return f"10.0.0.{digest % 250 + 1}"
 
 
 @dataclass(frozen=True)
@@ -57,7 +64,9 @@ class VM:
         self.name = name
         self.trace = trace
         self.resources = resources
-        self.ip_address = ip_address or f"10.0.0.{abs(hash(name)) % 250 + 1}"
+        # Stable digest, not the per-process-salted builtin hash():
+        # sweep workers must derive identical addresses for the same VM.
+        self.ip_address = ip_address or _default_ip(name)
         self.params = params
         self.timers = timers
         #: Interactive services receive network requests; their activity
@@ -93,14 +102,10 @@ class VM:
 
     def raw_ip(self, hour_index: int) -> float:
         """Raw idleness probability for the given absolute hour."""
-        from ..core.calendar import slot_of_hour
-
         return self.model.raw_ip(slot_of_hour(hour_index))
 
     def idleness_probability(self, hour_index: int) -> float:
         """Normalized idleness probability in [0, 1] for the given hour."""
-        from ..core.calendar import slot_of_hour
-
         return self.model.idleness_probability(slot_of_hour(hour_index))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

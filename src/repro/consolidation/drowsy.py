@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..cluster.accounting import columnar_host_view
 from ..cluster.datacenter import DataCenter
 from ..cluster.host import Host
 from ..cluster.vm import VM
@@ -68,12 +69,22 @@ class DrowsyController(NeatController):
         threshold or no destination fits.
         """
         threshold = self.params.ip_range_threshold
+        # Columnar IP ranges/means when the host accounting is active
+        # (recomputed after every migration — the placement epoch keys
+        # the cache); scalar per-host fallback otherwise.
+        acc = columnar_host_view(self.dc)
+
+        def ip_range(host: Host) -> float:
+            if acc is not None:
+                return float(acc.ip_range(hour_index)[acc.pos(host)])
+            return host.ip_range(hour_index)
+
         moved = 0
         for host in list(self.managed_hosts()):
             guard = len(host.vms) + 1
-            while host.ip_range(hour_index) > threshold and guard > 0:
+            while ip_range(host) > threshold and guard > 0:
                 guard -= 1
-                vm = self._most_extreme_vm(host, hour_index)
+                vm = self._most_extreme_vm(host, hour_index, acc)
                 if vm is None:
                     break
                 targets = [h for h in self.managed_hosts() if h is not host]
@@ -87,10 +98,14 @@ class DrowsyController(NeatController):
         self.dc.check_invariants()
         return moved
 
-    def _most_extreme_vm(self, host: Host, hour_index: int) -> VM | None:
+    def _most_extreme_vm(self, host: Host, hour_index: int,
+                         acc=None) -> VM | None:
         if len(host.vms) < 2:
             return None
-        mean_ip = host.mean_raw_ip(hour_index)
+        if acc is not None:
+            mean_ip = float(acc.mean_raw_ip(hour_index)[acc.pos(host)])
+        else:
+            mean_ip = host.mean_raw_ip(hour_index)
         return max(host.vms,
                    key=lambda vm: (abs(vm.raw_ip(hour_index) - mean_ip), vm.name))
 

@@ -16,8 +16,9 @@ from __future__ import annotations
 
 import enum
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
+from ..cluster.accounting import columnar_host_view
 from ..cluster.datacenter import DataCenter
 from ..cluster.host import Host
 from ..cluster.power import PowerState
@@ -68,7 +69,17 @@ class LocalManager:
         self.overload_target = overload_target
         self.history: deque[float] = deque(maxlen=history_window)
 
-    def observe(self, hour_index: int) -> None:
+    def observe(self, hour_index: int,
+                utilization: float | None = None) -> None:
+        """Record this hour's utilization.
+
+        ``utilization`` optionally supplies the value (already gated on
+        power state) from the columnar host accounting; it must equal
+        the scalar expression below bit-for-bit.
+        """
+        if utilization is not None:
+            self.history.append(utilization)
+            return
         self.history.append(
             self.host.cpu_utilization
             if self.host.state is PowerState.ON else 0.0)
@@ -186,6 +197,14 @@ class DistributedNeat:
         self.last_reports: list[LocalManagerReport] = []
 
     def observe_hour(self, hour_index: int) -> None:
+        acc = columnar_host_view(self.dc)
+        if acc is not None:
+            utils = acc.cpu_utilization(hour_index)
+            for k, host in enumerate(self.dc.hosts):
+                self.locals[host.name].observe(
+                    hour_index,
+                    float(utils[k]) if host.state is PowerState.ON else 0.0)
+            return
         for lm in self.locals.values():
             lm.observe(hour_index)
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable
 
+from ..cluster.accounting import columnar_host_view
 from ..cluster.datacenter import DataCenter
 from ..cluster.host import Host
 from ..cluster.power import PowerState
@@ -63,7 +64,19 @@ class NeatController:
 
     # ------------------------------------------------------------------
     def observe_hour(self, hour_index: int) -> None:
-        """Record host utilizations (call after activities are set)."""
+        """Record host utilizations (call after activities are set).
+
+        With an active columnar accounting view the utilizations of all
+        hosts come from one vectorized pass (bit-identical to the
+        scalar ``Host.cpu_utilization`` property, the parity oracle).
+        """
+        acc = columnar_host_view(self.dc)
+        if acc is not None:
+            utils = acc.cpu_utilization(hour_index)
+            for k, host in enumerate(self.dc.hosts):
+                self.history[host.name].append(
+                    float(utils[k]) if host.state is PowerState.ON else 0.0)
+            return
         for host in self.dc.hosts:
             self.history[host.name].append(
                 host.cpu_utilization if host.state is PowerState.ON else 0.0)
@@ -124,8 +137,15 @@ class NeatController:
     def _handle_underloaded(self, hour_index: int,
                             executor: MigrationExecutor) -> int:
         """Try to fully evacuate the least-utilized active hosts."""
-        utils = {h.name: h.cpu_utilization for h in self.dc.hosts
-                 if h.state is PowerState.ON and h.vms}
+        acc = columnar_host_view(self.dc)
+        if acc is not None:
+            u = acc.cpu_utilization(hour_index)
+            utils = {h.name: float(u[k])
+                     for k, h in enumerate(self.dc.hosts)
+                     if h.state is PowerState.ON and h.vms}
+        else:
+            utils = {h.name: h.cpu_utilization for h in self.dc.hosts
+                     if h.state is PowerState.ON and h.vms}
         moved = 0
         receivers: set[str] = set()
         for name in underloaded_candidates(utils):

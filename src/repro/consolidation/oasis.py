@@ -22,11 +22,10 @@ average of 81 %) and algorithmic scalability (O(n) vs O(n²)).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..cluster.datacenter import DataCenter
 from ..cluster.host import Host
-from ..cluster.power import PowerState
 from ..core.params import DEFAULT_PARAMS, DrowsyParams
 
 

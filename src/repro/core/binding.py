@@ -168,10 +168,14 @@ class FleetBinding:
             vm.model = FleetVMView(self.fleet, i)
         self._matrix: np.ndarray | None = None
         self._matrix_start = 0
+        #: Columnar per-host accounting attached by :meth:`try_bind`
+        #: (see :mod:`repro.cluster.accounting`).
+        self.accounting = None
 
     # ------------------------------------------------------------------
     @classmethod
-    def try_bind(cls, dc, params: DrowsyParams) -> "FleetBinding | None":
+    def try_bind(cls, dc, params: DrowsyParams,
+                 accounting: bool = True) -> "FleetBinding | None":
         """Bind ``dc``'s VMs if they carry plain, uniform models.
 
         Reuses the data center's current binding when it still covers
@@ -179,10 +183,17 @@ class FleetBinding:
         fleet, newcomers scalar), a *fresh* binding is built — views
         expose the scalar state API, so their rows import exactly and
         the columnar fast path survives fleet growth.
+
+        With ``accounting=True`` (the default) the binding also attaches
+        a :class:`~repro.cluster.accounting.HostAccounting` to ``dc`` so
+        simulators and controllers can read per-host quantities
+        columnar-ly; ``accounting=False`` detaches it, leaving every
+        consumer on the scalar per-host properties.
         """
         existing = getattr(dc, "_fleet_binding", None)
         vms = dc.vms
         if existing is not None and existing.covers(vms):
+            existing._sync_accounting(dc, accounting)
             return existing
         if not vms:
             return None
@@ -193,7 +204,22 @@ class FleetBinding:
                 return None
         binding = cls(vms, params)
         dc._fleet_binding = binding
+        binding._sync_accounting(dc, accounting)
         return binding
+
+    def _sync_accounting(self, dc, enabled: bool) -> None:
+        """Attach/refresh (or detach) the host-accounting layer."""
+        from ..cluster.accounting import HostAccounting
+
+        if not enabled:
+            self.accounting = None
+            dc._accounting = None
+            return
+        acc = self.accounting
+        if acc is None or acc.dc is not dc or not acc.valid:
+            acc = HostAccounting(self, dc)
+            self.accounting = acc
+        dc._accounting = acc
 
     def _import_row(self, i: int, model) -> None:
         """Copy scalar-API model state (IdlenessModel or FleetVMView)

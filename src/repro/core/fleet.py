@@ -17,7 +17,7 @@ import numpy as np
 
 from .calendar import slot_of_hour
 from .params import DEFAULT_PARAMS, DrowsyParams
-from .weights import N_SCALES, descend_weights, initial_weights
+from .weights import descend_weights, initial_weights
 
 
 class FleetIdlenessModel:
@@ -270,7 +270,10 @@ class FleetIdlenessModel:
         si = np.empty((self.n, 4))
 
         for t in range(T):
-            h = int(hh[t]); dw = int(dww[t]); dm = int(dmm[t]); doy = int(doyy[t])
+            h = int(hh[t])
+            dw = int(dww[t])
+            dm = int(dmm[t])
+            doy = int(doyy[t])
             si[:, 0] = self.sid[:, h]
             si[:, 1] = self.siw[:, dw, h]
             si[:, 2] = self.sim[:, dm, h]

@@ -10,7 +10,7 @@ monkey-patching module globals.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 #: Hours in the paper's 365-day year (no leap years; see DESIGN.md).
 HOURS_PER_YEAR = 365 * 24

@@ -20,7 +20,7 @@ from ..cluster.vm import VM
 from ..consolidation.drowsy import DrowsyController
 from ..consolidation.neat import NeatController
 from ..core.params import DEFAULT_PARAMS, DrowsyParams
-from ..traces.base import ActivityTrace, VMKind
+from ..traces.base import ActivityTrace
 from ..traces.google import google_llmu_fleet
 from ..traces.production import PRODUCTION_SPECS, production_trace, testbed_llmi_traces
 from ..traces.synthetic import llmu_trace

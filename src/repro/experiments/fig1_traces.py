@@ -10,7 +10,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..traces.base import ActivityTrace
 from ..traces.production import fig1_traces
 
 

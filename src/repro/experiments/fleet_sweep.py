@@ -89,37 +89,72 @@ def _run(dc, controller, params: DrowsyParams, hours: int,
     return sim.run(hours)
 
 
+@dataclass(frozen=True)
+class _PointCell:
+    """One independent (LLMI fraction × system variant) simulation."""
+
+    frac: float
+    variant: str  # drowsy | neat | neat_no_s3 | oasis
+    n_hosts: int
+    n_vms: int
+    hours: int
+    seed: int
+    params: DrowsyParams
+
+
+def _run_point_cell(cell: _PointCell) -> tuple[float, str, float]:
+    """Run one cell (top-level so sweep workers can pickle it)."""
+    params = cell.params
+    if cell.variant == "drowsy":
+        dc = build_fleet(cell.n_hosts, cell.n_vms, cell.frac, cell.hours,
+                         params, seed=cell.seed)
+        res = _run(dc, drowsy_controller(dc, params), params, cell.hours,
+                   relocate=True)
+        kwh = res.total_energy_kwh
+    elif cell.variant in ("neat", "neat_no_s3"):
+        neat_params = params.replace(use_grace=False)
+        dc = build_fleet(cell.n_hosts, cell.n_vms, cell.frac, cell.hours,
+                         neat_params, seed=cell.seed)
+        res = _run(dc, neat_controller(dc, neat_params), neat_params,
+                   cell.hours, suspend=cell.variant == "neat")
+        kwh = res.total_energy_kwh
+    elif cell.variant == "oasis":
+        dc = build_fleet(cell.n_hosts, cell.n_vms, cell.frac, cell.hours,
+                         params, seed=cell.seed)
+        oasis = OasisController(
+            dc, params, n_consolidation_hosts=max(1, cell.n_hosts // 20))
+        res = _run(dc, oasis, params, cell.hours)
+        # Oasis pays for its partial-migration transfers too.
+        kwh = res.total_energy_kwh + oasis.transfer_energy_j / 3.6e6
+    else:  # pragma: no cover - guarded by the grid construction
+        raise ValueError(f"unknown variant {cell.variant!r}")
+    return (cell.frac, cell.variant, kwh)
+
+
+_VARIANTS = ("drowsy", "neat", "neat_no_s3", "oasis")
+
+
 def run(llmi_fractions: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0),
         n_hosts: int = 10, n_vms: int = 40, days: int = 7,
-        params: DrowsyParams = DEFAULT_PARAMS, seed: int = 7) -> SweepData:
+        params: DrowsyParams = DEFAULT_PARAMS, seed: int = 7,
+        workers: int = 1) -> SweepData:
+    """Run the §VI-B sweep; ``workers > 1`` shards the independent
+    (fraction × system) cells over a :class:`~repro.sim.sweep.SweepRunner`
+    process pool — results are identical to the serial run."""
+    from ..sim.sweep import SweepRunner
+
     hours = days * 24
-    points = []
-    for frac in llmi_fractions:
-        dc = build_fleet(n_hosts, n_vms, frac, hours, params, seed=seed)
-        drowsy = _run(dc, drowsy_controller(dc, params), params, hours,
-                      relocate=True)
-
-        neat_params = params.replace(use_grace=False)
-        dc2 = build_fleet(n_hosts, n_vms, frac, hours, neat_params, seed=seed)
-        neat = _run(dc2, neat_controller(dc2, neat_params), neat_params, hours)
-
-        dc3 = build_fleet(n_hosts, n_vms, frac, hours, neat_params, seed=seed)
-        neat_no = _run(dc3, neat_controller(dc3, neat_params), neat_params,
-                       hours, suspend=False)
-
-        dc4 = build_fleet(n_hosts, n_vms, frac, hours, params, seed=seed)
-        oasis = OasisController(dc4, params,
-                                n_consolidation_hosts=max(1, n_hosts // 20))
-        oasis_res = _run(dc4, oasis, params, hours)
-
-        points.append(SweepPoint(
-            llmi_fraction=frac,
-            drowsy_kwh=drowsy.total_energy_kwh,
-            neat_kwh=neat.total_energy_kwh,
-            neat_no_s3_kwh=neat_no.total_energy_kwh,
-            # Oasis pays for its partial-migration transfers too.
-            oasis_kwh=oasis_res.total_energy_kwh
-            + oasis.transfer_energy_j / 3.6e6))
+    cells = [_PointCell(frac=frac, variant=v, n_hosts=n_hosts, n_vms=n_vms,
+                        hours=hours, seed=seed, params=params)
+             for frac in llmi_fractions for v in _VARIANTS]
+    results = SweepRunner(workers=workers).map(_run_point_cell, cells)
+    kwh = {(frac, variant): value for frac, variant, value in results}
+    points = [SweepPoint(llmi_fraction=frac,
+                         drowsy_kwh=kwh[(frac, "drowsy")],
+                         neat_kwh=kwh[(frac, "neat")],
+                         neat_no_s3_kwh=kwh[(frac, "neat_no_s3")],
+                         oasis_kwh=kwh[(frac, "oasis")])
+              for frac in llmi_fractions]
     return SweepData(points=points, n_hosts=n_hosts, n_vms=n_vms, hours=hours)
 
 

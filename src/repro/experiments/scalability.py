@@ -75,18 +75,44 @@ class ScalabilityData:
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class _SizeCell:
+    """One fleet size of the timing sweep (independent population)."""
+
+    n: int
+    params: DrowsyParams
+    repeats: int
+    hour_index: int
+
+
+def _run_size_cell(cell: _SizeCell) -> tuple[float, float]:
+    """Time both groupings at one size (top-level: sweep-worker picklable)."""
+    vms, hosts = _make_population(cell.n, cell.params)
+    best_d = min(_time(drowsy_linear_grouping, vms, hosts, cell.hour_index)
+                 for _ in range(cell.repeats))
+    best_p = min(_time(pairwise_matching_grouping, vms, hosts,
+                       cell.hour_index)
+                 for _ in range(cell.repeats))
+    return best_d, best_p
+
+
 def run(sizes: tuple[int, ...] = (64, 128, 256, 512, 1024),
         params: DrowsyParams = DEFAULT_PARAMS, repeats: int = 3,
-        hour_index: int = 73) -> ScalabilityData:
-    drowsy_s, pairwise_s = [], []
-    for n in sizes:
-        vms, hosts = _make_population(n, params)
-        best_d = min(_time(drowsy_linear_grouping, vms, hosts, hour_index)
-                     for _ in range(repeats))
-        best_p = min(_time(pairwise_matching_grouping, vms, hosts, hour_index)
-                     for _ in range(repeats))
-        drowsy_s.append(best_d)
-        pairwise_s.append(best_p)
+        hour_index: int = 73, workers: int = 1) -> ScalabilityData:
+    """Time the groupings over growing fleets.
+
+    ``workers > 1`` shards the per-size cells over a
+    :class:`~repro.sim.sweep.SweepRunner` process pool (each size is
+    measured in its own process; wall-clock timings are inherently
+    machine-dependent, but the fitted exponents are stable).
+    """
+    from ..sim.sweep import SweepRunner
+
+    cells = [_SizeCell(n=n, params=params, repeats=repeats,
+                       hour_index=hour_index) for n in sizes]
+    results = SweepRunner(workers=workers).map(_run_size_cell, cells)
+    drowsy_s = [d for d, _ in results]
+    pairwise_s = [p for _, p in results]
     return ScalabilityData(sizes=sizes, drowsy_s=drowsy_s, pairwise_s=pairwise_s)
 
 

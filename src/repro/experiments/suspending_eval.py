@@ -26,7 +26,7 @@ from ..cluster.host import Host
 from ..cluster.resources import HostCapacity, ResourceSpec
 from ..cluster.vm import VM, ServiceTimer
 from ..core.params import DEFAULT_PARAMS, DrowsyParams
-from ..suspend.module import SuspendDecision, SuspendingModule
+from ..suspend.module import SuspendingModule
 from ..suspend.timers import TimerEntry, TimerRegistry, compute_waking_date
 from ..traces.base import ActivityTrace
 from ..traces.synthetic import daily_backup_trace

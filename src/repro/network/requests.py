@@ -14,7 +14,6 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.params import SLA_LATENCY_S
-from ..traces.base import ActivityTrace
 
 
 @dataclass

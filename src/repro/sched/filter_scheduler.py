@@ -6,13 +6,13 @@ the rest.  Drowsy-DC plugs in through :class:`~repro.sched.weighers.IdlenessWeig
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..cluster.host import Host
 from ..cluster.vm import VM
 from ..core.params import DEFAULT_PARAMS, DrowsyParams
 from .filters import DEFAULT_FILTERS, HostFilter
-from .weighers import HostWeigher, IdlenessWeigher, RamStackWeigher, WeightedWeigher
+from .weighers import IdlenessWeigher, RamStackWeigher, WeightedWeigher
 
 
 @dataclass

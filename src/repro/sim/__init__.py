@@ -2,6 +2,7 @@
 
 from .event_driven import EventConfig, EventDrivenSimulation, EventResult
 from .hourly import HourlyConfig, HourlyResult, HourlySimulator
+from .sweep import SweepCell, SweepRow, SweepRunner, SweepTable, grid, run_cell
 
 __all__ = [
     "EventConfig",
@@ -10,4 +11,10 @@ __all__ = [
     "HourlyConfig",
     "HourlyResult",
     "HourlySimulator",
+    "SweepCell",
+    "SweepRow",
+    "SweepRunner",
+    "SweepTable",
+    "grid",
+    "run_cell",
 ]

@@ -19,10 +19,11 @@ results and the suspending/waking module evaluations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
+from ..cluster.accounting import columnar_host_view
 from ..cluster.datacenter import DataCenter
 from ..cluster.events import EventSimulator
 from ..cluster.host import Host
@@ -33,6 +34,7 @@ from ..core.calendar import time_of_hour
 from ..core.params import DEFAULT_PARAMS, DrowsyParams
 from ..network.requests import Request, RequestProfile
 from ..network.sdn import SDNSwitch
+from ..suspend.grace import grace_from_raw_ip
 from ..suspend.module import SuspendingModule
 from ..waking.failover import ReplicatedWakingService
 from ..waking.packets import WoLPacket
@@ -52,6 +54,10 @@ class EventConfig:
     #: instead of the per-VM loop; DESIGN.md §6).  Bit-identical to the
     #: scalar path; disable only for benchmarking the seed loop.
     use_fleet_model: bool = True
+    #: Consume the columnar host-accounting view (DESIGN.md §8) for the
+    #: hourly meter sync and post-resume grace windows.  Bit-identical
+    #: to the scalar per-host properties; requires ``use_fleet_model``.
+    use_host_accounting: bool = True
 
 
 @dataclass
@@ -102,8 +108,15 @@ class EventDrivenSimulation:
         self._check_events: dict[str, object] = {}
         self._resume_pending: set[str] = set()
         self._current_hour = 0
-        self._binding = (FleetBinding.try_bind(dc, params)
-                         if config.use_fleet_model else None)
+        self._accounting_enabled = (config.use_fleet_model
+                                    and config.use_host_accounting)
+        self._binding = (FleetBinding.try_bind(
+            dc, params, accounting=self._accounting_enabled)
+            if config.use_fleet_model else None)
+        self._run_start = 0
+        #: Did the last hour tick take the columnar path?  Gates the
+        #: sub-hour accounting reads (grace on resume).
+        self._fleet_active = False
 
     # ------------------------------------------------------------------
     # main loop
@@ -115,9 +128,11 @@ class EventDrivenSimulation:
                 self._binding is None
                 or not self._binding.covers(self.dc.vms)):
             # Rebind so the columnar path survives VM arrivals.
-            self._binding = FleetBinding.try_bind(self.dc, self.params)
+            self._binding = FleetBinding.try_bind(
+                self.dc, self.params, accounting=self._accounting_enabled)
         if self._binding is not None:
             self._binding.ensure_horizon(start_hour, n_hours)
+        self._run_start = start_hour
         migrations_before = len(self.dc.migrations)
         for t in range(start_hour, start_hour + n_hours):
             self.sim.schedule_at(time_of_hour(t), self._hour_tick, t)
@@ -137,11 +152,19 @@ class EventDrivenSimulation:
         binding = self._binding
         activities = None
         if binding is not None and binding.covers(vms):
-            # Columnar hot path: one matrix-column load (DESIGN.md §6).
-            self.dc.sync_meters(now)
+            # Columnar hot path: one matrix-column load (DESIGN.md §6),
+            # with the hourly meter charge fed the previous hour's
+            # columnar utilizations (DESIGN.md §8).
+            acc = (columnar_host_view(self.dc)
+                   if self._accounting_enabled else None)
+            if acc is not None and t > self._run_start:
+                self.dc.sync_meters(now, acc.cpu_utilization(t - 1))
+            else:
+                self.dc.sync_meters(now)
             activities = binding.load_hour(t)
         else:
             self.dc.set_hour_activities(t, now)
+        self._fleet_active = activities is not None
         self.controller.observe_hour(t)
 
         if t % self.config.consolidation_period_h == 0:
@@ -230,8 +253,16 @@ class EventDrivenSimulation:
                              self._finish_resume, host)
 
     def _finish_resume(self, host: Host) -> None:
-        module = self.suspending[host.name]
-        grace = module.grace_for_resume(self.sim.now, self._current_hour)
+        acc = (columnar_host_view(self.dc)
+               if self._accounting_enabled and self._fleet_active else None)
+        if acc is not None:
+            # Columnar grace: same mean raw IP the scalar
+            # module.grace_for_resume computes, one vector for all hosts.
+            mean_ip = float(acc.mean_raw_ip(self._current_hour)[acc.pos(host)])
+            grace = grace_from_raw_ip(mean_ip, self.params)
+        else:
+            module = self.suspending[host.name]
+            grace = module.grace_for_resume(self.sim.now, self._current_hour)
         host.finish_resume(self.sim.now, grace)
         self.waking.on_host_awake(host)
         self.switch.on_host_available(host)

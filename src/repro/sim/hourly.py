@@ -13,9 +13,12 @@ event simulator's job (:mod:`repro.sim.event_driven`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
+import numpy as np
+
+from ..cluster.accounting import HostAccounting, columnar_host_view
 from ..cluster.datacenter import DataCenter
 from ..cluster.host import Host
 from ..cluster.power import PowerState
@@ -23,7 +26,6 @@ from ..core.binding import FleetBinding
 from ..core.calendar import time_of_hour
 from ..core.params import DEFAULT_PARAMS, DrowsyParams
 from ..suspend.grace import grace_from_raw_ip
-from ..suspend.timers import compute_waking_date
 
 HourHook = Callable[[int, float], None]
 
@@ -53,6 +55,13 @@ class HourlyConfig:
     #: the scalar per-VM path (see ``tests/test_fleet_binding.py``);
     #: disable only to benchmark the seed per-VM loop.
     use_fleet_model: bool = True
+    #: Consume the columnar host-accounting view (used CPUs/memory, CPU
+    #: utilization, all-idle flags, mean raw IP for every host from one
+    #: vectorized pass per hour; DESIGN.md §8) for suspend checks,
+    #: SLATAH accounting and controller host queries.  Bit-identical to
+    #: the scalar per-host property loop, which remains the parity
+    #: oracle; requires ``use_fleet_model``.
+    use_host_accounting: bool = True
 
 
 @dataclass
@@ -109,10 +118,17 @@ class HourlySimulator:
         self.hour_hooks = tuple(hour_hooks)
         self._overload_host_hours = 0
         self._active_host_hours = 0
-        self._binding = (FleetBinding.try_bind(dc, params)
-                         if config.use_fleet_model else None)
+        self._accounting_enabled = (config.use_fleet_model
+                                    and config.use_host_accounting)
+        self._binding = (FleetBinding.try_bind(
+            dc, params, accounting=self._accounting_enabled)
+            if config.use_fleet_model else None)
         self._update_models = (config.update_models
                                or getattr(controller, "uses_idleness", False))
+        #: Controller-specific sleep veto (Oasis-style), hoisted: the
+        #: controller never changes after construction.
+        self._can_sleep = getattr(controller, "host_can_sleep", None)
+        self._run_start = 0
 
     # ------------------------------------------------------------------
     def run(self, n_hours: int, start_hour: int = 0) -> HourlyResult:
@@ -123,9 +139,11 @@ class HourlySimulator:
                 or not self._binding.covers(self.dc.vms)):
             # The fleet may have grown since construction: rebind so the
             # columnar path survives VM arrivals between runs.
-            self._binding = FleetBinding.try_bind(self.dc, self.params)
+            self._binding = FleetBinding.try_bind(
+                self.dc, self.params, accounting=self._accounting_enabled)
         if self._binding is not None:
             self._binding.ensure_horizon(start_hour, n_hours)
+        self._run_start = start_hour
         migrations_before = len(self.dc.migrations)
         for t in range(start_hour, start_hour + n_hours):
             self._hour(t)
@@ -147,8 +165,17 @@ class HourlySimulator:
         #    the binding opts out when unbound VMs joined the fleet.
         binding = self._binding
         activities = None
+        acc: HostAccounting | None = None
         if binding is not None and binding.covers(vms):
-            self.dc.sync_meters(now)
+            if self._accounting_enabled:
+                acc = columnar_host_view(self.dc)
+            # The meter charges [previous sync, now] at the *previous*
+            # hour's utilization; the accounting column for t-1 over the
+            # current placement is exactly that value for every host.
+            if acc is not None and t > self._run_start:
+                self.dc.sync_meters(now, acc.cpu_utilization(t - 1))
+            else:
+                self.dc.sync_meters(now)
             activities = binding.load_hour(t)
         else:
             self.dc.set_hour_activities(t, now)
@@ -171,19 +198,36 @@ class HourlySimulator:
                 for vm in vms:
                     vm.model.observe(t, vm.current_activity)
 
-        # 4. Power-state bookkeeping for the hour.
-        for host in hosts:
-            self._host_power_step(host, t, now)
+        # 4. Power-state bookkeeping for the hour.  With an active
+        #    accounting view the suspend predicate (non-empty, all VMs
+        #    idle) comes from one columnar pass instead of per-VM sums;
+        #    controller migrations in step 2 already bumped the
+        #    placement epoch, so the flags see the new placement.
+        sleep_flags = None
+        if acc is not None and self._can_sleep is None and cfg.suspend_enabled:
+            sleep_flags = acc.sleepable(t)
+        for k, host in enumerate(hosts):
+            self._host_power_step(
+                host, t, now, acc,
+                None if sleep_flags is None else bool(sleep_flags[k]))
 
         # 5. QoS accounting (Beloglazov's SLATAH): an active host whose
         #    CPU demand saturates capacity is failing its VMs this hour.
-        for host in hosts:
-            if host.state is PowerState.ON and host.vms:
-                self._active_host_hours += 1
-                demand = sum(vm.current_activity * vm.resources.cpus
-                             for vm in host.vms)
-                if demand >= host.capacity.cpus * 0.999:
-                    self._overload_host_hours += 1
+        if acc is not None:
+            on = np.fromiter(
+                (h.state is PowerState.ON and bool(h.vms) for h in hosts),
+                dtype=bool, count=len(hosts))
+            self._active_host_hours += int(on.sum())
+            overloaded = on & (acc.cpu_demand(t) >= acc.overload_cpus())
+            self._overload_host_hours += int(overloaded.sum())
+        else:
+            for host in hosts:
+                if host.state is PowerState.ON and host.vms:
+                    self._active_host_hours += 1
+                    demand = sum(vm.current_activity * vm.resources.cpus
+                                 for vm in host.vms)
+                    if demand >= host.capacity.cpus * 0.999:
+                        self._overload_host_hours += 1
 
         for hook in self.hour_hooks:
             hook(t, now)
@@ -191,12 +235,13 @@ class HourlySimulator:
     # ------------------------------------------------------------------
     def _host_sleepable(self, host: Host) -> bool:
         """Controller-specific 'may this host sleep this hour?'."""
-        can_sleep = getattr(self.controller, "host_can_sleep", None)
-        if can_sleep is not None:  # Oasis-style policies
-            return can_sleep(host)
+        if self._can_sleep is not None:  # Oasis-style policies
+            return self._can_sleep(host)
         return bool(host.vms) and host.all_vms_idle
 
-    def _host_power_step(self, host: Host, t: int, now: float) -> None:
+    def _host_power_step(self, host: Host, t: int, now: float,
+                         acc: HostAccounting | None = None,
+                         sleepable_hint: bool | None = None) -> None:
         cfg, p = self.config, self.params
 
         # Empty hosts: classic consolidation powers them off.
@@ -210,14 +255,17 @@ class HourlySimulator:
             # host) -- power it back on.
             host.power_on(now)
 
-        sleepable = cfg.suspend_enabled and self._host_sleepable(host)
+        if sleepable_hint is not None:
+            sleepable = sleepable_hint
+        else:
+            sleepable = cfg.suspend_enabled and self._host_sleepable(host)
 
         if host.state is PowerState.SUSPENDED:
             if not sleepable:
                 # Activity resumed: timer fired / request arrived at the
                 # start of the active hour; charge the resume.
                 host.begin_resume(now)
-                grace = self._grace(host, t)
+                grace = self._grace(host, t, acc)
                 host.finish_resume(now + p.resume_latency_s, grace)
             return
 
@@ -230,10 +278,15 @@ class HourlySimulator:
                 host.begin_suspend(begin)
                 host.finish_suspend(begin + p.suspend_latency_s)
 
-    def _grace(self, host: Host, t: int) -> float:
+    def _grace(self, host: Host, t: int,
+               acc: HostAccounting | None = None) -> float:
         if not self.params.use_grace:
             return 0.0
-        return grace_from_raw_ip(host.mean_raw_ip(t), self.params)
+        if acc is not None:
+            mean_ip = float(acc.mean_raw_ip(t)[acc.pos(host)])
+        else:
+            mean_ip = host.mean_raw_ip(t)
+        return grace_from_raw_ip(mean_ip, self.params)
 
     # ------------------------------------------------------------------
     def _result(self, n_hours: int, migrations_before: int) -> HourlyResult:

@@ -1,0 +1,207 @@
+"""Sharded multi-core sweep runner (DESIGN.md §9).
+
+The §VI-B-style scalability experiments are embarrassingly parallel:
+every (controller × fleet size × seed) cell is an independent
+simulation over its own data center.  :class:`SweepRunner` shards those
+cells across worker processes — ``multiprocessing`` *spawn* context,
+one fleet binding per worker — and reduces the results into a single
+tidy :class:`SweepTable`.
+
+Determinism is a hard requirement: a run sharded over N workers must
+produce a table **byte-identical** to the serial run.  Three properties
+make that hold (and are asserted by ``tests/test_sweep.py``):
+
+* every cell is fully specified by its :class:`SweepCell` (fleet
+  builder seed, controller name, horizon) and builds all of its state
+  inside the worker;
+* nothing in the simulation depends on per-process salt — host MACs and
+  VM IPs derive from stable blake2b digests, not the salted builtin
+  ``hash()`` (PYTHONHASHSEED varies across spawned workers);
+* ``Pool.map`` preserves task order, and floats are serialized with
+  ``repr`` (shortest round-trip form).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, fields
+from multiprocessing import get_context
+
+from ..core.params import DEFAULT_PARAMS, DrowsyParams
+from .hourly import HourlyConfig, HourlySimulator
+
+#: Controller factories available to sweep cells (name -> builder).
+CONTROLLER_NAMES = ("drowsy", "neat", "neat-distributed", "oasis")
+
+
+def _build_controller(name: str, dc, params: DrowsyParams):
+    if name == "drowsy":
+        from ..consolidation.drowsy import DrowsyController
+
+        return DrowsyController(dc, params=params)
+    if name == "neat":
+        from ..consolidation.neat import NeatController
+
+        return NeatController(dc, params=params)
+    if name == "neat-distributed":
+        from ..consolidation.managers import DistributedNeat
+
+        return DistributedNeat(dc, params)
+    if name == "oasis":
+        from ..consolidation.oasis import OasisController
+
+        return OasisController(
+            dc, params,
+            n_consolidation_hosts=max(1, len(dc.hosts) // 20))
+    raise ValueError(
+        f"unknown controller {name!r}; expected one of {CONTROLLER_NAMES}")
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One independent simulation cell of the sweep grid."""
+
+    controller: str
+    n_vms: int
+    seed: int
+    hours: int = 168
+    #: 0 means the default geometry of the fleet bench: 4 VMs per host.
+    n_hosts: int = 0
+    llmi_fraction: float = 0.5
+    suspend_enabled: bool = True
+    #: Drowsy's §VI-A.1 periodic full-relocation evaluation mode (the
+    #: mode the E8 comparison runs it in); meaningless for reactive
+    #: baselines, which ignore it.
+    relocate_all: bool = False
+    params: DrowsyParams = DEFAULT_PARAMS
+
+    @property
+    def resolved_hosts(self) -> int:
+        return self.n_hosts or max(1, self.n_vms // 4)
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One result row of the tidy sweep table."""
+
+    controller: str
+    n_vms: int
+    n_hosts: int
+    seed: int
+    hours: int
+    energy_kwh: float
+    slatah: float
+    esv: float
+    migrations: int
+    suspend_cycles: int
+    suspended_fraction: float
+
+
+def run_cell(cell: SweepCell) -> SweepRow:
+    """Run one sweep cell (top-level so spawn workers can pickle it)."""
+    from ..experiments.common import build_fleet
+
+    dc = build_fleet(cell.resolved_hosts, cell.n_vms, cell.llmi_fraction,
+                     cell.hours, cell.params, seed=cell.seed)
+    controller = _build_controller(cell.controller, dc, cell.params)
+    sim = HourlySimulator(
+        dc, controller, cell.params,
+        HourlyConfig(suspend_enabled=cell.suspend_enabled,
+                     relocate_all_mode=cell.relocate_all))
+    result = sim.run(cell.hours)
+    return SweepRow(
+        controller=cell.controller,
+        n_vms=cell.n_vms,
+        n_hosts=cell.resolved_hosts,
+        seed=cell.seed,
+        hours=cell.hours,
+        energy_kwh=result.total_energy_kwh,
+        slatah=result.slatah,
+        esv=result.esv,
+        migrations=result.migrations,
+        suspend_cycles=sum(result.suspend_cycles_by_host.values()),
+        suspended_fraction=result.global_suspended_fraction,
+    )
+
+
+def grid(controllers=("drowsy", "neat", "oasis"),
+         sizes=(64,), seeds=(7,), hours: int = 168,
+         llmi_fraction: float = 0.5,
+         params: DrowsyParams = DEFAULT_PARAMS) -> list[SweepCell]:
+    """The standard (controller × fleet-size × seed) cell grid.
+
+    Drowsy cells run in the paper's periodic-relocation evaluation mode
+    (§VI-A.1), like the E8 comparison; reactive baselines run their
+    normal migration loop.
+    """
+    return [SweepCell(controller=c, n_vms=n, seed=s, hours=hours,
+                      llmi_fraction=llmi_fraction,
+                      relocate_all=c == "drowsy", params=params)
+            for c in controllers for n in sizes for s in seeds]
+
+
+@dataclass
+class SweepTable:
+    """Tidy result table of a sweep (one row per cell, task order)."""
+
+    rows: list[SweepRow]
+
+    def to_csv(self) -> str:
+        """Deterministic CSV: floats via ``repr`` (shortest round-trip),
+        rows in task order — byte-identical across worker counts."""
+        buf = io.StringIO()
+        writer = csv.writer(buf, lineterminator="\n")
+        names = [f.name for f in fields(SweepRow)]
+        writer.writerow(names)
+        for row in self.rows:
+            writer.writerow(
+                [repr(v) if isinstance(v, float) else v
+                 for v in (getattr(row, n) for n in names)])
+        return buf.getvalue()
+
+    def render(self) -> str:
+        header = (f"{'controller':<17}{'VMs':>6}{'hosts':>7}{'seed':>6}"
+                  f"{'hours':>7}{'kWh':>10}{'SLATAH':>9}{'migr':>7}"
+                  f"{'susp':>7}{'drowsy %':>10}")
+        lines = ["sweep results (one row per controller x size x seed cell)",
+                 header, "-" * len(header)]
+        for row in self.rows:
+            lines.append(
+                f"{row.controller:<17}{row.n_vms:>6}{row.n_hosts:>7}"
+                f"{row.seed:>6}{row.hours:>7}{row.energy_kwh:>10.1f}"
+                f"{row.slatah:>9.4f}{row.migrations:>7}"
+                f"{row.suspend_cycles:>7}"
+                f"{100 * row.suspended_fraction:>9.1f}%")
+        return "\n".join(lines)
+
+
+class SweepRunner:
+    """Shard independent simulation cells across worker processes.
+
+    ``workers=1`` runs serially in-process (the reference path);
+    ``workers=N`` uses a *spawn* pool — every worker imports the package
+    fresh, builds each cell's fleet (and its own fleet binding) locally
+    and sends back only the reduced row, so no simulator state crosses
+    process boundaries.  ``map`` preserves task order either way.
+    """
+
+    def __init__(self, workers: int = 1, mp_context: str = "spawn") -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        self.mp_context = mp_context
+
+    def map(self, fn, items: list) -> list:
+        """Order-preserving map of a picklable top-level ``fn``."""
+        items = list(items)
+        if self.workers == 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        ctx = get_context(self.mp_context)
+        n_procs = min(self.workers, len(items))
+        with ctx.Pool(processes=n_procs) as pool:
+            return pool.map(fn, items, chunksize=1)
+
+    def run(self, cells: list[SweepCell]) -> SweepTable:
+        """Run a grid of standard cells into a :class:`SweepTable`."""
+        return SweepTable(rows=self.map(run_cell, cells))

@@ -14,7 +14,7 @@ order.
 
 from __future__ import annotations
 
-from typing import Any, Iterator, Optional
+from typing import Any, Iterator
 
 RED = True
 BLACK = False

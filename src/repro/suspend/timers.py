@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..cluster.host import Host
-from ..cluster.vm import VM, ServiceTimer
 from .process import DEFAULT_BLACKLIST
 from .rbtree import RedBlackTree
 

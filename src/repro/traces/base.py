@@ -16,7 +16,7 @@ The paper's VM taxonomy (section I) is carried on the trace:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -58,15 +58,19 @@ def filter_activity(sample: QuantaSample,
 def synthesize_quanta(activity: float, rng: np.random.Generator,
                       noise_events: int = 120,
                       noise_quantum_s: float = 0.002,
-                      work_quantum_s: float = 30.0) -> QuantaSample:
+                      work_quantum_s: float = 30.0,
+                      min_quantum_s: float = DEFAULT_MIN_QUANTUM_S) -> QuantaSample:
     """Generate a plausible quanta stream for a target activity level.
 
     Real work is emitted as quanta of ~``work_quantum_s``; on top, every
     hour carries ``noise_events`` short bookkeeping quanta (kernel ticks,
     agents) of ~``noise_quantum_s`` each, which the filter must remove.
-
-    The invariant ``filter_activity(synthesize_quanta(a)) ≈ a`` holds up
-    to quantization by the work quantum and is property-tested.
+    ``min_quantum_s`` should match the filter's threshold: a work
+    remainder below it is folded into the preceding work quantum so the
+    round-trip ``filter_activity(synthesize_quanta(a)) == a`` is exact
+    whenever there is at least one work quantum to fold into (activity
+    below ``min_quantum_s / 3600`` still reads idle — by design, that
+    is the sub-noise regime).
     """
     if not 0.0 <= activity <= 1.0:
         raise ValueError(f"activity must be in [0, 1], got {activity}")
@@ -75,7 +79,10 @@ def synthesize_quanta(activity: float, rng: np.random.Generator,
     quanta = [work_quantum_s] * n_work
     remainder = work_total - n_work * work_quantum_s
     if remainder > 0.0:
-        quanta.append(remainder)
+        if quanta and remainder < min_quantum_s:
+            quanta[-1] += remainder
+        else:
+            quanta.append(remainder)
     noise_budget = SECONDS_PER_HOUR - work_total
     n_noise = min(noise_events, int(noise_budget / max(noise_quantum_s, 1e-9)))
     if n_noise > 0:
@@ -92,4 +99,5 @@ def observed_activity(activity: float, rng: np.random.Generator,
     activity that went through the noise path (idle hours stay exactly
     idle because noise quanta are filtered out).
     """
-    return filter_activity(synthesize_quanta(activity, rng), min_quantum_s)
+    sample = synthesize_quanta(activity, rng, min_quantum_s=min_quantum_s)
+    return filter_activity(sample, min_quantum_s)

@@ -13,7 +13,6 @@ mirror when the primary misses enough beats.
 
 from __future__ import annotations
 
-from typing import Callable
 
 from ..cluster.events import EventSimulator
 from ..cluster.host import Host

@@ -21,7 +21,7 @@ state is the two maps — which the fault-tolerance layer exploits.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable
 
 from ..cluster.events import Event, EventSimulator
 from ..cluster.host import Host

@@ -1,6 +1,5 @@
 """Tests for resources, power model, host state machine, datacenter."""
 
-import numpy as np
 import pytest
 
 from repro.cluster import (
@@ -18,7 +17,6 @@ from repro.cluster import (
     VM,
 )
 from repro.cluster.power import EnergyMeter
-from repro.core.params import DEFAULT_PARAMS
 from repro.traces.synthetic import always_idle_trace, daily_backup_trace
 
 

@@ -22,7 +22,6 @@ from repro.consolidation import (
     underloaded_candidates,
 )
 from repro.core.params import DEFAULT_PARAMS
-from repro.traces.base import ActivityTrace
 from repro.traces.synthetic import always_idle_trace
 
 CAP = HostCapacity(cpus=8, memory_mb=16384, cpu_overcommit=1.0)

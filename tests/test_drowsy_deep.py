@@ -1,11 +1,9 @@
 """Deeper tests of the Drowsy-DC controller's mechanisms."""
 
-import numpy as np
-import pytest
 
 from repro.cluster import DataCenter, Host, HostCapacity, ResourceSpec, VM
 from repro.consolidation import DrowsyController
-from repro.core.params import DEFAULT_PARAMS, SIGMA
+from repro.core.params import DEFAULT_PARAMS
 from repro.traces.synthetic import always_idle_trace
 
 

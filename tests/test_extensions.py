@@ -1,7 +1,6 @@
 """Tests for the extension modules: adaptive alpha/beta, persistence,
 idleness heuristics, rack sharding, plotting, CLI."""
 
-import io
 
 import numpy as np
 import pytest
@@ -27,9 +26,8 @@ from repro.suspend import (
     SuspendDecision,
     SuspendingModule,
 )
-from repro.traces.synthetic import always_idle_trace, daily_backup_trace
+from repro.traces.synthetic import always_idle_trace
 from repro.waking import Packet, RackShardedWakingService
-from repro.waking.packets import WoLPacket
 
 
 class TestAdaptiveModel:

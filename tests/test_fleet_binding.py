@@ -25,7 +25,7 @@ from repro.core.params import DEFAULT_PARAMS
 from repro.experiments.common import build_fleet
 from repro.sim.event_driven import EventConfig, EventDrivenSimulation
 from repro.sim.hourly import HourlyConfig, HourlySimulator
-from repro.traces.base import ActivityTrace, activity_matrix
+from repro.traces.base import activity_matrix
 from repro.traces.synthetic import daily_backup_trace, llmu_trace
 
 HOURS = 96  # >= 72 h, exercises several day boundaries

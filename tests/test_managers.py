@@ -1,8 +1,7 @@
 """Tests for the distributed Neat architecture (local/global managers)."""
 
-import pytest
 
-from repro.cluster import DataCenter, Host, HostCapacity, PowerState, ResourceSpec, VM
+from repro.cluster import DataCenter, Host, HostCapacity, ResourceSpec, VM
 from repro.consolidation.managers import (
     DistributedNeat,
     GlobalManager,

@@ -8,13 +8,11 @@ from repro.cluster import (
     DataCenter,
     EventSimulator,
     Host,
-    PowerState,
     ServiceTimer,
     TESTBED_VM,
     VM,
 )
 from repro.core import IdlenessModel, save_model
-from repro.core.params import DEFAULT_PARAMS
 from repro.sim.hourly import HourlyConfig, HourlySimulator
 from repro.traces.synthetic import always_idle_trace, daily_backup_trace
 from repro.waking import WakingModule

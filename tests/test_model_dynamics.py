@@ -14,7 +14,7 @@ from hypothesis import given, settings, strategies as st
 from repro.core.calendar import slot_of_hour
 from repro.core.metrics import ConfusionCounts
 from repro.core.model import IdlenessModel
-from repro.core.params import DEFAULT_PARAMS, SIGMA, u_coefficient
+from repro.core.params import SIGMA, u_coefficient
 
 
 class TestUpdateDamping:

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.cluster import DataCenter, EventSimulator, Host, TESTBED_VM, VM
-from repro.core.params import DEFAULT_PARAMS
 from repro.network import Request, RequestLog, RequestProfile, SDNSwitch, poisson_arrivals
 from repro.traces.synthetic import always_idle_trace
 from repro.waking import WakingModule

@@ -1,6 +1,5 @@
 """Tests for DrowsyParams and the paper constants."""
 
-import math
 
 import pytest
 
@@ -11,7 +10,6 @@ from repro.core.params import (
     HOURS_PER_YEAR,
     IP_RANGE_THRESHOLD,
     SIGMA,
-    DrowsyParams,
     u_coefficient,
 )
 

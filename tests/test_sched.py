@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster import Host, HostCapacity, ResourceSpec, TESTBED_VM, VM
+from repro.cluster import Host, HostCapacity, ResourceSpec, VM
 from repro.core.params import DEFAULT_PARAMS
 from repro.sched import (
     ComputeFilter,

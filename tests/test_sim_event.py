@@ -13,7 +13,6 @@ from repro.cluster import (
 )
 from repro.consolidation import NeatController
 from repro.core.params import DEFAULT_PARAMS
-from repro.network.requests import RequestProfile
 from repro.sim.event_driven import EventConfig, EventDrivenSimulation
 from repro.traces.synthetic import always_idle_trace, daily_backup_trace, llmu_trace
 

@@ -6,7 +6,6 @@ from repro.cluster import DataCenter, Host, HostCapacity, PowerState, ResourceSp
 from repro.consolidation import NeatController, OasisController
 from repro.core.params import DEFAULT_PARAMS
 from repro.sim.hourly import HourlyConfig, HourlySimulator
-from repro.traces.base import ActivityTrace
 from repro.traces.synthetic import always_idle_trace, daily_backup_trace, llmu_trace
 
 import numpy as np

@@ -4,7 +4,7 @@ import math
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.cluster import Host, ServiceTimer, TESTBED_VM, VM
 from repro.core.params import DEFAULT_PARAMS, SIGMA

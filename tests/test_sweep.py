@@ -1,0 +1,159 @@
+"""Sharded sweep runner (DESIGN.md §9): determinism and reduction.
+
+The hard requirement: a sweep sharded over N spawn workers produces a
+result table **byte-identical** to the serial run.  Also covers the
+stable-digest addresses that make cross-process determinism possible
+(host MACs / VM IPs must not depend on the per-process PYTHONHASHSEED)
+and the CLI/experiment wiring on top of the runner.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.experiments import fleet_sweep
+from repro.sim.sweep import (
+    CONTROLLER_NAMES,
+    SweepCell,
+    SweepRow,
+    SweepRunner,
+    SweepTable,
+    grid,
+    run_cell,
+)
+
+SRC = str(pathlib.Path(__file__).resolve().parents[1] / "src")
+
+
+class TestSweepRunner:
+    def test_sharded_matches_serial_byte_identical(self):
+        cells = grid(controllers=("drowsy", "neat"), sizes=(16,),
+                     seeds=(7, 11), hours=8)
+        serial = SweepRunner(workers=1).run(cells)
+        sharded = SweepRunner(workers=4).run(cells)
+        assert serial.to_csv() == sharded.to_csv()
+        assert serial.render() == sharded.render()
+        assert serial.rows == sharded.rows
+
+    def test_serial_rerun_deterministic(self):
+        cells = grid(controllers=("drowsy",), sizes=(12,), seeds=(3,),
+                     hours=6)
+        a = SweepRunner(workers=1).run(cells)
+        b = SweepRunner(workers=1).run(cells)
+        assert a.to_csv() == b.to_csv()
+
+    def test_map_preserves_order(self):
+        runner = SweepRunner(workers=1)
+        assert runner.map(lambda x: x * 2, [3, 1, 2]) == [6, 2, 4]
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            SweepRunner(workers=0)
+
+    def test_grid_order_is_controller_major(self):
+        cells = grid(controllers=("a", "b"), sizes=(1, 2), seeds=(9,),
+                     hours=1)
+        assert [(c.controller, c.n_vms) for c in cells] == [
+            ("a", 1), ("a", 2), ("b", 1), ("b", 2)]
+
+    def test_run_cell_produces_row(self):
+        row = run_cell(SweepCell(controller="drowsy", n_vms=8, seed=5,
+                                 hours=4))
+        assert isinstance(row, SweepRow)
+        assert row.n_hosts == 2
+        assert row.energy_kwh > 0.0
+        assert 0.0 <= row.suspended_fraction <= 1.0
+
+    def test_unknown_controller_raises(self):
+        with pytest.raises(ValueError):
+            run_cell(SweepCell(controller="bogus", n_vms=8, seed=5,
+                               hours=2))
+
+    def test_csv_round_trips_floats(self):
+        cells = grid(controllers=("neat",), sizes=(8,), seeds=(1,), hours=4)
+        table = SweepRunner(workers=1).run(cells)
+        csv_text = table.to_csv()
+        header, line = csv_text.strip().splitlines()
+        values = dict(zip(header.split(","), line.split(",")))
+        assert float(values["energy_kwh"]) == table.rows[0].energy_kwh
+        assert values["controller"] == "neat"
+
+    def test_table_render_mentions_all_cells(self):
+        table = SweepTable(rows=[
+            SweepRow(controller="drowsy", n_vms=8, n_hosts=2, seed=1,
+                     hours=4, energy_kwh=1.5, slatah=0.0, esv=0.0,
+                     migrations=0, suspend_cycles=2,
+                     suspended_fraction=0.25)])
+        text = table.render()
+        assert "drowsy" in text and "25.0%" in text
+
+
+class TestCrossProcessDeterminism:
+    """Stable digests instead of the salted builtin hash()."""
+
+    @staticmethod
+    def _addresses(hash_seed):
+        code = (
+            "from repro.cluster.host import Host\n"
+            "from repro.cluster.vm import VM\n"
+            "from repro.traces.synthetic import daily_backup_trace\n"
+            "print(Host('P2').mac_address,"
+            " VM('V1', daily_backup_trace(days=1)).ip_address)\n")
+        env = dict(os.environ, PYTHONHASHSEED=hash_seed, PYTHONPATH=SRC)
+        out = subprocess.run([sys.executable, "-c", code], env=env,
+                             capture_output=True, text=True, check=True)
+        return out.stdout.strip()
+
+    def test_mac_and_ip_stable_across_hash_seeds(self):
+        assert self._addresses("1") == self._addresses("424242")
+
+    def test_mac_format(self):
+        from repro.cluster.host import Host
+
+        mac = Host("P2").mac_address
+        parts = mac.split(":")
+        assert len(parts) == 6 and parts[:3] == ["52", "54", "00"]
+        assert all(len(p) == 2 for p in parts)
+        assert Host("P2").mac_address == mac  # same name, same MAC
+        assert Host("P3").mac_address != mac
+
+
+class TestExperimentWiring:
+    def test_fleet_sweep_workers_identical(self):
+        kwargs = dict(llmi_fractions=(0.0, 1.0), n_hosts=2, n_vms=6,
+                      days=1)
+        serial = fleet_sweep.run(workers=1, **kwargs)
+        sharded = fleet_sweep.run(workers=2, **kwargs)
+        assert serial.points == sharded.points
+        assert serial.render() == sharded.render()
+
+    def test_scalability_workers_smoke(self):
+        from repro.experiments import scalability
+
+        data = scalability.run(sizes=(8, 16), repeats=1, workers=2)
+        assert len(data.drowsy_s) == len(data.pairwise_s) == 2
+        assert all(t > 0 for t in data.drowsy_s + data.pairwise_s)
+
+
+class TestSweepCLI:
+    def test_sweep_subcommand(self, capsys, tmp_path):
+        csv_path = tmp_path / "sweep.csv"
+        rc = cli_main(["sweep", "--controllers", "drowsy", "--sizes", "8",
+                       "--seeds", "7", "--hours", "4", "--workers", "1",
+                       "--csv", str(csv_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sweep results" in out and "drowsy" in out
+        assert csv_path.read_text().startswith("controller,")
+
+    def test_sweep_rejects_unknown_controller(self):
+        with pytest.raises(SystemExit):
+            cli_main(["sweep", "--controllers", "nope"])
+
+    def test_controller_names_exported(self):
+        assert set(CONTROLLER_NAMES) == {
+            "drowsy", "neat", "neat-distributed", "oasis"}
