@@ -25,7 +25,8 @@ EXPERIMENTS: dict[str, dict] = {
     "fig4_im_quality": {"args": {"years": int}},
     "suspending_eval": {"args": {}},
     "fleet_sweep": {"args": {"n_hosts": int, "n_vms": int, "days": int,
-                             "workers": int}},
+                             "workers": int, "seeds": lambda s: tuple(
+                                 int(x) for x in str(s).split(","))}},
     "scalability": {"args": {"workers": int}},
     "backup_anticipation": {"args": {"days": int}},
     "detector_study": {"args": {"n_hosts": int, "n_vms": int, "days": int}},
@@ -100,13 +101,20 @@ def cmd_run_all(args) -> int:
 
 def cmd_sweep(args) -> int:
     """Sharded (controller × fleet-size × seed) sweep (DESIGN.md §9)."""
-    from .sim.sweep import CONTROLLER_NAMES, SweepRunner, grid
+    from .sim.sweep import CONTROLLER_NAMES, SweepRunner, SweepTable, grid
 
     controllers = tuple(args.controllers.split(","))
     unknown = [c for c in controllers if c not in CONTROLLER_NAMES]
     if unknown:
         raise SystemExit(f"unknown controllers: {', '.join(unknown)}; "
                          f"choose from {', '.join(CONTROLLER_NAMES)}")
+    # Fail fast on unusable --out targets (bad suffix, missing pyarrow)
+    # *before* spending hours on the cells.
+    for out in args.out or ():
+        try:
+            SweepTable.check_writable(out)
+        except (ValueError, RuntimeError) as exc:
+            raise SystemExit(f"--out {out}: {exc}") from None
     cells = grid(controllers=controllers,
                  sizes=tuple(int(s) for s in args.sizes.split(",")),
                  seeds=tuple(int(s) for s in args.seeds.split(",")),
@@ -119,6 +127,9 @@ def cmd_sweep(args) -> int:
         with open(args.csv, "w") as fh:
             fh.write(table.to_csv())
         print(f"\n[csv written to {args.csv}]")
+    for out in args.out or ():
+        table.save(out)
+        print(f"\n[table written to {out}]")
     print(f"\n[{len(cells)} cells on {args.workers} worker(s) "
           f"in {elapsed:.1f} s]")
     return 0
@@ -148,6 +159,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--n-vms", dest="n_vms", type=int)
     run.add_argument("--workers", type=int,
                      help="worker processes for shardable experiments")
+    run.add_argument("--seeds",
+                     help="comma-separated fleet seeds (fleet_sweep: one "
+                          "cell per seed, results averaged)")
     run.set_defaults(fn=cmd_run)
 
     sweep = sub.add_parser(
@@ -165,6 +179,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--workers", type=int, default=1,
                        help="worker processes (spawn), 1 = serial")
     sweep.add_argument("--csv", help="also write the tidy table as CSV")
+    sweep.add_argument("--out", action="append",
+                       help="persist the tidy table; format from the "
+                            "suffix: .csv, .sqlite (append) or .parquet "
+                            "(repeatable)")
     sweep.set_defaults(fn=cmd_sweep)
 
     run_all = sub.add_parser("run-all", help="run every experiment")

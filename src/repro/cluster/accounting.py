@@ -74,6 +74,7 @@ class HostAccounting:
         self._static_cache: tuple | None = None  # (epoch, used_cpus, used_mem)
         self._hour_cache: dict = {}
         self._ip_cache: dict = {}
+        self._blocked_cache: tuple | None = None
         self.resync()
 
     # ------------------------------------------------------------------
@@ -90,6 +91,11 @@ class HostAccounting:
     def pos(self, host) -> int:
         """Index of ``host`` in the accounting vectors (dc.hosts order)."""
         return self._pos[host.name]
+
+    @property
+    def positions(self) -> dict[str, int]:
+        """Host name -> vector index (read-only use; hot-loop access)."""
+        return self._pos
 
     def position(self, host_name: str) -> int | None:
         """Like :meth:`pos` by name; ``None`` for unknown hosts."""
@@ -293,6 +299,24 @@ class HostAccounting:
         """(n_hosts,) bool: non-empty and every hosted VM idle — the
         hourly simulator's default suspend predicate."""
         return (self.vm_counts() > 0) & self.all_idle(hour_index)
+
+    def any_blocked_io(self) -> np.ndarray:
+        """(n_hosts,) bool: some hosted VM is blocked on I/O (``D``
+        state) — the suspend sweep's per-host blocked-I/O mask, derived
+        from the fleet's columnar flags (cached per placement epoch and
+        blocked-column version; the flags are almost always all-False)."""
+        fleet = self.binding.fleet
+        key = (self.epoch, fleet.blocked_version)
+        cached = self._blocked_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        if not fleet.blocked_io.any():
+            blocked = np.zeros(self.n_hosts, dtype=bool)
+        else:
+            blocked = self._seg_sum(fleet.blocked_io.astype(np.int64),
+                                    dtype=np.int64) > 0
+        self._blocked_cache = (key, blocked)
+        return blocked
 
     # ------------------------------------------------------------------
     # idleness-probability columns (also keyed on model version)

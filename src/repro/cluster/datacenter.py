@@ -41,6 +41,16 @@ class DataCenter:
         #: migration and request paths instead of an O(hosts x vms) scan.
         self._placement: dict[str, Host] = {
             vm.name: host for host in self.hosts for vm in host.vms}
+        #: VM registry (vm name -> VM), the other half of the O(1)
+        #: request path (:meth:`find_vm`); kept in lockstep with the
+        #: placement index.
+        self._vm_by_name: dict[str, VM] = {
+            vm.name: vm for host in self.hosts for vm in host.vms}
+        #: Wake-path index (MAC -> host): WoL delivery is per-packet, so
+        #: a linear scan over hosts would be O(hosts) per wake
+        #: (DESIGN.md §10).  Host MACs are construction-time constants.
+        self.host_by_mac: dict[str, Host] = {
+            h.mac_address: h for h in self.hosts}
         #: Columnar host accounting (attached by the fleet binding, see
         #: :mod:`repro.cluster.accounting`).  Placement-changing
         #: operations notify it incrementally so its incidence rows
@@ -81,6 +91,28 @@ class DataCenter:
         except KeyError:
             raise PlacementError(f"unknown host {name}") from None
 
+    def find_vm(self, vm_name: str) -> tuple[VM, Host]:
+        """O(1) ``(vm, host)`` lookup by VM name (the per-packet path).
+
+        Raises ``KeyError`` for unknown VMs (the request path's
+        contract).  Index misses — a VM wired onto ``host.vms`` directly
+        by tests — fall back to one scan that repairs the registry, like
+        :meth:`host_of` does for the placement index.
+        """
+        vm = self._vm_by_name.get(vm_name)
+        if vm is not None:
+            host = self._placement.get(vm_name)
+            if host is not None and vm in host.vms:
+                return vm, host
+        for host in self.hosts:
+            for vm in host.vms:
+                if vm.name == vm_name:
+                    self._vm_by_name[vm_name] = vm
+                    self._placement[vm_name] = host
+                    return vm, host
+        self._vm_by_name.pop(vm_name, None)
+        raise KeyError(f"unknown VM {vm_name}")
+
     # ------------------------------------------------------------------
     def place(self, vm: VM, host: Host) -> None:
         """Initial placement of an unplaced VM."""
@@ -97,6 +129,7 @@ class DataCenter:
                 raise PlacementError(f"{vm.name} already placed on {h.name}")
         host.add_vm(vm)
         self._placement[vm.name] = host
+        self._vm_by_name[vm.name] = vm
         self._note_attach(vm, host)
 
     def migrate(self, vm: VM, destination: Host, now: float) -> MigrationRecord:
@@ -179,6 +212,7 @@ class DataCenter:
         host.sync_meter(max(now, host.meter.last_time))
         host.remove_vm(vm)
         self._placement.pop(vm.name, None)
+        self._vm_by_name.pop(vm.name, None)
         self._note_detach(vm, host)
 
     # ------------------------------------------------------------------
@@ -240,5 +274,8 @@ class DataCenter:
                         f"{vm.name} on both {seen[vm.name].name} and {host.name}")
                 seen[vm.name] = host
         self._placement = seen
+        self._vm_by_name = {vm.name: vm for host in self.hosts
+                            for vm in host.vms}
+        self.host_by_mac = {h.mac_address: h for h in self.hosts}
         if self._accounting is not None:
             self._accounting.resync()

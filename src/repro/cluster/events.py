@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable
+from typing import Any, Callable, Iterable
 
 
 class Event:
@@ -81,6 +81,47 @@ class EventSimulator:
         if delay < 0:
             raise ValueError(f"delay must be >= 0, got {delay}")
         return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_batch(
+            self, entries: Iterable[tuple[float, Callable[..., None], tuple]]
+    ) -> list[Event]:
+        """Schedule a block of ``(time, callback, args)`` entries at once.
+
+        Behaviourally identical to calling :meth:`schedule_at` once per
+        entry in order — sequence numbers are assigned in entry order, so
+        FIFO-within-timestamp ties break exactly the same way — but the
+        heap is restored with one O(n + m) ``heapify`` instead of m
+        O(log n) sifts, which is what makes bulk request generation
+        cheap (DESIGN.md §10).
+        """
+        events: list[Event] = []
+        now = self._now
+        # Validate and build first, then commit: a bad entry must not
+        # leave the heap half-extended or the live counter skewed.
+        for time, callback, args in entries:
+            if time < now - 1e-9:
+                raise ValueError(
+                    f"cannot schedule in the past: {time} < now {now}")
+            events.append(Event(time=max(time, now), seq=next(self._seq),
+                                callback=callback, args=args, owner=self))
+        if events:
+            self._heap.extend((ev.time, ev.seq, ev) for ev in events)
+            heapq.heapify(self._heap)
+            self._live += len(events)
+        return events
+
+    def count_coalesced(self, n: int) -> None:
+        """Account ``n`` extra *logical* events absorbed by the currently
+        executing physical event.
+
+        A batched handler (e.g. the suspend-check sweep) that stands in
+        for ``k`` per-entity events calls ``count_coalesced(k - 1)`` so
+        :attr:`events_processed` — the throughput metric and a parity
+        observable — matches the unbatched event path exactly.
+        """
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        self.events_processed += n
 
     # ------------------------------------------------------------------
     def peek_time(self) -> float | None:

@@ -76,6 +76,23 @@ class VM:
         #: Activity level of the current hour (set by the simulator).
         self.current_activity = 0.0
         self.migrations = 0
+        self._blocked_io = False
+
+    @property
+    def blocked_io(self) -> bool:
+        """Simulated uninterruptible I/O wait (``D`` state) for this VM's
+        QEMU process — pending work that must veto suspension (§IV)."""
+        return self._blocked_io
+
+    @blocked_io.setter
+    def blocked_io(self, value: bool) -> None:
+        self._blocked_io = bool(value)
+        # Mirror into the fleet's columnar blocked-I/O flags when bound,
+        # so the batched suspend sweep sees the change without a rescan.
+        model = self.model
+        fleet = getattr(model, "fleet", None)
+        if fleet is not None and hasattr(fleet, "set_blocked_io"):
+            fleet.set_blocked_io(model.fleet_index, self._blocked_io)
 
     # ------------------------------------------------------------------
     @property

@@ -166,6 +166,10 @@ class FleetBinding:
         for i, vm in enumerate(self.vms):
             self._import_row(i, vm.model)
             vm.model = FleetVMView(self.fleet, i)
+            # Import host-process state too: the columnar blocked-I/O
+            # flags must reflect values set before binding.
+            if getattr(vm, "blocked_io", False):
+                self.fleet.set_blocked_io(i, True)
         self._matrix: np.ndarray | None = None
         self._matrix_start = 0
         #: Columnar per-host accounting attached by :meth:`try_bind`

@@ -52,6 +52,22 @@ class FleetIdlenessModel:
         #: cache; bumped by every update.
         self.version = 0
         self._ip_cache: dict = {}
+        #: Per-VM blocked-on-I/O flags, mirrored from ``VM.blocked_io``
+        #: by its property setter while the VM is fleet-bound.  Not model
+        #: state — this is host-process-table state (suspend §IV) kept
+        #: columnar so the batched suspend sweep can derive per-host
+        #: blocked-I/O masks without walking ``host.vms``.
+        self.blocked_io = np.zeros(n, dtype=bool)
+        #: Version counter for :attr:`blocked_io` (cache key for the
+        #: per-host reduction in the host accounting).
+        self.blocked_version = 0
+
+    def set_blocked_io(self, i: int, value: bool) -> None:
+        """Flip one VM's blocked-I/O flag (bumps the column version)."""
+        value = bool(value)
+        if bool(self.blocked_io[i]) != value:
+            self.blocked_io[i] = value
+            self.blocked_version += 1
 
     # ------------------------------------------------------------------
     def si_matrix(self, hour_index: int) -> np.ndarray:

@@ -137,23 +137,44 @@ _VARIANTS = ("drowsy", "neat", "neat_no_s3", "oasis")
 def run(llmi_fractions: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0),
         n_hosts: int = 10, n_vms: int = 40, days: int = 7,
         params: DrowsyParams = DEFAULT_PARAMS, seed: int = 7,
-        workers: int = 1) -> SweepData:
+        workers: int = 1,
+        seeds: tuple[int, ...] | None = None) -> SweepData:
     """Run the §VI-B sweep; ``workers > 1`` shards the independent
-    (fraction × system) cells over a :class:`~repro.sim.sweep.SweepRunner`
-    process pool — results are identical to the serial run."""
+    (fraction × system × seed) cells over a
+    :class:`~repro.sim.sweep.SweepRunner` process pool.
+
+    ``seeds`` (default: just ``seed``) shards the sweep at seed
+    granularity: every (fraction, variant, seed) triple is its own cell
+    and the per-point energies are seed means.  Drowsy's relocate-mode
+    cells — whose local-search relocation dominates sweep wall-clock at
+    128+ VMs — are dispatched *first* so they overlap the cheap reactive
+    baselines instead of straggling at the tail; the reduction is keyed,
+    not positional, so tables are byte-identical for any worker count or
+    dispatch order.
+    """
     from ..sim.sweep import SweepRunner
 
     hours = days * 24
+    if seeds is None:
+        seeds = (seed,)
     cells = [_PointCell(frac=frac, variant=v, n_hosts=n_hosts, n_vms=n_vms,
-                        hours=hours, seed=seed, params=params)
-             for frac in llmi_fractions for v in _VARIANTS]
+                        hours=hours, seed=s, params=params)
+             for frac in llmi_fractions for v in _VARIANTS for s in seeds]
+    # Longest-job-first dispatch (stable within each class).
+    cells.sort(key=lambda c: c.variant != "drowsy")
     results = SweepRunner(workers=workers).map(_run_point_cell, cells)
-    kwh = {(frac, variant): value for frac, variant, value in results}
+    kwh_by_cell = {(cell.frac, cell.variant, cell.seed): value
+                   for cell, (_, _, value) in zip(cells, results)}
+
+    def _mean_kwh(frac: float, variant: str) -> float:
+        return sum(kwh_by_cell[(frac, variant, s)]
+                   for s in seeds) / len(seeds)
+
     points = [SweepPoint(llmi_fraction=frac,
-                         drowsy_kwh=kwh[(frac, "drowsy")],
-                         neat_kwh=kwh[(frac, "neat")],
-                         neat_no_s3_kwh=kwh[(frac, "neat_no_s3")],
-                         oasis_kwh=kwh[(frac, "oasis")])
+                         drowsy_kwh=_mean_kwh(frac, "drowsy"),
+                         neat_kwh=_mean_kwh(frac, "neat"),
+                         neat_no_s3_kwh=_mean_kwh(frac, "neat_no_s3"),
+                         oasis_kwh=_mean_kwh(frac, "oasis"))
               for frac in llmi_fractions]
     return SweepData(points=points, n_hosts=n_hosts, n_vms=n_vms, hours=hours)
 

@@ -1,9 +1,16 @@
 """Network substrate: requests, SLA accounting, the SDN switch."""
 
-from .requests import Request, RequestLog, RequestProfile, poisson_arrivals
+from .requests import (
+    PerVMRequestStreams,
+    Request,
+    RequestLog,
+    RequestProfile,
+    poisson_arrivals,
+)
 from .sdn import SDNSwitch
 
 __all__ = [
+    "PerVMRequestStreams",
     "Request",
     "RequestLog",
     "RequestProfile",

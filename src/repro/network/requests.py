@@ -9,11 +9,41 @@ wake penalty when a request lands on a drowsy server.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..core.params import SLA_LATENCY_S
+
+
+class PerVMRequestStreams:
+    """Per-VM Philox request substreams (DESIGN.md §10).
+
+    Each VM's generator is keyed by a stable digest of ``(seed, vm
+    name)`` — not by spawn order — so a VM's arrival and service-time
+    draws are invariant under fleet iteration order, placement changes
+    and VM arrivals/departures.  The shared-stream layout (one generator
+    consumed in fleet order) is seed-compatible with the original
+    submit-time sampling but couples every VM's randomness to the
+    iteration order; these substreams trade that compatibility for
+    reordering robustness.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.seed = int(seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    def for_vm(self, vm_name: str) -> np.random.Generator:
+        """The VM's own counter-based generator (created lazily)."""
+        rng = self._streams.get(vm_name)
+        if rng is None:
+            digest = hashlib.blake2b(
+                f"{self.seed}:{vm_name}".encode(), digest_size=16).digest()
+            rng = np.random.Generator(
+                np.random.Philox(key=int.from_bytes(digest, "big")))
+            self._streams[vm_name] = rng
+        return rng
 
 
 @dataclass
@@ -73,6 +103,17 @@ class RequestProfile:
 
     def sample_service_time(self, rng: np.random.Generator) -> float:
         return float(self.service_median_s * rng.lognormal(0.0, self.service_sigma))
+
+    def sample_service_times(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """``n`` service-time draws in one vectorized pass.
+
+        Bit-identical to ``n`` sequential :meth:`sample_service_time`
+        calls on the same generator state: numpy fills the array from
+        the same underlying bit stream the scalar draws consume, and the
+        median scaling is the same elementwise multiply.
+        """
+        return self.service_median_s * rng.lognormal(
+            0.0, self.service_sigma, size=n)
 
 
 @dataclass

@@ -48,11 +48,9 @@ class SDNSwitch:
 
     # ------------------------------------------------------------------
     def _vm_host(self, vm_name: str):
-        for host in self.dc.hosts:
-            for vm in host.vms:
-                if vm.name == vm_name:
-                    return vm, host
-        raise KeyError(f"unknown VM {vm_name}")
+        # O(1) registry lookup; this runs once per packet, where the old
+        # O(hosts x vms) scan dominated the submit path (DESIGN.md §10).
+        return self.dc.find_vm(vm_name)
 
     def submit_request(self, request: Request) -> None:
         """A request enters the rack at ``request.arrival_s`` (= sim.now)."""

@@ -2,6 +2,7 @@
 
 from .event_driven import EventConfig, EventDrivenSimulation, EventResult
 from .hourly import HourlyConfig, HourlyResult, HourlySimulator
+from .suspend_sweep import SuspendSweepScheduler
 from .sweep import SweepCell, SweepRow, SweepRunner, SweepTable, grid, run_cell
 
 __all__ = [
@@ -14,6 +15,7 @@ __all__ = [
     "SweepCell",
     "SweepRow",
     "SweepRunner",
+    "SuspendSweepScheduler",
     "SweepTable",
     "grid",
     "run_cell",

@@ -32,12 +32,20 @@ from ..cluster.vm import VM
 from ..core.binding import FleetBinding
 from ..core.calendar import time_of_hour
 from ..core.params import DEFAULT_PARAMS, DrowsyParams
-from ..network.requests import Request, RequestProfile
+from ..network.requests import PerVMRequestStreams, Request, RequestProfile
 from ..network.sdn import SDNSwitch
+from ..suspend.columnar import (
+    CODE_CANDIDATE,
+    DECISION_OF_CODE,
+    classify_hosts,
+    module_is_columnar,
+)
 from ..suspend.grace import grace_from_raw_ip
-from ..suspend.module import SuspendingModule
+from ..suspend.module import SuspendDecision, SuspendingModule
+from ..suspend.timers import compute_waking_date
 from ..waking.failover import ReplicatedWakingService
 from ..waking.packets import WoLPacket
+from .suspend_sweep import SuspendSweepScheduler
 
 
 @dataclass(frozen=True)
@@ -58,6 +66,25 @@ class EventConfig:
     #: hourly meter sync and post-resume grace windows.  Bit-identical
     #: to the scalar per-host properties; requires ``use_fleet_model``.
     use_host_accounting: bool = True
+    #: Batch the per-host suspend-check events into fleet-wide sweeps on
+    #: a timer wheel of check deadlines, with verdicts from one columnar
+    #: pass per hour (DESIGN.md §10).  Bit-identical to the per-host
+    #: event path, which remains the parity oracle; disable only for
+    #: benchmarking or parity checks.
+    use_batched_checks: bool = True
+    #: Draw each hour's request arrivals *and* service times in one RNG
+    #: pass at the hour tick and push them through
+    #: :meth:`~repro.cluster.events.EventSimulator.schedule_batch`
+    #: (DESIGN.md §10).  With the default shared stream this is
+    #: bit-identical to the seed's submit-time sampling; disable only
+    #: for benchmarking the per-push path.
+    use_bulk_requests: bool = True
+    #: Request RNG layout: ``"shared"`` (seed-compatible single stream,
+    #: draws depend on fleet iteration order) or ``"per-vm"``
+    #: (name-keyed Philox substreams — every VM's request traffic is
+    #: invariant under placement/iteration reordering; requires
+    #: ``use_bulk_requests``).
+    request_streams: str = "shared"
 
 
 @dataclass
@@ -108,6 +135,23 @@ class EventDrivenSimulation:
         self._check_events: dict[str, object] = {}
         self._resume_pending: set[str] = set()
         self._current_hour = 0
+        #: Timer wheel batching the per-host suspend checks into sweeps
+        #: (DESIGN.md §10); None = per-host event oracle path.
+        self.sweeper = (SuspendSweepScheduler(self.sim, self._sweep_due)
+                        if config.use_batched_checks else None)
+        if config.request_streams not in ("shared", "per-vm"):
+            raise ValueError(
+                f"unknown request_streams {config.request_streams!r}; "
+                "expected 'shared' or 'per-vm'")
+        if (config.request_streams == "per-vm"
+                and not config.use_bulk_requests):
+            raise ValueError("per-vm request streams require bulk requests")
+        self._request_streams = (PerVMRequestStreams(config.seed)
+                                 if config.request_streams == "per-vm"
+                                 else None)
+        #: Per-hour host classification cache of the columnar sweep pass
+        #: ((hour, placement epoch, blocked version) -> codes, view).
+        self._codes_cache: tuple | None = None
         self._accounting_enabled = (config.use_fleet_model
                                     and config.use_host_accounting)
         self._binding = (FleetBinding.try_bind(
@@ -184,14 +228,73 @@ class EventDrivenSimulation:
 
         # Client traffic for interactive VMs active this hour.
         profile = self.config.request_profile
-        for host in self.dc.hosts:
-            for vm in host.vms:
-                if vm.interactive and vm.current_activity > 0.0:
-                    for at in profile.hourly_arrivals(self.rng, now, vm.current_activity):
-                        self.sim.schedule_at(float(at), self._submit_request, vm.name)
+        if self.config.use_bulk_requests:
+            self._generate_hour_requests(now, profile)
+        else:
+            for host in self.dc.hosts:
+                for vm in host.vms:
+                    if vm.interactive and vm.current_activity > 0.0:
+                        for at in profile.hourly_arrivals(self.rng, now, vm.current_activity):
+                            self.sim.schedule_at(float(at), self._submit_request, vm.name)
 
         for hook in self.hour_hooks:
             hook(t, now)
+
+    def _generate_hour_requests(self, now: float,
+                                profile: RequestProfile) -> None:
+        """One RNG pass for the hour's request traffic (DESIGN.md §10).
+
+        Arrivals are drawn per VM in fleet order (the same draws the
+        per-push path makes), merged chronologically with a stable sort
+        (equal-time ties keep fleet order, which is exactly the FIFO
+        order the per-push path's sequence numbers impose), and service
+        times are sampled from the recorded stream in dispatch order —
+        the per-push path draws them at submit time, i.e. in this very
+        chronological order, so the shared-stream layout is
+        bit-identical to scheduling each request individually.
+        """
+        streams = self._request_streams
+        names: list[str] = []
+        arrays: list[np.ndarray] = []
+        svc_arrays: list[np.ndarray] = []
+        for host in self.dc.hosts:
+            for vm in host.vms:
+                if vm.interactive and vm.current_activity > 0.0:
+                    rng = self.rng if streams is None else streams.for_vm(vm.name)
+                    arr = profile.hourly_arrivals(rng, now, vm.current_activity)
+                    if arr.size:
+                        names.append(vm.name)
+                        arrays.append(arr)
+                        if streams is not None:
+                            # Per-VM streams record service times from
+                            # the VM's own substream — draws stay
+                            # invariant under fleet reordering.
+                            svc_arrays.append(
+                                profile.sample_service_times(rng, arr.size))
+        if not arrays:
+            return
+        times = np.concatenate(arrays)
+        owners = np.repeat(np.arange(len(arrays)),
+                           [a.size for a in arrays])
+        order = np.argsort(times, kind="stable")
+        times = times[order]
+        owners = owners[order]
+        if streams is None:
+            services = profile.sample_service_times(self.rng, times.size)
+        else:
+            services = np.concatenate(svc_arrays)[order]
+        submit = self._submit_generated
+        self.sim.schedule_batch(
+            (t, submit, (names[o], s))
+            for t, o, s in zip(times.tolist(), owners.tolist(),
+                               services.tolist()))
+
+    def _submit_generated(self, vm_name: str, service_time_s: float) -> None:
+        """Submit a request whose service time was pre-sampled at
+        generation time (the bulk path)."""
+        self.switch.submit_request(Request(
+            arrival_s=self.sim.now, vm_name=vm_name,
+            service_time_s=service_time_s))
 
     def _submit_request(self, vm_name: str) -> None:
         profile = self.config.request_profile
@@ -203,11 +306,93 @@ class EventDrivenSimulation:
     # suspension path
     # ------------------------------------------------------------------
     def _schedule_check(self, host: Host, delay: float) -> None:
+        if self.sweeper is not None:
+            self.sweeper.schedule(host, self.sim.now + delay)
+            return
         old = self._check_events.pop(host.name, None)
         if old is not None:
             old.cancel()
         self._check_events[host.name] = self.sim.schedule_in(
             delay, self._suspend_check, host)
+
+    # -- batched sweep path (DESIGN.md §10) ----------------------------
+    def _host_codes(self):
+        """Columnar host classifications for the current hour, or None
+        when the fleet binding / accounting is inactive (scalar sweep)."""
+        if not self._fleet_active:
+            return None
+        acc = columnar_host_view(self.dc)
+        if acc is None:
+            return None
+        key = (self._current_hour, acc.epoch,
+               self._binding.fleet.blocked_version)
+        cached = self._codes_cache
+        if cached is not None and cached[0] == key and cached[2] is acc:
+            return cached[1:]
+        codes = classify_hosts(acc, self._current_hour).tolist()
+        self._codes_cache = (key, codes, acc)
+        return codes, acc
+
+    def _sweep_due(self, now: float, due: list[Host]) -> None:
+        """Evaluate every due host's suspend check in one pass.
+
+        Per-host semantics are exactly :meth:`_suspend_check`'s, in
+        bucket insertion order (= the per-host events' FIFO order):
+        non-ON hosts are skipped silently, columnar-eligible hosts get
+        their verdict from the fleet-wide classification plus the grace
+        clock, deviating modules (heuristics, custom blacklists) fall
+        back to the scalar evaluator, and each host's decision counter
+        and follow-up actions are identical to the per-event path.
+        """
+        if not self.config.suspend_enabled:
+            return
+        period = self.params.suspend_check_period_s
+        deadline = now + period
+        ctx = self._host_codes()
+        codes, positions = (None, None)
+        if ctx is not None:
+            codes, acc = ctx
+            positions = acc.positions
+        # Hot loop (every ON host, every check period): locals for the
+        # per-host lookups, eager rescheduling so the wheel's insertion
+        # (and event sequence) order matches the per-host event path.
+        suspending = self.suspending
+        schedule = self.sweeper.schedule
+        on_state = PowerState.ON
+        candidate = CODE_CANDIDATE
+        in_grace, suspend = SuspendDecision.IN_GRACE, SuspendDecision.SUSPEND
+        decision_of_code = DECISION_OF_CODE
+        for host in due:
+            if host.state is not on_state:
+                continue  # resume path reinstates the check
+            module = suspending[host.name]
+            if codes is not None and module_is_columnar(module):
+                code = codes[positions[host.name]]
+                if code == candidate:
+                    decision = (in_grace if now < host.grace_until
+                                else suspend)
+                else:
+                    decision = decision_of_code[code]
+                module.decision_counts[decision] += 1
+                if decision is suspend:
+                    self._begin_suspend(
+                        host, compute_waking_date(host, now, module.blacklist))
+                else:
+                    schedule(host, deadline)
+            else:
+                verdict = module.evaluate(now)
+                if verdict.should_suspend:
+                    self._begin_suspend(host, verdict.waking_date_s)
+                else:
+                    schedule(host, deadline)
+
+    def _begin_suspend(self, host: Host, waking_date_s: float | None) -> None:
+        # Hand the waking date to the rack's waking module first so the
+        # packet analyzer covers the whole drowsy window.
+        self.waking.register_suspension(host, waking_date_s)
+        host.begin_suspend(self.sim.now)
+        self.sim.schedule_in(self.params.suspend_latency_s,
+                             self._finish_suspend, host)
 
     def _suspend_check(self, host: Host) -> None:
         self._check_events.pop(host.name, None)
@@ -218,12 +403,7 @@ class EventDrivenSimulation:
         module = self.suspending[host.name]
         verdict = module.evaluate(self.sim.now)
         if verdict.should_suspend:
-            # Hand the waking date to the rack's waking module first so
-            # the packet analyzer covers the whole drowsy window.
-            self.waking.register_suspension(host, verdict.waking_date_s)
-            host.begin_suspend(self.sim.now)
-            self.sim.schedule_in(self.params.suspend_latency_s,
-                                 self._finish_suspend, host)
+            self._begin_suspend(host, verdict.waking_date_s)
         else:
             self._schedule_check(host, self.params.suspend_check_period_s)
 
@@ -238,8 +418,9 @@ class EventDrivenSimulation:
     # wake path
     # ------------------------------------------------------------------
     def _on_wol(self, packet: WoLPacket, now: float) -> None:
-        host = next((h for h in self.dc.hosts
-                     if h.mac_address == packet.mac_address), None)
+        # O(1) MAC index (kept consistent by DataCenter.check_invariants)
+        # instead of the old O(hosts) scan per WoL packet.
+        host = self.dc.host_by_mac.get(packet.mac_address)
         if host is None:
             return
         if host.state is PowerState.SUSPENDED:

@@ -25,8 +25,11 @@ from __future__ import annotations
 
 import csv
 import io
+import os
+import sqlite3
 from dataclasses import dataclass, fields
 from multiprocessing import get_context
+from pathlib import Path
 
 from ..core.params import DEFAULT_PARAMS, DrowsyParams
 from .hourly import HourlyConfig, HourlySimulator
@@ -141,6 +144,19 @@ def grid(controllers=("drowsy", "neat", "oasis"),
             for c in controllers for n in sizes for s in seeds]
 
 
+def _pyarrow():
+    """Optional pyarrow import, gated with an actionable error (the
+    container may not ship it; sqlite and CSV always work)."""
+    try:
+        import pyarrow as pa
+        import pyarrow.parquet as pq
+    except ImportError as exc:  # pragma: no cover - env-dependent
+        raise RuntimeError(
+            "parquet sweep tables need pyarrow (pip install pyarrow); "
+            "write .sqlite or .csv instead") from exc
+    return pa, pq
+
+
 @dataclass
 class SweepTable:
     """Tidy result table of a sweep (one row per cell, task order)."""
@@ -159,6 +175,137 @@ class SweepTable:
                 [repr(v) if isinstance(v, float) else v
                  for v in (getattr(row, n) for n in names)])
         return buf.getvalue()
+
+    # ------------------------------------------------------------------
+    # persistence (longitudinal dashboards; CSV stays the default)
+    # ------------------------------------------------------------------
+    #: save/load format registry: suffix -> canonical kind.  One place
+    #: to extend when a format is added.
+    _SUFFIX_KIND = {".csv": "csv", ".sqlite": "sqlite",
+                    ".sqlite3": "sqlite", ".db": "sqlite",
+                    ".parquet": "parquet"}
+
+    @classmethod
+    def _kind(cls, path: str | Path) -> str:
+        suffix = Path(path).suffix.lower()
+        kind = cls._SUFFIX_KIND.get(suffix)
+        if kind is None:
+            raise ValueError(
+                f"unknown sweep table format {suffix!r}; "
+                f"expected one of {', '.join(sorted(cls._SUFFIX_KIND))}")
+        return kind
+
+    @classmethod
+    def check_writable(cls, path: str | Path) -> None:
+        """Validate a :meth:`save` target without writing anything —
+        callers (the CLI) fail fast on a bad suffix, a missing pyarrow
+        or an unwritable directory *before* running an hours-long
+        sweep."""
+        if cls._kind(path) == "parquet":
+            _pyarrow()
+        parent = Path(path).resolve().parent
+        if not parent.is_dir():
+            raise ValueError(f"directory {parent} does not exist")
+        if not os.access(parent, os.W_OK):
+            raise ValueError(f"directory {parent} is not writable")
+
+    def save(self, path: str | Path) -> None:
+        """Write the table to ``path``, dispatching on the suffix:
+        ``.csv`` (default interchange), ``.sqlite``/``.db``/``.sqlite3``
+        (stdlib; *appends* one run per call) or ``.parquet`` (columnar;
+        needs pyarrow).  Every format stores rows exactly — REAL/float64
+        preserves every bit of the measured floats — so ``load`` after
+        ``save`` round-trips (for SQLite: the freshly appended run)."""
+        kind = self._kind(path)
+        if kind == "csv":
+            Path(path).write_text(self.to_csv())
+        elif kind == "sqlite":
+            self.to_sqlite(path)
+        else:
+            self.to_parquet(path)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SweepTable":
+        """Read a table previously written by :meth:`save`."""
+        kind = cls._kind(path)
+        if kind == "csv":
+            return cls.from_csv(Path(path).read_text())
+        if kind == "sqlite":
+            return cls.from_sqlite(path)
+        return cls.from_parquet(path)
+
+    @classmethod
+    def from_csv(cls, text: str) -> "SweepTable":
+        reader = csv.reader(io.StringIO(text))
+        names = next(reader)
+        expected = [f.name for f in fields(SweepRow)]
+        if names != expected:
+            raise ValueError(f"unexpected CSV columns {names}")
+        types = {f.name: f.type for f in fields(SweepRow)}
+        rows = [SweepRow(**{n: (float(v) if types[n] == "float" else
+                               int(v) if types[n] == "int" else v)
+                            for n, v in zip(names, raw)})
+                for raw in reader]
+        return cls(rows=rows)
+
+    def to_sqlite(self, path: str | Path) -> int:
+        """Append the rows to the ``sweep`` table of a SQLite file.
+
+        Append (not replace): longitudinal dashboards accumulate one
+        sweep per call into the same file, distinguished by a
+        monotonically increasing ``run`` column (0, 1, 2, … — assigned
+        here, deterministic, no wall-clock); row order within a run is
+        task order (``rowid``).  Returns the run id just written.
+        """
+        names = [f.name for f in fields(SweepRow)]
+        cols = ", ".join(
+            f"{f.name} {'REAL' if f.type == 'float' else 'INTEGER' if f.type == 'int' else 'TEXT'}"
+            for f in fields(SweepRow))
+        with sqlite3.connect(path) as conn:
+            conn.execute(
+                f"CREATE TABLE IF NOT EXISTS sweep (run INTEGER, {cols})")
+            run_id = conn.execute(
+                "SELECT COALESCE(MAX(run), -1) + 1 FROM sweep").fetchone()[0]
+            conn.executemany(
+                f"INSERT INTO sweep (run, {', '.join(names)}) "
+                f"VALUES ({', '.join('?' * (len(names) + 1))})",
+                [(run_id, *(getattr(row, n) for n in names))
+                 for row in self.rows])
+        return run_id
+
+    @classmethod
+    def from_sqlite(cls, path: str | Path,
+                    run: int | None = None) -> "SweepTable":
+        """Read one run back (default: the latest — so ``load`` after
+        ``save`` round-trips); ``run=N`` selects an earlier sweep."""
+        names = [f.name for f in fields(SweepRow)]
+        with sqlite3.connect(path) as conn:
+            if run is None:
+                run = conn.execute(
+                    "SELECT COALESCE(MAX(run), 0) FROM sweep").fetchone()[0]
+            cur = conn.execute(
+                f"SELECT {', '.join(names)} FROM sweep "
+                "WHERE run = ? ORDER BY rowid", (run,))
+            rows = [SweepRow(**dict(zip(names, r))) for r in cur]
+        return cls(rows=rows)
+
+    def to_parquet(self, path: str | Path) -> None:
+        """Columnar parquet via pyarrow (optional dependency)."""
+        pa, pq = _pyarrow()
+        names = [f.name for f in fields(SweepRow)]
+        table = pa.table({n: [getattr(row, n) for row in self.rows]
+                          for n in names})
+        pq.write_table(table, str(path))
+
+    @classmethod
+    def from_parquet(cls, path: str | Path) -> "SweepTable":
+        pa, pq = _pyarrow()
+        table = pq.read_table(str(path))
+        names = [f.name for f in fields(SweepRow)]
+        columns = {n: table.column(n).to_pylist() for n in names}
+        rows = [SweepRow(**{n: columns[n][i] for n in names})
+                for i in range(table.num_rows)]
+        return cls(rows=rows)
 
     def render(self) -> str:
         header = (f"{'controller':<17}{'VMs':>6}{'hosts':>7}{'seed':>6}"

@@ -1,5 +1,6 @@
 """Host suspension subsystem: idleness detection, grace, timers."""
 
+from .columnar import classify_hosts, module_is_columnar
 from .grace import grace_from_raw_ip, grace_time_s
 from .heuristics import (
     CombinedHeuristic,
@@ -34,10 +35,12 @@ __all__ = [
     "TimerEntry",
     "TimerRegistry",
     "build_host_registry",
+    "classify_hosts",
     "compute_waking_date",
     "grace_from_raw_ip",
     "grace_time_s",
     "host_process_table",
     "is_host_idle",
+    "module_is_columnar",
     "vm_process_name",
 ]

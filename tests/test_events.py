@@ -103,6 +103,81 @@ class TestCancellation:
         assert sim.pending == 1
 
 
+class TestScheduleBatch:
+    def test_matches_n_individual_pushes(self):
+        """A batch is behaviourally identical to N schedule_at calls:
+        same processing order (incl. FIFO ties) and same clock stops."""
+        times = [5.0, 1.0, 1.0, 3.0, 1.0, 9.0, 3.0]
+
+        ref_sim, ref_order = EventSimulator(), []
+        for i, t in enumerate(times):
+            ref_sim.schedule_at(t, ref_order.append, (t, i))
+        ref_sim.run()
+
+        sim, order = EventSimulator(), []
+        sim.schedule_batch((t, order.append, ((t, i),))
+                           for i, t in enumerate(times))
+        sim.run()
+        assert order == ref_order
+        assert sim.events_processed == ref_sim.events_processed
+
+    def test_interleaves_with_scheduled_events_by_seq(self):
+        """Batch entries get sequence numbers in entry order, after any
+        previously scheduled events — ties at the same timestamp break
+        exactly like individual pushes would."""
+        sim, order = EventSimulator(), []
+        sim.schedule_at(2.0, order.append, "pre")
+        sim.schedule_batch([(2.0, order.append, ("b0",)),
+                            (2.0, order.append, ("b1",))])
+        sim.schedule_at(2.0, order.append, "post")
+        sim.run()
+        assert order == ["pre", "b0", "b1", "post"]
+
+    def test_cancellation_and_live_counter_lockstep(self):
+        sim = EventSimulator()
+        fired = []
+        events = sim.schedule_batch([(1.0, fired.append, (0,)),
+                                     (2.0, fired.append, (1,)),
+                                     (3.0, fired.append, (2,))])
+        assert sim.pending == 3
+        events[1].cancel()
+        assert sim.pending == 2
+        events[1].cancel()  # double-cancel counts once
+        assert sim.pending == 2
+        sim.run()
+        assert fired == [0, 2]
+        assert sim.pending == 0
+        events[0].cancel()  # cancel after execution: no corruption
+        assert sim.pending == 0
+
+    def test_rejects_past_times(self):
+        sim = EventSimulator(start_time=10.0)
+        with pytest.raises(ValueError):
+            sim.schedule_batch([(11.0, lambda: None, ()),
+                                (5.0, lambda: None, ())])
+
+    def test_empty_batch(self):
+        sim = EventSimulator()
+        assert sim.schedule_batch([]) == []
+        assert sim.pending == 0
+
+    def test_unsorted_batch_still_runs_in_time_order(self):
+        sim, order = EventSimulator(), []
+        sim.schedule_batch([(9.0, order.append, (9,)),
+                            (1.0, order.append, (1,)),
+                            (5.0, order.append, (5,))])
+        sim.run()
+        assert order == [1, 5, 9]
+
+    def test_count_coalesced(self):
+        sim = EventSimulator()
+        sim.schedule_at(1.0, lambda: sim.count_coalesced(4))
+        sim.run()
+        assert sim.events_processed == 5
+        with pytest.raises(ValueError):
+            sim.count_coalesced(-1)
+
+
 class TestRunUntil:
     def test_stops_at_boundary(self):
         sim = EventSimulator()

@@ -92,6 +92,61 @@ class TestSweepRunner:
         assert "drowsy" in text and "25.0%" in text
 
 
+class TestPersistence:
+    """save/load round-trips (DESIGN.md §9): CSV default, SQLite via
+    stdlib, parquet gated on pyarrow."""
+
+    @staticmethod
+    def _table():
+        cells = grid(controllers=("drowsy", "neat"), sizes=(8,),
+                     seeds=(1, 2), hours=4)
+        return SweepRunner(workers=1).run(cells)
+
+    def test_csv_round_trip(self, tmp_path):
+        table = self._table()
+        path = tmp_path / "t.csv"
+        table.save(path)
+        assert SweepTable.load(path).rows == table.rows
+
+    def test_sqlite_round_trip(self, tmp_path):
+        table = self._table()
+        path = tmp_path / "t.sqlite"
+        table.save(path)
+        loaded = SweepTable.load(path)
+        assert loaded.rows == table.rows  # floats exact: REAL is binary
+
+    def test_sqlite_appends_distinguishable_runs(self, tmp_path):
+        """Longitudinal: each save appends under its own run id; load
+        returns the latest run, and earlier runs stay addressable."""
+        path = tmp_path / "t.sqlite"
+        first = self._table()
+        second = SweepTable(rows=first.rows[:2])
+        assert first.to_sqlite(path) == 0
+        assert second.to_sqlite(path) == 1
+        assert SweepTable.load(path).rows == second.rows  # latest run
+        assert SweepTable.from_sqlite(path, run=0).rows == first.rows
+
+    def test_check_writable_fails_fast(self, tmp_path):
+        with pytest.raises(ValueError):
+            SweepTable.check_writable(tmp_path / "t.xlsx")
+        SweepTable.check_writable(tmp_path / "t.sqlite")  # no file written
+        assert not (tmp_path / "t.sqlite").exists()
+
+    def test_parquet_round_trip(self, tmp_path):
+        pytest.importorskip("pyarrow")
+        table = self._table()
+        path = tmp_path / "t.parquet"
+        table.save(path)
+        assert SweepTable.load(path).rows == table.rows
+
+    def test_unknown_suffix_rejected(self, tmp_path):
+        table = self._table()
+        with pytest.raises(ValueError):
+            table.save(tmp_path / "t.xlsx")
+        with pytest.raises(ValueError):
+            SweepTable.load(tmp_path / "t.xlsx")
+
+
 class TestCrossProcessDeterminism:
     """Stable digests instead of the salted builtin hash()."""
 
@@ -131,6 +186,30 @@ class TestExperimentWiring:
         assert serial.points == sharded.points
         assert serial.render() == sharded.render()
 
+    def test_fleet_sweep_seed_sharding_identical(self):
+        """Seed-granularity E8 cells: sharded == serial byte for byte,
+        and the single-seed default equals the legacy behaviour."""
+        kwargs = dict(llmi_fractions=(0.0, 1.0), n_hosts=2, n_vms=6,
+                      days=1, seeds=(7, 11))
+        serial = fleet_sweep.run(workers=1, **kwargs)
+        sharded = fleet_sweep.run(workers=3, **kwargs)
+        assert serial.points == sharded.points
+        assert serial.render() == sharded.render()
+        single = fleet_sweep.run(llmi_fractions=(0.0,), n_hosts=2,
+                                 n_vms=6, days=1, seeds=(7,))
+        legacy = fleet_sweep.run(llmi_fractions=(0.0,), n_hosts=2,
+                                 n_vms=6, days=1, seed=7)
+        assert single.points == legacy.points
+
+    def test_fleet_sweep_seed_mean(self):
+        per_seed = [fleet_sweep.run(llmi_fractions=(1.0,), n_hosts=2,
+                                    n_vms=6, days=1, seeds=(s,))
+                    for s in (7, 11)]
+        mean = fleet_sweep.run(llmi_fractions=(1.0,), n_hosts=2, n_vms=6,
+                               days=1, seeds=(7, 11))
+        expected = sum(d.points[0].drowsy_kwh for d in per_seed) / 2
+        assert mean.points[0].drowsy_kwh == expected
+
     def test_scalability_workers_smoke(self):
         from repro.experiments import scalability
 
@@ -149,6 +228,16 @@ class TestSweepCLI:
         out = capsys.readouterr().out
         assert "sweep results" in out and "drowsy" in out
         assert csv_path.read_text().startswith("controller,")
+
+    def test_sweep_out_sqlite(self, capsys, tmp_path):
+        db_path = tmp_path / "sweep.sqlite"
+        rc = cli_main(["sweep", "--controllers", "drowsy", "--sizes", "8",
+                       "--seeds", "7", "--hours", "4",
+                       "--out", str(db_path)])
+        assert rc == 0
+        assert "written to" in capsys.readouterr().out
+        loaded = SweepTable.load(db_path)
+        assert len(loaded.rows) == 1 and loaded.rows[0].controller == "drowsy"
 
     def test_sweep_rejects_unknown_controller(self):
         with pytest.raises(SystemExit):
