@@ -32,6 +32,8 @@ EXPERIMENTS: dict[str, dict] = {
     "detector_study": {"args": {"n_hosts": int, "n_vms": int, "days": int}},
     "waking_failover": {"args": {"days": int}},
     "initial_placement": {"args": {"days": int}},
+    "scenario_compare": {"args": {"workers": int, "scale": float,
+                                  "hours": int}},
 }
 
 #: Reduced-scale overrides for ``run-all --quick``.
@@ -46,6 +48,7 @@ QUICK_OVERRIDES: dict[str, dict] = {
     "detector_study": {"n_hosts": 4, "n_vms": 12, "days": 2},
     "waking_failover": {"days": 1},
     "initial_placement": {"days": 2},
+    "scenario_compare": {"scale": 0.25, "hours": 24},
 }
 
 
@@ -99,22 +102,34 @@ def cmd_run_all(args) -> int:
     return 0
 
 
-def cmd_sweep(args) -> int:
-    """Sharded (controller × fleet-size × seed) sweep (DESIGN.md §9)."""
-    from .sim.sweep import CONTROLLER_NAMES, SweepRunner, SweepTable, grid
+def _validated_controllers(spec: str) -> tuple[str, ...]:
+    """Parse a comma-separated controller list, failing fast on typos."""
+    from .sim.sweep import CONTROLLER_NAMES
 
-    controllers = tuple(args.controllers.split(","))
+    controllers = tuple(spec.split(","))
     unknown = [c for c in controllers if c not in CONTROLLER_NAMES]
     if unknown:
         raise SystemExit(f"unknown controllers: {', '.join(unknown)}; "
                          f"choose from {', '.join(CONTROLLER_NAMES)}")
-    # Fail fast on unusable --out targets (bad suffix, missing pyarrow)
-    # *before* spending hours on the cells.
-    for out in args.out or ():
+    return controllers
+
+
+def _check_out_targets(table_cls, outs) -> None:
+    """Fail fast on unusable --out targets (bad suffix, missing
+    pyarrow, unwritable directory) *before* spending hours on cells."""
+    for out in outs or ():
         try:
-            SweepTable.check_writable(out)
+            table_cls.check_writable(out)
         except (ValueError, RuntimeError) as exc:
             raise SystemExit(f"--out {out}: {exc}") from None
+
+
+def cmd_sweep(args) -> int:
+    """Sharded (controller × fleet-size × seed) sweep (DESIGN.md §9)."""
+    from .sim.sweep import SweepRunner, SweepTable, grid
+
+    controllers = _validated_controllers(args.controllers)
+    _check_out_targets(SweepTable, args.out)
     cells = grid(controllers=controllers,
                  sizes=tuple(int(s) for s in args.sizes.split(",")),
                  seeds=tuple(int(s) for s in args.seeds.split(",")),
@@ -127,6 +142,85 @@ def cmd_sweep(args) -> int:
         with open(args.csv, "w") as fh:
             fh.write(table.to_csv())
         print(f"\n[csv written to {args.csv}]")
+    for out in args.out or ():
+        table.save(out)
+        print(f"\n[table written to {out}]")
+    print(f"\n[{len(cells)} cells on {args.workers} worker(s) "
+          f"in {elapsed:.1f} s]")
+    return 0
+
+
+def cmd_scenario_list(_args) -> int:
+    from .scenarios import list_scenarios
+
+    print("built-in scenarios (python -m repro scenario run <name>):")
+    for spec in list_scenarios():
+        churn = " [churn]" if spec.churn.enabled else ""
+        print(f"  {spec.name:<20} {spec.n_hosts:>3} hosts, {spec.n_vms:>3} "
+              f"VMs, {spec.horizon_hours} h, arrivals={spec.arrivals.kind}"
+              f"{churn}")
+        print(f"  {'':<20} {spec.description}")
+    return 0
+
+
+def cmd_scenario_run(args) -> int:
+    """Run one scenario under one controller on one (or both) simulators."""
+    from .scenarios import ScenarioCell, get_scenario, run_scenario_cell
+
+    # Fail fast with clean messages, like `scenario sweep` does.  This
+    # flag names ONE controller — no comma-splitting, or "a,b" would
+    # pass validation and blow up in the cell runner.
+    try:
+        get_scenario(args.name)
+    except KeyError as exc:
+        raise SystemExit(exc.args[0]) from None
+    from .sim.sweep import CONTROLLER_NAMES
+
+    if args.controller not in CONTROLLER_NAMES:
+        raise SystemExit(f"unknown controller {args.controller!r}; "
+                         f"choose from {', '.join(CONTROLLER_NAMES)}")
+    simulators = (("hourly", "event") if args.simulator == "both"
+                  else (args.simulator,))
+    t0 = time.perf_counter()
+    for simulator in simulators:
+        row = run_scenario_cell(ScenarioCell(
+            scenario=args.name, controller=args.controller, seed=args.seed,
+            simulator=simulator, scale=args.scale, hours=args.hours or 0))
+        print(f"[{simulator}] {row.scenario}: {row.n_vms} VMs on "
+              f"{row.n_hosts} hosts x {row.hours} h under {row.controller} "
+              f"-> {row.energy_kwh:.1f} kWh, "
+              f"{100 * row.suspended_fraction:.1f} % drowsy, "
+              f"{row.migrations} migrations, {row.suspend_cycles} suspends, "
+              f"churn +{row.vms_added}/-{row.vms_removed}")
+    print(f"\n[scenario {args.name} finished in "
+          f"{time.perf_counter() - t0:.1f} s]")
+    return 0
+
+
+def cmd_scenario_sweep(args) -> int:
+    """Sharded scenario × controller × seed sweep (DESIGN.md §12)."""
+    from .scenarios import (
+        ScenarioTable,
+        list_scenarios,
+        run_scenario_sweep,
+        scenario_grid,
+    )
+
+    scenarios = (tuple(args.scenarios.split(",")) if args.scenarios
+                 else tuple(s.name for s in list_scenarios()))
+    controllers = _validated_controllers(args.controllers)
+    _check_out_targets(ScenarioTable, args.out)
+    try:
+        cells = scenario_grid(
+            scenarios, controllers=controllers,
+            seeds=tuple(int(s) for s in args.seeds.split(",")),
+            simulator=args.simulator, scale=args.scale, hours=args.hours or 0)
+    except KeyError as exc:
+        raise SystemExit(exc.args[0]) from None
+    t0 = time.perf_counter()
+    table = run_scenario_sweep(cells, workers=args.workers)
+    elapsed = time.perf_counter() - t0
+    print(table.render())
     for out in args.out or ():
         table.save(out)
         print(f"\n[table written to {out}]")
@@ -155,6 +249,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("name")
     run.add_argument("--days", type=int)
     run.add_argument("--years", type=int)
+    run.add_argument("--hours", type=int,
+                     help="horizon override (scenario_compare)")
+    run.add_argument("--scale", type=float,
+                     help="fleet scale multiplier (scenario_compare)")
     run.add_argument("--n-hosts", dest="n_hosts", type=int)
     run.add_argument("--n-vms", dest="n_vms", type=int)
     run.add_argument("--workers", type=int,
@@ -184,6 +282,47 @@ def build_parser() -> argparse.ArgumentParser:
                             "suffix: .csv, .sqlite (append) or .parquet "
                             "(repeatable)")
     sweep.set_defaults(fn=cmd_sweep)
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="declarative workload scenarios (list | run | sweep)")
+    ssub = scenario.add_subparsers(dest="scenario_command", required=True)
+    ssub.add_parser("list", help="list built-in scenarios").set_defaults(
+        fn=cmd_scenario_list)
+
+    srun = ssub.add_parser("run", help="run one scenario")
+    srun.add_argument("name")
+    srun.add_argument("--controller", default="drowsy",
+                      help="consolidation controller (default drowsy)")
+    srun.add_argument("--simulator", default="hourly",
+                      choices=("hourly", "event", "both"))
+    srun.add_argument("--seed", type=int, default=0)
+    srun.add_argument("--scale", type=float, default=1.0,
+                      help="class-count multiplier (0.25 = quarter fleet)")
+    srun.add_argument("--hours", type=int,
+                      help="override the scenario horizon")
+    srun.set_defaults(fn=cmd_scenario_run)
+
+    ssweep = ssub.add_parser(
+        "sweep", help="sharded scenario x controller x seed sweep")
+    ssweep.add_argument("--scenarios",
+                        help="comma-separated names (default: all built-ins)")
+    ssweep.add_argument("--controllers", default="drowsy,neat",
+                        help="comma-separated controller names")
+    ssweep.add_argument("--seeds", default="0",
+                        help="comma-separated scenario seeds")
+    ssweep.add_argument("--simulator", default="hourly",
+                        choices=("hourly", "event"))
+    ssweep.add_argument("--scale", type=float, default=1.0)
+    ssweep.add_argument("--hours", type=int,
+                        help="override every scenario's horizon")
+    ssweep.add_argument("--workers", type=int, default=1,
+                        help="worker processes (spawn), 1 = serial")
+    ssweep.add_argument("--out", action="append",
+                        help="persist the tidy table; format from the "
+                             "suffix: .csv, .sqlite (append) or .parquet "
+                             "(repeatable)")
+    ssweep.set_defaults(fn=cmd_scenario_sweep)
 
     run_all = sub.add_parser("run-all", help="run every experiment")
     run_all.add_argument("--quick", action="store_true",

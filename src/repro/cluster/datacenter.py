@@ -201,6 +201,28 @@ class DataCenter:
         self.check_invariants()
         return records
 
+    def evacuate(self, host: Host, now: float,
+                 targets: list[Host] | None = None) -> tuple[list[VM], list[VM]]:
+        """Drain ``host``: migrate every hosted VM to the first target
+        with room (first-fit in the given order; default: every other
+        host).  Returns ``(migrated, stranded)`` — stranded VMs stay put
+        when nothing fits, and the caller (e.g. a scenario maintenance
+        window, DESIGN.md §12) decides whether the drain still counts.
+        """
+        if targets is None:
+            targets = [h for h in self.hosts if h is not host]
+        migrated: list[VM] = []
+        stranded: list[VM] = []
+        for vm in list(host.vms):
+            dest = next((t for t in targets
+                         if t is not host and t.can_host(vm)), None)
+            if dest is None:
+                stranded.append(vm)
+            else:
+                self.migrate(vm, dest, now)
+                migrated.append(vm)
+        return migrated, stranded
+
     def remove(self, vm: VM, now: float) -> None:
         """Terminate a VM (e.g. an SLMU task completing): meters are
         charged up to ``now`` and the VM leaves its host.

@@ -144,12 +144,6 @@ class DrowsyController(NeatController):
             mean = vals.mean(axis=0)
             return float(np.abs(vals - mean).sum())
 
-        def fits(host: Host, group: list[VM], vm: VM) -> bool:
-            mem = sum(v.resources.memory_mb for v in group) + vm.resources.memory_mb
-            cpu = sum(v.resources.cpus for v in group) + vm.resources.cpus
-            return (mem <= host.capacity.memory_mb
-                    and cpu <= host.capacity.schedulable_cpus)
-
         threshold = self.params.ip_distance_tolerance
         names = sorted(groups)
         for _ in range(len(vms)):  # convergence bound
@@ -157,17 +151,38 @@ class DrowsyController(NeatController):
             for i, n1 in enumerate(names):
                 for n2 in names[i + 1:]:
                     g1, g2 = groups[n1], groups[n2]
+                    h1, h2 = host_by_name[n1], host_by_name[n2]
+                    mem1 = sum(v.resources.memory_mb for v in g1)
+                    cpu1 = sum(v.resources.cpus for v in g1)
+                    mem2 = sum(v.resources.memory_mb for v in g2)
+                    cpu2 = sum(v.resources.cpus for v in g2)
                     base = dispersion(g1) + dispersion(g2)
                     best: tuple[float, VM | None, VM | None] | None = None
-                    # Swaps (capacity-safe for equal flavors) and
-                    # one-way moves into genuinely free slots.
+                    # Swaps and one-way moves into genuinely free slots
+                    # (never onto an emptied host: splitting a group
+                    # onto idle metal is anti-consolidation).
                     candidates: list[tuple[VM | None, VM | None]] = [
                         (a, b) for a in g1 for b in g2]
-                    candidates += [(a, None) for a in g1
-                                   if g2 and fits(host_by_name[n2], g2, a)]
-                    candidates += [(None, b) for b in g2
-                                   if g1 and fits(host_by_name[n1], g1, b)]
+                    if g2:
+                        candidates += [(a, None) for a in g1]
+                    if g1:
+                        candidates += [(None, b) for b in g2]
                     for a, b in candidates:
+                        am, ac = ((a.resources.memory_mb, a.resources.cpus)
+                                  if a is not None else (0, 0))
+                        bm, bc = ((b.resources.memory_mb, b.resources.cpus)
+                                  if b is not None else (0, 0))
+                        # Capacity is a hard constraint in *both*
+                        # directions: with heterogeneous flavors (the
+                        # scenario fleets) even a swap is not
+                        # capacity-neutral.  O(1) deltas off the hoisted
+                        # group sums; always true for uniform flavors,
+                        # so the E8 search is unchanged.
+                        if (mem1 - am + bm > h1.capacity.memory_mb
+                                or cpu1 - ac + bc > h1.capacity.schedulable_cpus
+                                or mem2 - bm + am > h2.capacity.memory_mb
+                                or cpu2 - bc + ac > h2.capacity.schedulable_cpus):
+                            continue
                         new1 = [v for v in g1 if v is not a] + ([b] if b else [])
                         new2 = [v for v in g2 if v is not b] + ([a] if a else [])
                         gain = base - (dispersion(new1) + dispersion(new2))

@@ -19,6 +19,7 @@ __all__ = [
     "fig4_im_quality",
     "fleet_sweep",
     "scalability",
+    "scenario_compare",
     "sla_latency",
     "suspending_eval",
     "table1_suspension",

@@ -1,0 +1,57 @@
+"""E14 — scenario gallery: controllers across the built-in scenarios.
+
+The paper's evaluation varies workload shape the least; the scenario
+engine (DESIGN.md §12) is where this reproduction grows past it.  This
+experiment runs every built-in scenario under each controller on the
+hourly simulator and tabulates energy, drowsy fraction and migrations —
+the §VI-B comparison generalized from "one synthetic fleet" to diurnal
+offices, flash crowds, heterogeneous fleets, maintenance churn and
+ephemeral-VM churn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..scenarios import ScenarioTable, run_scenario_sweep, scenario_grid
+from ..scenarios.registry import list_scenarios
+
+
+@dataclass
+class ScenarioCompareData:
+    """Rendered view over the underlying scenario sweep table."""
+
+    table: ScenarioTable
+    controllers: tuple[str, ...]
+
+    def render(self) -> str:
+        lines = [self.table.render(), ""]
+        # Per-scenario energy ranking: which controller wins where.
+        by_scenario: dict[str, list] = {}
+        for row in self.table.rows:
+            by_scenario.setdefault(row.scenario, []).append(row)
+        for scenario, rows in by_scenario.items():
+            best = min(rows, key=lambda r: r.energy_kwh)
+            others = ", ".join(f"{r.controller} {r.energy_kwh:.1f}"
+                               for r in rows if r is not best)
+            lines.append(f"{scenario:<20} best: {best.controller} "
+                         f"({best.energy_kwh:.1f} kWh) vs {others}")
+        return "\n".join(lines)
+
+
+def run(scenarios: tuple[str, ...] | None = None,
+        controllers: tuple[str, ...] = ("drowsy", "neat", "oasis"),
+        seed: int = 0, scale: float = 1.0, hours: int = 0,
+        workers: int = 1) -> ScenarioCompareData:
+    """Run the gallery; ``workers > 1`` shards the independent
+    (scenario × controller) cells over a SweepRunner process pool."""
+    if scenarios is None:
+        scenarios = tuple(s.name for s in list_scenarios())
+    cells = scenario_grid(scenarios, controllers=controllers, seeds=(seed,),
+                          simulator="hourly", scale=scale, hours=hours)
+    table = run_scenario_sweep(cells, workers=workers)
+    return ScenarioCompareData(table=table, controllers=tuple(controllers))
+
+
+if __name__ == "__main__":
+    print(run(scale=0.5, hours=72).render())

@@ -1,6 +1,7 @@
 """Network substrate: requests, SLA accounting, the SDN switch."""
 
 from .requests import (
+    ArrivalShape,
     PerVMRequestStreams,
     Request,
     RequestLog,
@@ -10,6 +11,7 @@ from .requests import (
 from .sdn import SDNSwitch
 
 __all__ = [
+    "ArrivalShape",
     "PerVMRequestStreams",
     "Request",
     "RequestLog",

@@ -11,9 +11,11 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
+from ..core.calendar import slot_of_hour
 from ..core.params import SLA_LATENCY_S
 
 
@@ -75,6 +77,106 @@ def poisson_arrivals(rng: np.random.Generator, start_s: float, duration_s: float
     return start_s + np.sort(rng.uniform(0.0, duration_s, size=n))
 
 
+_SHAPE_KINDS = ("constant", "diurnal", "weekly", "flash", "replay")
+
+
+@dataclass(frozen=True)
+class ArrivalShape:
+    """Deterministic hourly modulation of the request arrival rate.
+
+    A scenario's *arrival pattern* (DESIGN.md §12): the effective
+    per-second request rate of an hour is the profile's trace-driven
+    rate times :meth:`rate_factor` of that absolute hour.  The factor is
+    a pure function of the hour index (no RNG), so shaped traffic stays
+    exactly as deterministic and reorder-invariant as the unshaped
+    bulk-request path it modulates.
+
+    Kinds:
+
+    * ``constant`` — flat ``scale`` (the identity shape at 1.0);
+    * ``diurnal`` — sinusoidal day cycle peaking at ``phase_h`` o'clock
+      with relative ``amplitude``;
+    * ``weekly`` — the diurnal cycle with weekends (Sat/Sun of the
+      simulation calendar) damped to ``weekend_factor``;
+    * ``flash`` — flat baseline with a flash crowd of ``burst_factor``×
+      traffic for ``burst_len_h`` hours every ``burst_period_h`` hours
+      (the period is deliberately co-prime with 24 by default so bursts
+      precess across the day);
+    * ``replay`` — cycle through an explicit ``factors`` table, e.g.
+      loaded from a measured CSV via :meth:`from_csv`.
+    """
+
+    kind: str = "constant"
+    scale: float = 1.0
+    #: diurnal/weekly: relative swing around the mean, in [0, 1].
+    amplitude: float = 0.6
+    #: diurnal/weekly: hour of day the rate peaks.
+    phase_h: float = 15.0
+    #: weekly: multiplier applied on Saturdays/Sundays.
+    weekend_factor: float = 0.35
+    #: flash: hours between burst onsets / burst length / burst height.
+    burst_period_h: int = 47
+    burst_len_h: int = 2
+    burst_factor: float = 8.0
+    #: replay: explicit factor table, cycled over the horizon.
+    factors: tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in _SHAPE_KINDS:
+            raise ValueError(
+                f"unknown arrival shape {self.kind!r}; "
+                f"expected one of {_SHAPE_KINDS}")
+        if self.scale < 0.0:
+            raise ValueError("scale must be >= 0")
+        if not 0.0 <= self.amplitude <= 1.0:
+            raise ValueError("amplitude must be in [0, 1]")
+        if self.kind == "flash" and (self.burst_period_h < 1
+                                     or self.burst_len_h < 1):
+            raise ValueError("burst period/length must be >= 1 hour")
+        if self.kind == "replay":
+            if not self.factors:
+                raise ValueError("replay shape needs a factors table")
+            if any(f < 0.0 for f in self.factors):
+                raise ValueError("replay factors must be >= 0")
+
+    @classmethod
+    def from_csv(cls, source: str | Path, scale: float = 1.0) -> "ArrivalShape":
+        """Replay shape from a CSV of hourly rate factors.
+
+        Accepts a path or CSV text with one factor per row — either a
+        single column or a trailing column after an hour index; a
+        non-numeric header row is skipped (see
+        :func:`repro.traces.replay.read_hourly_column`).
+        """
+        from ..traces.replay import read_hourly_column
+
+        return cls(kind="replay", scale=scale,
+                   factors=tuple(read_hourly_column(source)))
+
+    def rate_factor(self, hour_index: int) -> float:
+        """Rate multiplier for an absolute hour (periodic extension)."""
+        kind = self.kind
+        if kind == "constant":
+            return self.scale
+        if kind == "replay":
+            return self.scale * self.factors[hour_index % len(self.factors)]
+        if kind == "flash":
+            in_burst = hour_index % self.burst_period_h < self.burst_len_h
+            return self.scale * (self.burst_factor if in_burst else 1.0)
+        # diurnal / weekly
+        h = hour_index % 24
+        factor = 1.0 + self.amplitude * np.cos(
+            2.0 * np.pi * (h - self.phase_h) / 24.0)
+        if kind == "weekly" and slot_of_hour(hour_index).day_of_week >= 5:
+            factor *= self.weekend_factor
+        return self.scale * float(factor)
+
+    def factors_for(self, start_hour: int, n_hours: int) -> np.ndarray:
+        """``(n_hours,)`` factor vector starting at ``start_hour``."""
+        return np.array([self.rate_factor(start_hour + k)
+                         for k in range(n_hours)])
+
+
 @dataclass(frozen=True)
 class RequestProfile:
     """How a VM's trace activity translates into request traffic."""
@@ -88,14 +190,29 @@ class RequestProfile:
     #: (clients notice the service; this is also what wakes a drowsy
     #: host at the start of an active period).
     leading_request: bool = True
+    #: Optional arrival-pattern shaping (diurnal, flash crowds, replay).
+    #: ``None`` keeps the original trace-proportional rate bit-exactly.
+    shape: ArrivalShape | None = None
 
     def hourly_arrivals(self, rng: np.random.Generator, hour_start_s: float,
-                        activity: float) -> np.ndarray:
-        """Arrival times for one hour at the given activity level."""
+                        activity: float,
+                        hour_index: int | None = None) -> np.ndarray:
+        """Arrival times for one hour at the given activity level.
+
+        ``hour_index`` (the absolute hour) keys the arrival shape; when
+        absent, or with no shape configured, the rate is the unshaped
+        trace-proportional one.
+        """
         if activity <= 0.0:
             return np.empty(0)
-        arrivals = poisson_arrivals(rng, hour_start_s, 3600.0,
-                                    self.peak_rate_per_s * activity)
+        rate = self.peak_rate_per_s * activity
+        if self.shape is not None and hour_index is not None:
+            rate *= self.shape.rate_factor(hour_index)
+            if rate <= 0.0:
+                # A zeroed-out hour generates nothing, leading request
+                # included: the shape silenced this VM's clients.
+                return np.empty(0)
+        arrivals = poisson_arrivals(rng, hour_start_s, 3600.0, rate)
         if self.leading_request:
             lead = hour_start_s + float(rng.uniform(0.0, 2.0))
             arrivals = np.sort(np.concatenate(([lead], arrivals)))

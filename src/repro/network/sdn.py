@@ -15,7 +15,7 @@ from ..cluster.host import Host
 from ..cluster.power import PowerState
 from ..core.params import DEFAULT_PARAMS, DrowsyParams
 from .requests import Request, RequestLog
-from ..waking.packets import Packet, PacketKind
+from ..waking.packets import Packet, PacketKind, WoLPacket
 
 
 class SDNSwitch:
@@ -70,8 +70,6 @@ class SDNSwitch:
             request.woke_host = True
             self._pending.append(request)
             if not woke and self.wol_sender is not None:
-                from ..waking.packets import WoLPacket
-
                 self.wol_sender(WoLPacket(host.mac_address,
                                           reason="switch-port"), self.sim.now)
 
@@ -90,24 +88,40 @@ class SDNSwitch:
     def redispatch_pending(self) -> None:
         """Re-examine pending requests against current placement.
 
-        Requests whose VM now sits on an available host complete; the
-        rest stay pending, with a fresh WoL to their (possibly new,
-        post-migration) host so no request can wait out a drowsy period
-        that nothing else would end.
+        One scheduling pass (DESIGN.md §12): requests whose VM now sits
+        on an available host complete; the rest stay pending with *one*
+        fresh WoL per distinct drowsy destination host — not one per
+        waiting request — so no request can wait out a drowsy period
+        that nothing else would end.  WoL is idempotent (the first
+        packet starts the resume, later ones hit a RESUMING host), so
+        deduplicating per pass only drops redundant packets; note the
+        WoL callback may resume a host synchronously, in which case the
+        per-request loop below already sees it ON and completes the
+        rest of that host's queue in the same pass.
         """
+        if not self._pending:
+            return
         still_waiting: list[Request] = []
+        woken: set[str] = set()
         for request in self._pending:
             _, host = self._vm_host(request.vm_name)
             if host.state is PowerState.ON:
                 self._complete(request, self.sim.now + request.service_time_s)
             else:
                 still_waiting.append(request)
-                if host.state is PowerState.SUSPENDED and self.wol_sender is not None:
-                    from ..waking.packets import WoLPacket
-
+                if (host.state is PowerState.SUSPENDED
+                        and self.wol_sender is not None
+                        and host.mac_address not in woken):
+                    woken.add(host.mac_address)
                     self.wol_sender(WoLPacket(host.mac_address,
                                               reason="redispatch"), self.sim.now)
         self._pending = still_waiting
+
+    def drop_vm(self, vm_name: str) -> None:
+        """Forget queued requests of a departing VM (scenario churn):
+        its host may never wake for them, and re-examining them would
+        fault on the now-unknown VM."""
+        self._pending = [r for r in self._pending if r.vm_name != vm_name]
 
     @property
     def queued_requests(self) -> int:

@@ -1,0 +1,51 @@
+"""Declarative workload/fleet scenarios compiled onto both simulators.
+
+The scenario engine (DESIGN.md §12) turns a :class:`ScenarioSpec` —
+fleet composition over heterogeneous host/VM classes, a trace mix drawn
+from the :mod:`repro.traces` generators, arrival-pattern shaping and
+optional churn — into ready-to-run hourly or event-driven simulations,
+and shards scenario × controller × seed grids across cores through the
+:class:`~repro.sim.sweep.SweepRunner` with byte-identical tables.
+"""
+
+from .compiler import ChurnInjector, CompiledRun, ScenarioCompiler
+from .registry import get_scenario, list_scenarios, register_scenario
+from .spec import (
+    ChurnSpec,
+    HostClass,
+    MaintenanceWindow,
+    ScenarioSpec,
+    TraceSpec,
+    VMClass,
+    stable_seed,
+)
+from .sweep import (
+    ScenarioCell,
+    ScenarioRow,
+    ScenarioTable,
+    run_scenario_cell,
+    run_scenario_sweep,
+    scenario_grid,
+)
+
+__all__ = [
+    "ChurnInjector",
+    "ChurnSpec",
+    "CompiledRun",
+    "HostClass",
+    "MaintenanceWindow",
+    "ScenarioCell",
+    "ScenarioCompiler",
+    "ScenarioRow",
+    "ScenarioSpec",
+    "ScenarioTable",
+    "TraceSpec",
+    "VMClass",
+    "get_scenario",
+    "list_scenarios",
+    "register_scenario",
+    "run_scenario_cell",
+    "run_scenario_sweep",
+    "scenario_grid",
+    "stable_seed",
+]

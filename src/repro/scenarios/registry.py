@@ -1,0 +1,181 @@
+"""Built-in named scenarios (DESIGN.md §12, EXPERIMENTS.md).
+
+Each entry is a pure :class:`~repro.scenarios.spec.ScenarioSpec` —
+list them with ``python -m repro scenario list``, run one with
+``python -m repro scenario run <name>``, grid them with
+``python -m repro scenario sweep``.  The built-ins deliberately cover
+the dimensions the paper's evaluation varies least: arrival shaping
+(diurnal, weekly, flash crowds), fleet heterogeneity, and churn (VM
+create/delete, host maintenance windows).
+"""
+
+from __future__ import annotations
+
+from ..network.requests import ArrivalShape
+from .spec import (
+    ChurnSpec,
+    HostClass,
+    MaintenanceWindow,
+    ScenarioSpec,
+    TraceSpec,
+    VMClass,
+)
+
+#: Name -> spec.  Use :func:`register_scenario` to add entries (e.g.
+#: experiment modules contributing bespoke scenarios).
+SCENARIOS: dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec) -> ScenarioSpec:
+    """Register a scenario under its own name (last writer wins)."""
+    SCENARIOS[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: "
+            f"{', '.join(sorted(SCENARIOS))}") from None
+
+
+def list_scenarios() -> list[ScenarioSpec]:
+    """All registered scenarios, name order."""
+    return [SCENARIOS[name] for name in sorted(SCENARIOS)]
+
+
+# ----------------------------------------------------------------------
+# built-ins
+# ----------------------------------------------------------------------
+
+register_scenario(ScenarioSpec(
+    name="diurnal-office",
+    description="office-hours LLMI fleet over an always-on LLMU base, "
+                "diurnal request shaping peaking mid-afternoon",
+    hosts=(HostClass("std", count=16),),
+    vms=(
+        VMClass("office", count=40, trace=TraceSpec(
+            generator="weekly", weekdays=(0, 1, 2, 3, 4),
+            hours_of_day=(8, 9, 10, 11, 12, 13, 14, 15, 16, 17),
+            level=0.25)),
+        VMClass("web", count=24, trace=TraceSpec(
+            generator="google-llmu", base_level=0.45)),
+    ),
+    arrivals=ArrivalShape(kind="diurnal", amplitude=0.7, phase_h=15.0),
+))
+
+register_scenario(ScenarioSpec(
+    name="flash-crowd",
+    description="interactive web fleet hit by recurring flash crowds "
+                "(8x traffic bursts precessing across the day)",
+    hosts=(HostClass("std", count=12),),
+    vms=(
+        VMClass("web", count=32, trace=TraceSpec(
+            generator="google-llmu", base_level=0.5,
+            diurnal_amplitude=0.2)),
+        VMClass("tail", count=16, trace=TraceSpec(
+            generator="production")),
+    ),
+    arrivals=ArrivalShape(kind="flash", burst_period_h=47, burst_len_h=2,
+                          burst_factor=8.0),
+))
+
+register_scenario(ScenarioSpec(
+    name="weekly-batch",
+    description="deep-idle batch estate: nightly backups and weekday "
+                "bursts with weekend-damped request traffic",
+    hosts=(HostClass("std", count=16),),
+    vms=(
+        VMClass("backup", count=24, trace=TraceSpec(
+            generator="backup", backup_hour=2, level=0.8),
+            interactive=False),
+        VMClass("reporting", count=24, trace=TraceSpec(
+            generator="weekly", weekdays=(0, 2, 4),
+            hours_of_day=(9, 10), level=0.3)),
+        VMClass("frontend", count=16, trace=TraceSpec(
+            generator="production")),
+    ),
+    arrivals=ArrivalShape(kind="weekly", amplitude=0.5, weekend_factor=0.3),
+))
+
+register_scenario(ScenarioSpec(
+    name="heterogeneous-fleet",
+    description="big/small host classes hosting mixed VM flavors — the "
+                "packing problem the uniform sweeps never exercise",
+    hosts=(
+        HostClass("big", count=4, cpus=32, memory_mb=64 * 1024),
+        HostClass("small", count=12, cpus=8, memory_mb=16 * 1024),
+    ),
+    vms=(
+        VMClass("fat", count=8, cpus=8, memory_mb=16 * 1024,
+                trace=TraceSpec(generator="llmu", base_level=0.5)),
+        VMClass("std", count=24, trace=TraceSpec(generator="production")),
+        VMClass("tiny", count=24, cpus=1, memory_mb=2 * 1024,
+                trace=TraceSpec(generator="weekly", level=0.15)),
+    ),
+    arrivals=ArrivalShape(kind="diurnal", amplitude=0.5),
+))
+
+register_scenario(ScenarioSpec(
+    name="maintenance-churn",
+    description="rolling host maintenance windows draining one host a "
+                "day across the first fleet half",
+    hosts=(HostClass("std", count=8),),
+    vms=(
+        VMClass("app", count=16, trace=TraceSpec(generator="production")),
+        VMClass("web", count=8, trace=TraceSpec(
+            generator="google-llmu", base_level=0.4)),
+    ),
+    churn=ChurnSpec(maintenance=tuple(
+        MaintenanceWindow(host_index=i, start_hour=12 + 24 * i, duration_h=8)
+        for i in range(4))),
+    arrivals=ArrivalShape(kind="diurnal", amplitude=0.4),
+))
+
+register_scenario(ScenarioSpec(
+    name="dev-churn",
+    description="steady production base plus ephemeral dev VMs arriving "
+                "and departing around the clock",
+    hosts=(HostClass("std", count=12),),
+    vms=(
+        VMClass("prod", count=24, trace=TraceSpec(generator="production")),
+        VMClass("dev", count=8, ephemeral=True, cpus=1, memory_mb=4 * 1024,
+                trace=TraceSpec(
+                    generator="weekly", weekdays=(0, 1, 2, 3, 4),
+                    hours_of_day=(9, 10, 11, 13, 14, 15, 16), level=0.35)),
+    ),
+    churn=ChurnSpec(vm_arrivals_per_h=0.25, vm_departures_per_h=0.25,
+                    arrival_class="dev", max_extra_vms=32),
+    arrivals=ArrivalShape(kind="weekly", amplitude=0.5),
+))
+
+register_scenario(ScenarioSpec(
+    name="steady-llmu",
+    description="always-active streaming fleet — the negative control "
+                "where consolidation should find almost nothing",
+    hosts=(HostClass("std", count=12),),
+    vms=(
+        VMClass("stream", count=40, trace=TraceSpec(
+            generator="llmu", base_level=0.6, diurnal_amplitude=0.2)),
+    ),
+))
+
+register_scenario(ScenarioSpec(
+    name="seasonal-quiet",
+    description="extreme LLMI estate (long-idle services, rare bursts) — "
+                "the upper bound of what suspension can harvest",
+    hosts=(HostClass("std", count=12),),
+    vms=(
+        VMClass("archive", count=24, trace=TraceSpec(
+            generator="weekly", weekdays=(0,), hours_of_day=(9,),
+            level=0.2)),
+        VMClass("backup", count=16, trace=TraceSpec(
+            generator="backup", backup_hour=3, level=0.7),
+            interactive=False),
+        VMClass("dormant", count=8, trace=TraceSpec(
+            generator="always-idle"), interactive=False),
+    ),
+    arrivals=ArrivalShape(kind="weekly", amplitude=0.4, weekend_factor=0.2),
+))

@@ -1,0 +1,315 @@
+"""Scenario specification dataclasses (DESIGN.md §12).
+
+A :class:`ScenarioSpec` is a pure, frozen description of a workload
+scenario: which host classes make up the fleet, which VM classes run on
+it (each with a declarative :class:`TraceSpec` naming one of the
+:mod:`repro.traces` generators), how client request rates are shaped
+over the horizon, and what churn — VM arrivals/departures, host
+maintenance windows — perturbs the fleet mid-run.
+
+Specs carry no RNG state and no simulator references, so the same spec
+compiles onto the hourly and the event-driven simulator, serially or in
+a spawn worker, with every random draw derived from stable name-keyed
+digests (:func:`stable_seed`, the PR 3 bulk-request machinery): a
+scenario's randomness is a pure function of ``(spec, seed)``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..cluster.resources import HostCapacity, ResourceSpec
+from ..network.requests import ArrivalShape
+from ..traces.base import ActivityTrace
+from ..traces.google import google_llmu_trace
+from ..traces.production import PRODUCTION_SPECS, production_trace
+from ..traces.replay import trace_from_csv
+from ..traces.synthetic import (
+    always_idle_trace,
+    build_trace,
+    daily_backup_trace,
+    llmu_trace,
+)
+
+#: Trace generator names a :class:`TraceSpec` may reference.
+TRACE_GENERATORS = ("production", "google-llmu", "llmu", "backup",
+                    "weekly", "always-idle", "csv")
+
+
+def stable_seed(*parts) -> int:
+    """Deterministic 64-bit seed from a tuple of parts.
+
+    Like the host-MAC / VM-IP digests and the per-VM Philox request
+    streams: a blake2b digest of the joined parts, never the salted
+    builtin ``hash()``, so every spawn worker (and every fleet
+    iteration order) derives the same randomness for the same entity.
+    """
+    text = ":".join(str(p) for p in parts)
+    return int.from_bytes(
+        hashlib.blake2b(text.encode(), digest_size=8).digest(), "big")
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Declarative reference to one of the trace generators.
+
+    ``build`` derives each VM's trace deterministically from the
+    scenario seed and the VM's *name* (not its position), so traces are
+    invariant under fleet reordering and churn history.
+    """
+
+    generator: str = "production"
+    #: production: spec index in [1, 5]; 0 cycles the five specs by VM
+    #: ordinal (the heterogeneous default).
+    index: int = 0
+    #: weekly: active weekdays / hours-of-day and the activity level.
+    weekdays: tuple[int, ...] = (0, 1, 2, 3, 4)
+    hours_of_day: tuple[int, ...] = (9, 10, 11, 12, 13, 14, 15, 16)
+    level: float = 0.2
+    level_jitter: float = 0.2
+    #: llmu / google-llmu: load baseline and diurnal swing.
+    base_level: float = 0.55
+    diurnal_amplitude: float = 0.25
+    #: backup: hour of day the daily job runs.
+    backup_hour: int = 2
+    #: csv: path to (or inline text of) an hourly activity table.
+    csv: str = ""
+
+    def __post_init__(self) -> None:
+        if self.generator not in TRACE_GENERATORS:
+            raise ValueError(
+                f"unknown trace generator {self.generator!r}; "
+                f"expected one of {TRACE_GENERATORS}")
+        if self.generator == "production" and not (
+                0 <= self.index <= len(PRODUCTION_SPECS)):
+            raise ValueError(
+                f"production index must be in [0, {len(PRODUCTION_SPECS)}]")
+        if self.generator == "csv" and not self.csv:
+            raise ValueError("csv trace spec needs a csv source")
+
+    def build(self, vm_name: str, ordinal: int, hours: int,
+              seed: int) -> ActivityTrace:
+        """The VM's trace over at least ``hours`` hours."""
+        days = max(1, (hours + 23) // 24)
+        vm_seed = stable_seed(seed, "trace", vm_name)
+        gen = self.generator
+        if gen == "production":
+            idx = self.index or (ordinal % len(PRODUCTION_SPECS)) + 1
+            trace = production_trace(idx, days=days, seed=vm_seed)
+        elif gen == "google-llmu":
+            trace = google_llmu_trace(
+                hours=days * 24, seed=vm_seed, base_level=self.base_level,
+                diurnal_amplitude=self.diurnal_amplitude)
+        elif gen == "llmu":
+            trace = llmu_trace(hours=days * 24, base_level=self.base_level,
+                               diurnal_amplitude=self.diurnal_amplitude,
+                               seed=vm_seed)
+        elif gen == "backup":
+            trace = daily_backup_trace(days=days, backup_hour=self.backup_hour,
+                                       level=self.level)
+        elif gen == "weekly":
+            weekdays, hours_of_day = self.weekdays, self.hours_of_day
+
+            def active(h, dw, dm, m, doy):
+                return np.isin(dw, weekdays) & np.isin(h, hours_of_day)
+
+            trace = build_trace(
+                vm_name, days * 24, active, level=self.level,
+                rng=np.random.default_rng(vm_seed),
+                level_jitter=self.level_jitter)
+        elif gen == "always-idle":
+            trace = always_idle_trace(days * 24)
+        else:  # csv
+            trace = trace_from_csv(self.csv)
+        return trace.with_name(vm_name)
+
+
+@dataclass(frozen=True)
+class HostClass:
+    """One class of identical hosts in the scenario fleet."""
+
+    name: str
+    count: int
+    cpus: int = 16
+    memory_mb: int = 32 * 1024
+    cpu_overcommit: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"host class {self.name!r} needs count >= 1")
+
+    @property
+    def capacity(self) -> HostCapacity:
+        return HostCapacity(cpus=self.cpus, memory_mb=self.memory_mb,
+                            cpu_overcommit=self.cpu_overcommit)
+
+
+@dataclass(frozen=True)
+class VMClass:
+    """One class of VMs sharing a flavor and a trace family."""
+
+    name: str
+    count: int
+    trace: TraceSpec = TraceSpec()
+    cpus: int = 2
+    memory_mb: int = 8 * 1024
+    #: Interactive VMs receive shaped client requests (event simulator).
+    interactive: bool = True
+    #: Ephemeral VMs are eligible for churn departures.
+    ephemeral: bool = False
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"VM class {self.name!r} needs count >= 1")
+
+    @property
+    def resources(self) -> ResourceSpec:
+        return ResourceSpec(cpus=self.cpus, memory_mb=self.memory_mb)
+
+
+@dataclass(frozen=True)
+class MaintenanceWindow:
+    """Drain one host for a window of hours (relative to run start)."""
+
+    host_index: int
+    start_hour: int
+    duration_h: int
+
+    def __post_init__(self) -> None:
+        if self.host_index < 0:
+            raise ValueError("host_index must be >= 0")
+        if self.start_hour < 0 or self.duration_h < 1:
+            raise ValueError("window needs start_hour >= 0, duration >= 1")
+
+
+@dataclass(frozen=True)
+class ChurnSpec:
+    """Mid-run fleet perturbations (DESIGN.md §12).
+
+    Arrivals and departures are hourly Poisson counts drawn from a
+    scenario-keyed Philox stream — one draw sequence per run, identical
+    under both simulators.  Departures pick uniformly among *ephemeral*
+    VMs (churn-created ones and classes flagged ``ephemeral``), sorted
+    by name so the choice is invariant to placement history.
+    """
+
+    vm_arrivals_per_h: float = 0.0
+    vm_departures_per_h: float = 0.0
+    #: VM class (by name) that churn arrivals instantiate.
+    arrival_class: str = ""
+    #: Cap on churn-created VMs over a run.
+    max_extra_vms: int = 64
+    maintenance: tuple[MaintenanceWindow, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.vm_arrivals_per_h < 0 or self.vm_departures_per_h < 0:
+            raise ValueError("churn rates must be >= 0")
+        if self.vm_arrivals_per_h > 0 and not self.arrival_class:
+            raise ValueError("churn arrivals need an arrival_class")
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.vm_arrivals_per_h or self.vm_departures_per_h
+                    or self.maintenance)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete declarative scenario."""
+
+    name: str
+    description: str
+    hosts: tuple[HostClass, ...]
+    vms: tuple[VMClass, ...]
+    horizon_hours: int = 168
+    arrivals: ArrivalShape = field(default_factory=ArrivalShape)
+    churn: ChurnSpec = field(default_factory=ChurnSpec)
+    #: Full-activity request rate of interactive VMs (the event
+    #: simulator's traffic knob; shaped per hour by ``arrivals``).
+    request_peak_rate_per_s: float = 0.01
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario needs a name")
+        if not self.hosts or not self.vms:
+            raise ValueError(f"scenario {self.name!r} needs host and VM classes")
+        if self.horizon_hours < 1:
+            raise ValueError("horizon_hours must be >= 1")
+        if len({c.name for c in self.vms}) != len(self.vms):
+            raise ValueError(f"scenario {self.name!r} has duplicate VM classes")
+        if len({c.name for c in self.hosts}) != len(self.hosts):
+            raise ValueError(f"scenario {self.name!r} has duplicate host classes")
+        churn = self.churn
+        if churn.arrival_class and all(
+                c.name != churn.arrival_class for c in self.vms):
+            raise ValueError(
+                f"churn arrival_class {churn.arrival_class!r} is not a "
+                f"VM class of scenario {self.name!r}")
+        n_hosts = self.n_hosts
+        by_host: dict[int, list[MaintenanceWindow]] = {}
+        for w in churn.maintenance:
+            if w.host_index >= n_hosts:
+                raise ValueError(
+                    f"maintenance window host_index {w.host_index} out of "
+                    f"range for {n_hosts} hosts")
+            by_host.setdefault(w.host_index, []).append(w)
+        # Overlapping windows on one host would let the first to end
+        # cancel maintenance for the rest (the injector tracks hosts,
+        # not windows) — a spec error, rejected up front.
+        for idx, windows in by_host.items():
+            windows.sort(key=lambda w: w.start_hour)
+            for prev, nxt in zip(windows, windows[1:]):
+                if nxt.start_hour < prev.start_hour + prev.duration_h:
+                    raise ValueError(
+                        f"overlapping maintenance windows on host "
+                        f"{idx}: [{prev.start_hour}, "
+                        f"{prev.start_hour + prev.duration_h}) and "
+                        f"[{nxt.start_hour}, "
+                        f"{nxt.start_hour + nxt.duration_h})")
+
+    @property
+    def n_hosts(self) -> int:
+        return sum(c.count for c in self.hosts)
+
+    @property
+    def n_vms(self) -> int:
+        return sum(c.count for c in self.vms)
+
+    def vm_class(self, name: str) -> VMClass:
+        for c in self.vms:
+            if c.name == name:
+                return c
+        raise KeyError(f"scenario {self.name!r} has no VM class {name!r}")
+
+    def scaled(self, factor: float) -> "ScenarioSpec":
+        """Scale every class count by ``factor`` (floor 1 per class).
+
+        Maintenance windows survive scaling: host indices are clamped
+        into the scaled fleet, and a window whose clamped host already
+        has an overlapping window is dropped (two hosts' disjoint
+        windows can collide when clamped onto one host — a smaller
+        fleet simply sees less maintenance, not a validation error).
+        """
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        hosts = tuple(replace(c, count=max(1, round(c.count * factor)))
+                      for c in self.hosts)
+        vms = tuple(replace(c, count=max(1, round(c.count * factor)))
+                    for c in self.vms)
+        n_hosts = sum(c.count for c in hosts)
+        kept: list[MaintenanceWindow] = []
+        spans: dict[int, list[tuple[int, int]]] = {}
+        for w in sorted(self.churn.maintenance,
+                        key=lambda w: (w.start_hour, w.host_index)):
+            idx = min(w.host_index, n_hosts - 1)
+            span = (w.start_hour, w.start_hour + w.duration_h)
+            if any(span[0] < hi and lo < span[1]
+                   for lo, hi in spans.get(idx, ())):
+                continue
+            spans.setdefault(idx, []).append(span)
+            kept.append(replace(w, host_index=idx))
+        return replace(self, hosts=hosts, vms=vms,
+                       churn=replace(self.churn, maintenance=tuple(kept)))

@@ -1,0 +1,129 @@
+"""Scenario × controller × seed sweeps on the multi-core runner.
+
+Every cell is fully specified by its :class:`ScenarioCell` (scenario
+name, controller, seed, simulator, scale) and builds all of its state
+inside the worker, like the E8 cells — so
+:class:`~repro.sim.sweep.SweepRunner` shards scenario grids across
+spawn workers with **byte-identical** tables vs the serial run
+(asserted by ``tests/test_scenarios.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.sweep import SweepRunner, SweepTable
+from .compiler import ScenarioCompiler
+from .registry import get_scenario
+
+#: Simulators a scenario cell may target.
+SIMULATOR_NAMES = ("hourly", "event")
+
+
+@dataclass(frozen=True)
+class ScenarioCell:
+    """One independent scenario simulation of a sweep grid."""
+
+    scenario: str
+    controller: str = "drowsy"
+    seed: int = 0
+    simulator: str = "hourly"
+    #: Class-count multiplier (floor one per class): smoke grids run the
+    #: built-ins at fractional scale.
+    scale: float = 1.0
+    #: 0 = the scenario's own horizon.
+    hours: int = 0
+
+
+@dataclass(frozen=True)
+class ScenarioRow:
+    """One tidy result row (quantities both simulators produce)."""
+
+    scenario: str
+    simulator: str
+    controller: str
+    seed: int
+    hours: int
+    n_hosts: int
+    n_vms: int
+    vms_added: int
+    vms_removed: int
+    energy_kwh: float
+    migrations: int
+    suspend_cycles: int
+    suspended_fraction: float
+
+
+def run_scenario_cell(cell: ScenarioCell) -> ScenarioRow:
+    """Run one cell (top-level so spawn workers can pickle it)."""
+    spec = get_scenario(cell.scenario)
+    if cell.scale != 1.0:
+        spec = spec.scaled(cell.scale)
+    run = ScenarioCompiler(spec).compile(
+        controller=cell.controller, simulator=cell.simulator,
+        seed=cell.seed, hours=cell.hours or None)
+    n_vms = len(run.dc.vms)
+    result = run.run()
+    churn = run.churn
+    return ScenarioRow(
+        scenario=cell.scenario,
+        simulator=cell.simulator,
+        controller=cell.controller,
+        seed=cell.seed,
+        hours=result.hours,
+        n_hosts=len(run.dc.hosts),
+        n_vms=n_vms,
+        vms_added=churn.vms_added if churn is not None else 0,
+        vms_removed=churn.vms_removed if churn is not None else 0,
+        energy_kwh=result.total_energy_kwh,
+        migrations=result.migrations,
+        suspend_cycles=sum(result.suspend_cycles_by_host.values()),
+        suspended_fraction=result.global_suspended_fraction,
+    )
+
+
+def scenario_grid(scenarios, controllers=("drowsy", "neat"),
+                  seeds=(0,), simulator: str = "hourly",
+                  scale: float = 1.0, hours: int = 0) -> list[ScenarioCell]:
+    """The standard (scenario × controller × seed) cell grid."""
+    if simulator not in SIMULATOR_NAMES:
+        raise ValueError(f"unknown simulator {simulator!r}; "
+                         f"expected one of {SIMULATOR_NAMES}")
+    for name in scenarios:
+        get_scenario(name)  # fail fast on typos, before any cell runs
+    return [ScenarioCell(scenario=s, controller=c, seed=seed,
+                         simulator=simulator, scale=scale, hours=hours)
+            for s in scenarios for c in controllers for seed in seeds]
+
+
+@dataclass
+class ScenarioTable(SweepTable):
+    """Tidy scenario sweep table (CSV/SQLite/parquet via the base)."""
+
+    rows: list[ScenarioRow]
+
+    row_type = ScenarioRow
+    _TABLE = "scenario_sweep"
+
+    def render(self) -> str:
+        header = (f"{'scenario':<20}{'sim':<8}{'controller':<17}{'seed':>5}"
+                  f"{'hours':>6}{'hosts':>6}{'VMs':>5}{'+VM':>5}{'-VM':>5}"
+                  f"{'kWh':>9}{'migr':>6}{'susp':>6}{'drowsy %':>10}")
+        lines = ["scenario sweep (one row per scenario x controller x seed)",
+                 header, "-" * len(header)]
+        for row in self.rows:
+            lines.append(
+                f"{row.scenario:<20}{row.simulator:<8}{row.controller:<17}"
+                f"{row.seed:>5}{row.hours:>6}{row.n_hosts:>6}{row.n_vms:>5}"
+                f"{row.vms_added:>5}{row.vms_removed:>5}"
+                f"{row.energy_kwh:>9.1f}{row.migrations:>6}"
+                f"{row.suspend_cycles:>6}"
+                f"{100 * row.suspended_fraction:>9.1f}%")
+        return "\n".join(lines)
+
+
+def run_scenario_sweep(cells: list[ScenarioCell],
+                       workers: int = 1) -> ScenarioTable:
+    """Shard scenario cells across cores into a :class:`ScenarioTable`."""
+    return ScenarioTable(
+        rows=SweepRunner(workers=workers).map(run_scenario_cell, cells))

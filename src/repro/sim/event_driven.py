@@ -85,6 +85,21 @@ class EventConfig:
     #: invariant under placement/iteration reordering; requires
     #: ``use_bulk_requests``).
     request_streams: str = "shared"
+    #: Adaptive suspend-check periods (DESIGN.md §12): double a host's
+    #: check interval while it keeps voting ACTIVE (a busy host cannot
+    #: suspend, so checking it every period is wasted work), reset to
+    #: the base period on any other decision or on resume.  Widened
+    #: deadlines stay on the host's fixed-period grid (iterated float
+    #: addition, identical to the per-check path's ``now + period``
+    #: chain) and never skip the first check at/after an hour boundary
+    #: — the only instants a verdict can change — so every suspend
+    #: fires at exactly the time the fixed-period oracle would pick:
+    #: all results are bit-identical except ``events_processed``
+    #: (fewer checks).  Requires ``use_batched_checks``.
+    adaptive_checks: bool = False
+    #: Cap on the widening (in base periods): the check interval never
+    #: exceeds ``adaptive_max_factor * suspend_check_period_s``.
+    adaptive_max_factor: int = 16
 
 
 @dataclass
@@ -146,6 +161,12 @@ class EventDrivenSimulation:
         if (config.request_streams == "per-vm"
                 and not config.use_bulk_requests):
             raise ValueError("per-vm request streams require bulk requests")
+        if config.adaptive_checks and not config.use_batched_checks:
+            raise ValueError("adaptive check periods require batched checks")
+        if config.adaptive_max_factor < 1:
+            raise ValueError("adaptive_max_factor must be >= 1")
+        #: Consecutive ACTIVE votes per host (adaptive check periods).
+        self._active_streak: dict[str, int] = {}
         self._request_streams = (PerVMRequestStreams(config.seed)
                                  if config.request_streams == "per-vm"
                                  else None)
@@ -158,6 +179,11 @@ class EventDrivenSimulation:
             dc, params, accounting=self._accounting_enabled)
             if config.use_fleet_model else None)
         self._run_start = 0
+        self._horizon: tuple[int, int] | None = None
+        #: VMs removed mid-run (scenario churn): their already-scheduled
+        #: request events for the current hour must fall through instead
+        #: of faulting on the unknown name.
+        self._departed_vms: set[str] = set()
         #: Did the last hour tick take the columnar path?  Gates the
         #: sub-hour accounting reads (grace on resume).
         self._fleet_active = False
@@ -177,6 +203,7 @@ class EventDrivenSimulation:
         if self._binding is not None:
             self._binding.ensure_horizon(start_hour, n_hours)
         self._run_start = start_hour
+        self._horizon = (start_hour, n_hours)
         migrations_before = len(self.dc.migrations)
         for t in range(start_hour, start_hour + n_hours):
             self.sim.schedule_at(time_of_hour(t), self._hour_tick, t)
@@ -187,6 +214,26 @@ class EventDrivenSimulation:
         self.sim.run_until(end)
         self.dc.sync_meters(end)
         return self._result(n_hours, migrations_before)
+
+    # ------------------------------------------------------------------
+    def rebind_fleet(self) -> None:
+        """Re-bind the columnar fleet model to the current VM population.
+
+        Scenario churn (DESIGN.md §12) places and removes VMs mid-run.
+        Like :meth:`repro.sim.hourly.HourlySimulator.rebind_fleet`, plus
+        the event-specific bits: the cached host classification is
+        dropped (it indexes the old accounting view) and the columnar
+        gate reflects whether the fresh binding covers the fleet.
+        """
+        if not self.config.use_fleet_model:
+            return
+        self._binding = FleetBinding.try_bind(
+            self.dc, self.params, accounting=self._accounting_enabled)
+        if self._binding is not None and self._horizon is not None:
+            self._binding.ensure_horizon(*self._horizon)
+        self._codes_cache = None
+        self._fleet_active = (self._binding is not None
+                              and self._binding.covers(self.dc.vms))
 
     # ------------------------------------------------------------------
     def _hour_tick(self, t: int) -> None:
@@ -234,7 +281,9 @@ class EventDrivenSimulation:
             for host in self.dc.hosts:
                 for vm in host.vms:
                     if vm.interactive and vm.current_activity > 0.0:
-                        for at in profile.hourly_arrivals(self.rng, now, vm.current_activity):
+                        for at in profile.hourly_arrivals(
+                                self.rng, now, vm.current_activity,
+                                hour_index=t):
                             self.sim.schedule_at(float(at), self._submit_request, vm.name)
 
         for hook in self.hour_hooks:
@@ -254,6 +303,7 @@ class EventDrivenSimulation:
         bit-identical to scheduling each request individually.
         """
         streams = self._request_streams
+        hour = self._current_hour
         names: list[str] = []
         arrays: list[np.ndarray] = []
         svc_arrays: list[np.ndarray] = []
@@ -261,7 +311,8 @@ class EventDrivenSimulation:
             for vm in host.vms:
                 if vm.interactive and vm.current_activity > 0.0:
                     rng = self.rng if streams is None else streams.for_vm(vm.name)
-                    arr = profile.hourly_arrivals(rng, now, vm.current_activity)
+                    arr = profile.hourly_arrivals(rng, now, vm.current_activity,
+                                                  hour_index=hour)
                     if arr.size:
                         names.append(vm.name)
                         arrays.append(arr)
@@ -292,21 +343,34 @@ class EventDrivenSimulation:
     def _submit_generated(self, vm_name: str, service_time_s: float) -> None:
         """Submit a request whose service time was pre-sampled at
         generation time (the bulk path)."""
+        if vm_name in self._departed_vms:
+            return  # VM churned away after this hour's traffic was drawn
         self.switch.submit_request(Request(
             arrival_s=self.sim.now, vm_name=vm_name,
             service_time_s=service_time_s))
 
     def _submit_request(self, vm_name: str) -> None:
+        if vm_name in self._departed_vms:
+            return  # VM churned away after this hour's traffic was drawn
         profile = self.config.request_profile
         request = Request(arrival_s=self.sim.now, vm_name=vm_name,
                           service_time_s=profile.sample_service_time(self.rng))
         self.switch.submit_request(request)
+
+    def note_vm_departed(self, vm_name: str) -> None:
+        """A VM left the fleet mid-run (scenario churn): swallow its
+        still-scheduled arrivals and drop its queued requests."""
+        self._departed_vms.add(vm_name)
+        self.switch.drop_vm(vm_name)
 
     # ------------------------------------------------------------------
     # suspension path
     # ------------------------------------------------------------------
     def _schedule_check(self, host: Host, delay: float) -> None:
         if self.sweeper is not None:
+            # Fresh registration (run start / resume): any adaptive
+            # widening restarts from the base period.
+            self._active_streak.pop(host.name, None)
             self.sweeper.schedule(host, self.sim.now + delay)
             return
         old = self._check_events.pop(host.name, None)
@@ -362,6 +426,12 @@ class EventDrivenSimulation:
         candidate = CODE_CANDIDATE
         in_grace, suspend = SuspendDecision.IN_GRACE, SuspendDecision.SUSPEND
         decision_of_code = DECISION_OF_CODE
+        adaptive = self.config.adaptive_checks
+        if adaptive:
+            active = SuspendDecision.ACTIVE
+            streaks = self._active_streak
+            max_steps = self.config.adaptive_max_factor
+            hour_end = time_of_hour(self._current_hour + 1)
         for host in due:
             if host.state is not on_state:
                 continue  # resume path reinstates the check
@@ -377,14 +447,48 @@ class EventDrivenSimulation:
                 if decision is suspend:
                     self._begin_suspend(
                         host, compute_waking_date(host, now, module.blacklist))
-                else:
-                    schedule(host, deadline)
+                    continue
             else:
                 verdict = module.evaluate(now)
+                decision = verdict.decision
                 if verdict.should_suspend:
                     self._begin_suspend(host, verdict.waking_date_s)
-                else:
-                    schedule(host, deadline)
+                    continue
+            if adaptive:
+                schedule(host, self._adaptive_deadline(
+                    host.name, decision is active, now, period, hour_end,
+                    streaks, max_steps))
+            else:
+                schedule(host, deadline)
+
+    def _adaptive_deadline(self, name: str, voted_active: bool, now: float,
+                           period: float, hour_end: float,
+                           streaks: dict[str, int], max_steps: int) -> float:
+        """Next check deadline under adaptive widening (DESIGN.md §12).
+
+        Walks the host's fixed-period deadline grid by iterated float
+        addition — bit-exact with the oracle's ``now + period`` chain —
+        skipping up to ``2**streak - 1`` grid points but never the first
+        one at/after the next hour boundary: hour ticks are the only
+        instants activities and placement (and therefore verdicts) can
+        change, so the first post-boundary check lands exactly where the
+        fixed-period oracle's would.
+        """
+        deadline = now + period
+        if not voted_active:
+            streaks.pop(name, None)
+            return deadline
+        streak = min(streaks.get(name, 0) + 1, 30)
+        streaks[name] = streak
+        steps = min(1 << streak, max_steps)
+        k = 1
+        while k < steps:
+            nxt = deadline + period
+            if nxt >= hour_end:
+                break
+            deadline = nxt
+            k += 1
+        return deadline
 
     def _begin_suspend(self, host: Host, waking_date_s: float | None) -> None:
         # Hand the waking date to the rack's waking module first so the

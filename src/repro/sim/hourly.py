@@ -129,6 +129,7 @@ class HourlySimulator:
         #: controller never changes after construction.
         self._can_sleep = getattr(controller, "host_can_sleep", None)
         self._run_start = 0
+        self._horizon: tuple[int, int] | None = None
 
     # ------------------------------------------------------------------
     def run(self, n_hours: int, start_hour: int = 0) -> HourlyResult:
@@ -144,12 +145,31 @@ class HourlySimulator:
         if self._binding is not None:
             self._binding.ensure_horizon(start_hour, n_hours)
         self._run_start = start_hour
+        self._horizon = (start_hour, n_hours)
         migrations_before = len(self.dc.migrations)
         for t in range(start_hour, start_hour + n_hours):
             self._hour(t)
         end = time_of_hour(start_hour + n_hours)
         self.dc.sync_meters(end)
         return self._result(n_hours, migrations_before)
+
+    # ------------------------------------------------------------------
+    def rebind_fleet(self) -> None:
+        """Re-bind the columnar fleet model to the current VM population.
+
+        Scenario churn (DESIGN.md §12) places and removes VMs mid-run;
+        a newly placed VM carries a scalar model, so the binding no
+        longer covers the fleet and every hour would fall back to the
+        per-VM path.  Churn hooks call this after changing the
+        population: newcomers join fresh fleet rows (existing model
+        state imports bit-exactly) and the horizon matrix is rebuilt.
+        """
+        if not self.config.use_fleet_model:
+            return
+        self._binding = FleetBinding.try_bind(
+            self.dc, self.params, accounting=self._accounting_enabled)
+        if self._binding is not None and self._horizon is not None:
+            self._binding.ensure_horizon(*self._horizon)
 
     # ------------------------------------------------------------------
     def _hour(self, t: int) -> None:

@@ -128,6 +128,47 @@ def run_cell(cell: SweepCell) -> SweepRow:
     )
 
 
+@dataclass(frozen=True)
+class EventParityCell:
+    """One event-driven acceptance run (oracle or batched hot path).
+
+    The simulator-throughput bench compares the per-host oracle event
+    path against the batched one on the same workload; the two runs are
+    independent simulations over their own fleets, so they shard across
+    cores exactly like E8 cells — the oracle run (~8-10x slower)
+    overlaps the batched one instead of serializing behind it.
+    """
+
+    n_vms: int
+    hours: int
+    batched: bool
+    seed: int = 7
+    llmi_fraction: float = 0.5
+    adaptive_checks: bool = False
+
+
+def run_event_parity_cell(cell: EventParityCell):
+    """Run one acceptance cell; returns ``(EventResult, wall_s)`` with
+    the wall-clock measured inside the worker (top-level so spawn
+    workers can pickle it)."""
+    import time
+
+    from ..experiments.common import build_fleet
+    from .event_driven import EventConfig, EventDrivenSimulation
+
+    dc = build_fleet(max(1, cell.n_vms // 4), cell.n_vms,
+                     cell.llmi_fraction, max(cell.hours, 24),
+                     seed=cell.seed)
+    sim = EventDrivenSimulation(
+        dc, _build_controller("drowsy", dc, dc.params),
+        config=EventConfig(use_batched_checks=cell.batched,
+                           use_bulk_requests=cell.batched,
+                           adaptive_checks=cell.adaptive_checks))
+    t0 = time.perf_counter()
+    result = sim.run(cell.hours)
+    return result, time.perf_counter() - t0
+
+
 def grid(controllers=("drowsy", "neat", "oasis"),
          sizes=(64,), seeds=(7,), hours: int = 168,
          llmi_fraction: float = 0.5,
@@ -159,16 +200,27 @@ def _pyarrow():
 
 @dataclass
 class SweepTable:
-    """Tidy result table of a sweep (one row per cell, task order)."""
+    """Tidy result table of a sweep (one row per cell, task order).
+
+    The persistence machinery is row-type generic: subclasses point
+    ``row_type`` at their own frozen row dataclass (flat ``str`` /
+    ``int`` / ``float`` fields) and ``_TABLE`` at their SQLite table
+    name — see :class:`repro.scenarios.sweep.ScenarioTable`.
+    """
 
     rows: list[SweepRow]
+
+    #: Row dataclass of this table type (overridden by subclasses).
+    row_type = SweepRow
+    #: SQLite table the rows land in.
+    _TABLE = "sweep"
 
     def to_csv(self) -> str:
         """Deterministic CSV: floats via ``repr`` (shortest round-trip),
         rows in task order — byte-identical across worker counts."""
         buf = io.StringIO()
         writer = csv.writer(buf, lineterminator="\n")
-        names = [f.name for f in fields(SweepRow)]
+        names = [f.name for f in fields(self.row_type)]
         writer.writerow(names)
         for row in self.rows:
             writer.writerow(
@@ -238,13 +290,13 @@ class SweepTable:
     def from_csv(cls, text: str) -> "SweepTable":
         reader = csv.reader(io.StringIO(text))
         names = next(reader)
-        expected = [f.name for f in fields(SweepRow)]
+        expected = [f.name for f in fields(cls.row_type)]
         if names != expected:
             raise ValueError(f"unexpected CSV columns {names}")
-        types = {f.name: f.type for f in fields(SweepRow)}
-        rows = [SweepRow(**{n: (float(v) if types[n] == "float" else
-                               int(v) if types[n] == "int" else v)
-                            for n, v in zip(names, raw)})
+        types = {f.name: f.type for f in fields(cls.row_type)}
+        rows = [cls.row_type(**{n: (float(v) if types[n] == "float" else
+                                    int(v) if types[n] == "int" else v)
+                                for n, v in zip(names, raw)})
                 for raw in reader]
         return cls(rows=rows)
 
@@ -257,17 +309,18 @@ class SweepTable:
         here, deterministic, no wall-clock); row order within a run is
         task order (``rowid``).  Returns the run id just written.
         """
-        names = [f.name for f in fields(SweepRow)]
+        table = self._TABLE
+        names = [f.name for f in fields(self.row_type)]
         cols = ", ".join(
             f"{f.name} {'REAL' if f.type == 'float' else 'INTEGER' if f.type == 'int' else 'TEXT'}"
-            for f in fields(SweepRow))
+            for f in fields(self.row_type))
         with sqlite3.connect(path) as conn:
             conn.execute(
-                f"CREATE TABLE IF NOT EXISTS sweep (run INTEGER, {cols})")
+                f"CREATE TABLE IF NOT EXISTS {table} (run INTEGER, {cols})")
             run_id = conn.execute(
-                "SELECT COALESCE(MAX(run), -1) + 1 FROM sweep").fetchone()[0]
+                f"SELECT COALESCE(MAX(run), -1) + 1 FROM {table}").fetchone()[0]
             conn.executemany(
-                f"INSERT INTO sweep (run, {', '.join(names)}) "
+                f"INSERT INTO {table} (run, {', '.join(names)}) "
                 f"VALUES ({', '.join('?' * (len(names) + 1))})",
                 [(run_id, *(getattr(row, n) for n in names))
                  for row in self.rows])
@@ -278,21 +331,22 @@ class SweepTable:
                     run: int | None = None) -> "SweepTable":
         """Read one run back (default: the latest — so ``load`` after
         ``save`` round-trips); ``run=N`` selects an earlier sweep."""
-        names = [f.name for f in fields(SweepRow)]
+        table = cls._TABLE
+        names = [f.name for f in fields(cls.row_type)]
         with sqlite3.connect(path) as conn:
             if run is None:
                 run = conn.execute(
-                    "SELECT COALESCE(MAX(run), 0) FROM sweep").fetchone()[0]
+                    f"SELECT COALESCE(MAX(run), 0) FROM {table}").fetchone()[0]
             cur = conn.execute(
-                f"SELECT {', '.join(names)} FROM sweep "
+                f"SELECT {', '.join(names)} FROM {table} "
                 "WHERE run = ? ORDER BY rowid", (run,))
-            rows = [SweepRow(**dict(zip(names, r))) for r in cur]
+            rows = [cls.row_type(**dict(zip(names, r))) for r in cur]
         return cls(rows=rows)
 
     def to_parquet(self, path: str | Path) -> None:
         """Columnar parquet via pyarrow (optional dependency)."""
         pa, pq = _pyarrow()
-        names = [f.name for f in fields(SweepRow)]
+        names = [f.name for f in fields(self.row_type)]
         table = pa.table({n: [getattr(row, n) for row in self.rows]
                           for n in names})
         pq.write_table(table, str(path))
@@ -301,9 +355,9 @@ class SweepTable:
     def from_parquet(cls, path: str | Path) -> "SweepTable":
         pa, pq = _pyarrow()
         table = pq.read_table(str(path))
-        names = [f.name for f in fields(SweepRow)]
+        names = [f.name for f in fields(cls.row_type)]
         columns = {n: table.column(n).to_pylist() for n in names}
-        rows = [SweepRow(**{n: columns[n][i] for n in names})
+        rows = [cls.row_type(**{n: columns[n][i] for n in names})
                 for i in range(table.num_rows)]
         return cls(rows=rows)
 

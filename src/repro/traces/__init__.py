@@ -10,6 +10,7 @@ from .noise import (
     synthesize_quanta,
 )
 from .planetlab import planetlab_fleet, planetlab_like_trace
+from .replay import read_hourly_column, trace_from_csv
 from .production import (
     PRODUCTION_SPECS,
     fig1_traces,
@@ -47,10 +48,12 @@ __all__ = [
     "planetlab_fleet",
     "planetlab_like_trace",
     "production_trace",
+    "read_hourly_column",
     "seasonal_results_trace",
     "slmu_trace",
     "synthesize_quanta",
     "testbed_llmi_traces",
+    "trace_from_csv",
     "trace_matrix",
     "weekly_pattern_trace",
 ]

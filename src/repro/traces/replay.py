@@ -1,0 +1,62 @@
+"""Trace replay from CSV (scenario subsystem, DESIGN.md §12).
+
+Scenarios can drive VMs with *measured* hourly series instead of the
+synthetic generators: a CSV with one value per hour (``value`` or
+``index,value`` rows, optional header) becomes an
+:class:`~repro.traces.base.ActivityTrace` that both simulators consume
+like any generated trace — periodic extension included — or a rate
+table for :meth:`repro.network.requests.ArrivalShape.from_csv`.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+import numpy as np
+
+from .base import ActivityTrace, VMKind
+
+
+def read_hourly_column(source: str | Path) -> list[float]:
+    """Parse one float per row from CSV text or a CSV file path.
+
+    Rows may be ``value`` or ``index,value`` (the last column wins); a
+    first row that does not parse as a number is treated as a header.
+    A string argument containing a newline is taken as CSV text,
+    anything else as a path.  Shared by the CSV trace replay below and
+    the ``replay`` arrival shape.
+    """
+    if isinstance(source, Path) or "\n" not in str(source):
+        text = Path(source).read_text()
+    else:
+        text = str(source)
+    values: list[float] = []
+    for i, row in enumerate(csv.reader(io.StringIO(text))):
+        if not row or not any(cell.strip() for cell in row):
+            continue
+        try:
+            values.append(float(row[-1]))
+        except ValueError:
+            if not values:
+                continue  # header: non-numeric rows before any data
+            raise ValueError(f"non-numeric CSV value {row[-1]!r} "
+                             f"on row {i + 1}") from None
+    if not values:
+        raise ValueError("CSV contains no hourly values")
+    return values
+
+
+def trace_from_csv(source: str | Path, name: str | None = None,
+                   kind: VMKind = VMKind.LLMI) -> ActivityTrace:
+    """Build a trace from a CSV of hourly activity levels in [0, 1].
+
+    Values outside [0, 1] are rejected by the trace constructor —
+    replayed activity is a fraction of an hour, exactly like the
+    generated traces.
+    """
+    values = np.array(read_hourly_column(source))
+    if name is None:
+        name = Path(source).stem if "\n" not in str(source) else "csv-trace"
+    return ActivityTrace(name, values, kind)

@@ -39,9 +39,53 @@ class WakingModuleState:
     vm_to_mac: dict[str, str] = field(default_factory=dict)
     #: MAC -> registered waking date (absolute seconds), None = none.
     waking_dates: dict[str, float | None] = field(default_factory=dict)
+    #: Reverse index of ``vm_to_mac`` (MAC -> its registered VM IPs, an
+    #: ordered set as dict keys), kept in sync by every map update so a
+    #: resume drops the host's stale entries in O(its VMs) instead of
+    #: scanning the whole map.  Derived state: rebuilt from ``vm_to_mac``
+    #: whenever a state arrives without it (hand-built fixtures).
+    ips_of_mac: dict[str, dict[str, None]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.vm_to_mac and not self.ips_of_mac:
+            self.rebuild_index()
+
+    def rebuild_index(self) -> None:
+        """Recompute the reverse index from the authoritative map."""
+        index: dict[str, dict[str, None]] = {}
+        for ip, mac in self.vm_to_mac.items():
+            index.setdefault(mac, {})[ip] = None
+        self.ips_of_mac = index
+
+    def map_vm(self, ip: str, mac: str) -> None:
+        """Point ``ip`` at ``mac``, unhooking any previous mapping."""
+        old = self.vm_to_mac.get(ip)
+        if old == mac:
+            return
+        if old is not None:
+            self._drop_reverse(old, ip)
+        self.vm_to_mac[ip] = mac
+        self.ips_of_mac.setdefault(mac, {})[ip] = None
+
+    def drop_mac(self, mac: str) -> None:
+        """Remove every mapping onto ``mac`` (the host resumed)."""
+        for ip in self.ips_of_mac.pop(mac, ()):
+            self.vm_to_mac.pop(ip, None)
+
+    def _drop_reverse(self, mac: str, ip: str) -> None:
+        ips = self.ips_of_mac.get(mac)
+        if ips is not None:
+            ips.pop(ip, None)
+            if not ips:
+                # Never retain empty entries: the reverse index stays a
+                # pure function of ``vm_to_mac`` (state equality holds
+                # across different update histories).
+                del self.ips_of_mac[mac]
 
     def copy(self) -> "WakingModuleState":
-        return WakingModuleState(dict(self.vm_to_mac), dict(self.waking_dates))
+        return WakingModuleState(
+            dict(self.vm_to_mac), dict(self.waking_dates),
+            {mac: dict(ips) for mac, ips in self.ips_of_mac.items()})
 
 
 class WakingModule:
@@ -69,7 +113,7 @@ class WakingModule:
             raise RuntimeError(f"waking module {self.name} is down")
         mac = host.mac_address
         for vm in host.vms:
-            self.state.vm_to_mac[vm.ip_address] = mac
+            self.state.map_vm(vm.ip_address, mac)
         self.state.waking_dates[mac] = waking_date_s
         self._cancel_scheduled(mac)
         if waking_date_s is not None:
@@ -83,13 +127,15 @@ class WakingModule:
                 at, self._fire_scheduled_wake, mac)
 
     def on_host_awake(self, host: Host) -> None:
-        """A host resumed: drop its mappings and scheduled wake."""
+        """A host resumed: drop its mappings and scheduled wake.
+
+        O(VMs of the host) via the reverse index — this runs on every
+        resume, where the old full-map scan was O(all drowsy VMs).
+        """
         mac = host.mac_address
         self._cancel_scheduled(mac)
         self.state.waking_dates.pop(mac, None)
-        stale = [ip for ip, m in self.state.vm_to_mac.items() if m == mac]
-        for ip in stale:
-            del self.state.vm_to_mac[ip]
+        self.state.drop_mac(mac)
 
     def _cancel_scheduled(self, mac: str) -> None:
         ev = self._scheduled.pop(mac, None)

@@ -397,3 +397,44 @@ def test_events_per_second_metric_is_comparable():
     assert batched.sweeper.checks_performed > 0
     assert batched.sweeper.sweeps_fired < batched.sweeper.checks_performed
     assert result.events_processed >= batched.sweeper.checks_performed
+
+
+class TestAdaptiveCheckPeriods:
+    """Adaptive suspend-check widening (DESIGN.md §12): bit-identical
+    to the fixed-period oracle except for the check-event count."""
+
+    def test_requires_batched_checks(self):
+        with pytest.raises(ValueError):
+            _build(adaptive_checks=True, use_batched_checks=False)
+        with pytest.raises(ValueError):
+            _build(adaptive_checks=True, adaptive_max_factor=0)
+
+    def test_parity_with_fixed_period_oracle(self):
+        fixed, dc_f = _build(n_hosts=4, n_vms=16)
+        adaptive, dc_a = _build(n_hosts=4, n_vms=16, adaptive_checks=True)
+        r_f, r_a = fixed.run(8), adaptive.run(8)
+        for field in RESULT_FIELDS:
+            if field == "events_processed":
+                continue  # the one intended difference: fewer checks
+            assert getattr(r_f, field) == getattr(r_a, field), field
+        # Power trajectories are identical to the second: every suspend
+        # fires at exactly the deadline the fixed grid would have used.
+        for h_f, h_a in zip(dc_f.hosts, dc_a.hosts):
+            assert h_f.transitions == h_a.transitions
+        assert r_a.events_processed < r_f.events_processed
+
+    def test_max_factor_one_degenerates_to_fixed(self):
+        fixed, _ = _build()
+        capped, _ = _build(adaptive_checks=True, adaptive_max_factor=1)
+        assert_results_equal(fixed.run(6), capped.run(6))
+
+    def test_widening_keeps_grid_alignment_across_hours(self):
+        """Longer horizon with migrations and resumes mixed in."""
+        fixed, dc_f = _build(n_hosts=3, n_vms=12, adaptive_max_factor=16)
+        adaptive, dc_a = _build(n_hosts=3, n_vms=12, adaptive_checks=True,
+                                adaptive_max_factor=64)
+        r_f, r_a = fixed.run(12), adaptive.run(12)
+        for h_f, h_a in zip(dc_f.hosts, dc_a.hosts):
+            assert h_f.transitions == h_a.transitions
+        assert r_f.energy_kwh_by_host == r_a.energy_kwh_by_host
+        assert r_f.request_summary == r_a.request_summary

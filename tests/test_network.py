@@ -148,3 +148,70 @@ class TestSDNSwitch:
         req = Request(arrival_s=0.0, vm_name="ghost", service_time_s=0.1)
         with pytest.raises(KeyError):
             switch.submit_request(req)
+
+
+class TestBatchedRedispatch:
+    """Resume redispatch: one scheduling pass, one WoL per drowsy host."""
+
+    def make_rack(self, n_vms=2):
+        sim = EventSimulator()
+        host = Host("h1")
+        vms = []
+        for i in range(n_vms):
+            vm = VM(f"v{i}", always_idle_trace(48), TESTBED_VM,
+                    ip_address=f"10.3.0.{i + 1}")
+            host.add_vm(vm)
+            vms.append(vm)
+        dc = DataCenter([host])
+        switch = SDNSwitch(sim, dc)
+        wols = []
+        # A passive WoL sink (no synchronous resume): models delayed
+        # WoL delivery, where the old code sent one packet per waiting
+        # request on every redispatch pass.
+        switch.wol_sender = lambda p, t: wols.append(p)
+        return sim, dc, switch, host, vms, wols
+
+    def test_one_wol_per_drowsy_host_per_pass(self):
+        sim, dc, switch, host, vms, wols = self.make_rack()
+        host.begin_suspend(0.0)
+        host.finish_suspend(0.5)
+        for i, vm in enumerate(vms):
+            req = Request(arrival_s=1.0 + i, vm_name=vm.name,
+                          service_time_s=0.05)
+            sim.schedule_at(req.arrival_s, switch.submit_request, req)
+        sim.run_until(4.0)
+        assert switch.queued_requests == len(vms)
+        wols.clear()
+        switch.redispatch_pending()
+        assert len(wols) == 1  # was len(vms) before the batched pass
+        assert wols[0].mac_address == host.mac_address
+        assert switch.queued_requests == len(vms)
+
+    def test_redispatch_completes_after_resume(self):
+        sim, dc, switch, host, vms, wols = self.make_rack(n_vms=2)
+        host.begin_suspend(0.0)
+        host.finish_suspend(0.5)
+        for vm in vms:
+            req = Request(arrival_s=1.0, vm_name=vm.name, service_time_s=0.05)
+            sim.schedule_at(1.0, switch.submit_request, req)
+        sim.run_until(2.0)
+        host.begin_resume(2.0)
+        host.finish_resume(2.8, 0.0)
+        switch.redispatch_pending()
+        sim.run()
+        assert switch.queued_requests == 0
+        assert len(switch.log.requests) == 2
+
+    def test_drop_vm_forgets_pending(self):
+        sim, dc, switch, host, vms, wols = self.make_rack(n_vms=2)
+        host.begin_suspend(0.0)
+        host.finish_suspend(0.5)
+        for vm in vms:
+            req = Request(arrival_s=1.0, vm_name=vm.name, service_time_s=0.05)
+            sim.schedule_at(1.0, switch.submit_request, req)
+        sim.run_until(2.0)
+        switch.drop_vm(vms[0].name)
+        assert switch.queued_requests == 1
+        dc.remove(vms[0], 2.0)
+        switch.redispatch_pending()  # must not fault on the removed VM
+        assert switch.queued_requests == 1

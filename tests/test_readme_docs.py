@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.core",
     "repro.experiments",
     "repro.network",
+    "repro.scenarios",
     "repro.sched",
     "repro.sim",
     "repro.suspend",

@@ -169,3 +169,66 @@ class TestFailover:
         service.fail_primary()
         with pytest.raises(RuntimeError):
             service.primary.analyze_packet(Packet(dst_ip=vm.ip_address))
+
+
+class TestReverseIndex:
+    """The MAC -> IPs reverse index replacing the per-resume map scan."""
+
+    def test_awake_uses_reverse_index(self, setup):
+        sim, spy, module, host, vm = setup
+        other = Host("h2")
+        other_vm = VM("vm-h2", always_idle_trace(48), TESTBED_VM,
+                      ip_address="10.1.7.7")
+        other.add_vm(other_vm)
+        module.register_suspension(host, None)
+        module.register_suspension(other, None)
+        assert module.state.ips_of_mac[host.mac_address] == {
+            vm.ip_address: None}
+        module.on_host_awake(host)
+        # Only this host's entries dropped; the other host's survive.
+        assert vm.ip_address not in module.state.vm_to_mac
+        assert module.state.vm_to_mac[other_vm.ip_address] == other.mac_address
+        assert host.mac_address not in module.state.ips_of_mac
+
+    def test_reregistration_moves_ip_between_macs(self, setup):
+        """A VM migrated onto another host that then suspends: the IP
+        must leave the old MAC's reverse entry, or a later resume of the
+        old host would wrongly unmap it."""
+        sim, spy, module, host, vm = setup
+        other = Host("h2")
+        module.register_suspension(host, None)
+        host.vms.remove(vm)
+        other.add_vm(vm)
+        module.register_suspension(other, None)
+        assert module.state.vm_to_mac[vm.ip_address] == other.mac_address
+        assert host.mac_address not in module.state.ips_of_mac
+        module.on_host_awake(host)  # old host resumes: must be a no-op
+        assert module.state.vm_to_mac[vm.ip_address] == other.mac_address
+        module.on_host_awake(other)
+        assert vm.ip_address not in module.state.vm_to_mac
+
+    def test_index_is_pure_function_of_map(self, setup):
+        """Different update histories with equal maps compare equal —
+        no empty reverse entries are retained."""
+        sim, spy, module, host, vm = setup
+        module.register_suspension(host, None)
+        module.on_host_awake(host)
+        from repro.waking import WakingModuleState
+
+        assert module.state == WakingModuleState()
+
+    def test_hand_built_state_rebuilds_index(self):
+        from repro.waking import WakingModuleState
+
+        state = WakingModuleState(vm_to_mac={"10.0.0.1": "aa:bb"},
+                                  waking_dates={})
+        assert state.ips_of_mac == {"aa:bb": {"10.0.0.1": None}}
+
+    def test_snapshot_restore_preserves_index(self, setup):
+        sim, spy, module, host, vm = setup
+        module.register_suspension(host, None)
+        clone = WakingModule("wm2", sim, spy)
+        clone.restore(module.snapshot())
+        assert clone.state.ips_of_mac == module.state.ips_of_mac
+        clone.on_host_awake(host)
+        assert clone.state.vm_to_mac == {}
