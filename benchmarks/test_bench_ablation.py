@@ -52,16 +52,17 @@ def test_scales_ablation(benchmark):
 
 def test_opportunistic_step_ablation(benchmark):
     """Without the 7-sigma step, Drowsy-DC's normal mode saves less."""
-    from repro.experiments.common import build_fleet, drowsy_controller
-    from repro.sim.hourly import HourlyConfig, HourlySimulator
+    from repro.api import Simulation
+    from repro.experiments.common import build_fleet
+    from repro.sim.hourly import HourlyConfig
 
     def run_pair():
         energies = {}
         for label, opportunistic in (("on", True), ("off", False)):
             params = DEFAULT_PARAMS.replace(opportunistic_step=opportunistic)
             dc = build_fleet(6, 24, 1.0, hours=5 * 24, params=params, seed=3)
-            sim = HourlySimulator(dc, drowsy_controller(dc, params), params,
-                                  HourlyConfig(power_off_empty=False))
+            sim = Simulation(dc, "drowsy", params=params,
+                             config=HourlyConfig(power_off_empty=False))
             energies[label] = sim.run(5 * 24).total_energy_kwh
         return energies
 

@@ -21,10 +21,10 @@ import time
 import pytest
 
 from benchmarks.conftest import run_once
-from repro.consolidation.drowsy import DrowsyController
+from repro.api import Simulation
 from repro.experiments.common import build_fleet
-from repro.sim.event_driven import EventConfig, EventDrivenSimulation
-from repro.sim.hourly import HourlyConfig, HourlySimulator
+from repro.sim.event_driven import EventConfig
+from repro.sim.hourly import HourlyConfig
 
 WEEK_H = 168
 
@@ -41,7 +41,7 @@ def _fleet(n_vms: int, hours: int):
 @pytest.mark.parametrize("n_vms", [64, 256, 1024])
 def test_hourly_fleet_throughput(benchmark, n_vms):
     dc = _fleet(n_vms, WEEK_H)
-    sim = HourlySimulator(dc, DrowsyController(dc))
+    sim = Simulation(dc, "drowsy", "hourly")
     t0 = time.perf_counter()
     result = run_once(benchmark, sim.run, WEEK_H)
     benchmark.extra_info["wall_s"] = time.perf_counter() - t0
@@ -55,14 +55,14 @@ def test_hourly_speedup_and_parity():
     n_vms, hours = 1024, WEEK_H
 
     dc_scalar = _fleet(n_vms, hours)
-    sim_scalar = HourlySimulator(dc_scalar, DrowsyController(dc_scalar),
-                                 config=HourlyConfig(use_fleet_model=False))
+    sim_scalar = Simulation(dc_scalar, "drowsy",
+                            config=HourlyConfig(use_fleet_model=False))
     t0 = time.perf_counter()
     scalar = sim_scalar.run(hours)
     scalar_s = time.perf_counter() - t0
 
     dc_fleet = _fleet(n_vms, hours)
-    sim_fleet = HourlySimulator(dc_fleet, DrowsyController(dc_fleet))
+    sim_fleet = Simulation(dc_fleet, "drowsy")
     t0 = time.perf_counter()
     fleet = sim_fleet.run(hours)
     fleet_s = time.perf_counter() - t0
@@ -96,14 +96,14 @@ def test_hourly_host_accounting_speedup_and_parity():
     n_vms, hours = 1024, WEEK_H
 
     dc_off = _fleet(n_vms, hours)
-    sim_off = HourlySimulator(dc_off, DrowsyController(dc_off),
-                              config=HourlyConfig(use_host_accounting=False))
+    sim_off = Simulation(dc_off, "drowsy",
+                         config=HourlyConfig(use_host_accounting=False))
     t0 = time.perf_counter()
     off = sim_off.run(hours)
     off_s = time.perf_counter() - t0
 
     dc_on = _fleet(n_vms, hours)
-    sim_on = HourlySimulator(dc_on, DrowsyController(dc_on))
+    sim_on = Simulation(dc_on, "drowsy")
     t0 = time.perf_counter()
     on = sim_on.run(hours)
     on_s = time.perf_counter() - t0
@@ -131,7 +131,7 @@ def test_hourly_host_accounting_speedup_and_parity():
 @pytest.mark.parametrize("n_vms,hours", [(64, 12), (256, 4), (1024, 1)])
 def test_event_fleet_throughput(benchmark, n_vms, hours):
     dc = _fleet(n_vms, max(hours, 24))
-    sim = EventDrivenSimulation(dc, DrowsyController(dc))
+    sim = Simulation(dc, "drowsy", "event")
     t0 = time.perf_counter()
     result = run_once(benchmark, sim.run, hours)
     wall_s = time.perf_counter() - t0
@@ -212,15 +212,19 @@ def test_event_batched_speedup_and_parity(benchmark):
 @pytest.mark.parametrize("controller",
                          ["drowsy", "neat", "neat-distributed", "oasis"])
 def test_event_batched_parity_all_controllers(controller):
-    """Bit-identical EventResult for every controller family."""
-    from repro.sim.sweep import _build_controller
+    """Bit-identical EventResult for every controller family.
+
+    ``adaptive_checks=False`` on both sides: this pins the pure
+    batching mechanics (the adaptive widening has its own parity
+    suite, which permits fewer check events)."""
 
     def run(use_batched):
         dc = _fleet(32, 24)
-        sim = EventDrivenSimulation(
-            dc, _build_controller(controller, dc, dc.params),
+        sim = Simulation(
+            dc, controller, "event",
             config=EventConfig(use_batched_checks=use_batched,
-                               use_bulk_requests=use_batched))
+                               use_bulk_requests=use_batched,
+                               adaptive_checks=False))
         return sim.run(8)
 
     _assert_event_results_identical(run(False), run(True))
@@ -230,8 +234,8 @@ def test_event_parity_small():
     """Fleet binding changes nothing observable in the event sim."""
     def run(use_fleet):
         dc = _fleet(64, 24)
-        sim = EventDrivenSimulation(
-            dc, DrowsyController(dc),
+        sim = Simulation(
+            dc, "drowsy", "event",
             config=EventConfig(use_fleet_model=use_fleet))
         return sim.run(6)
 

@@ -2,37 +2,41 @@
 
 Builds the 4-host / 8-VM testbed (2 LLMU media-streaming VMs, 6 LLMI
 web-search VMs with production-like traces), runs one week under three
-managers — Neat without suspension, Neat + S3, Drowsy-DC — and prints
-the colocation matrix, the Table-I suspension figures and the energy
-comparison.
+managers — Neat without suspension, Neat + S3, Drowsy-DC — through the
+``repro.api`` façade, and prints the colocation matrix, the Table-I
+suspension figures and the energy comparison.
 
 Run with:  python examples/datacenter_week.py
+(set REPRO_EXAMPLE_DAYS to shrink the horizon, e.g. in CI smoke runs)
 """
 
+import os
+
+from repro import Simulation
 from repro.analysis import ColocationTracker, energy_table, summarize, suspension_table
 from repro.core.params import DEFAULT_PARAMS
-from repro.experiments.common import VM_NAMES, build_testbed, drowsy_controller, neat_controller
-from repro.sim.hourly import HourlyConfig, HourlySimulator
+from repro.experiments.common import VM_NAMES, build_testbed
+from repro.sim.hourly import HourlyConfig
 
-DAYS = 7
+DAYS = int(os.environ.get("REPRO_EXAMPLE_DAYS", "7"))
 
 
 def run_neat(suspend: bool):
     params = DEFAULT_PARAMS.replace(use_grace=False)
     bed = build_testbed(params, days=DAYS)
-    sim = HourlySimulator(
-        bed.dc, neat_controller(bed.dc, params), params,
-        HourlyConfig(suspend_enabled=suspend, power_off_empty=False))
+    sim = Simulation(
+        bed, "neat", params=params,
+        config=HourlyConfig(suspend_enabled=suspend, power_off_empty=False))
     return sim.run(DAYS * 24)
 
 
 def run_drowsy():
     bed = build_testbed(DEFAULT_PARAMS, days=DAYS)
     tracker = ColocationTracker(bed.dc)
-    sim = HourlySimulator(
-        bed.dc, drowsy_controller(bed.dc, DEFAULT_PARAMS), DEFAULT_PARAMS,
-        HourlyConfig(relocate_all_mode=True, power_off_empty=False),
-        hour_hooks=(tracker.hour_hook,))
+    sim = Simulation(
+        bed, "drowsy",
+        config=HourlyConfig(relocate_all_mode=True, power_off_empty=False),
+        observers=(tracker.hour_hook,))
     result = sim.run(DAYS * 24)
     return result, tracker
 

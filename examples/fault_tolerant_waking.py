@@ -8,11 +8,15 @@ through, and shows that scheduled wakes and the request SLA survive.
 Run with:  python examples/fault_tolerant_waking.py
 """
 
+import os
+
 from repro.experiments import waking_failover
+
+DAYS = int(os.environ.get("REPRO_EXAMPLE_DAYS", "2"))
 
 
 def main() -> None:
-    data = waking_failover.run(days=2)
+    data = waking_failover.run(days=DAYS)
     print(data.render())
     print()
     if data.service_continued and data.sla.sla_met:

@@ -8,13 +8,19 @@ Drowsy-DC's pattern-matched colocation pays off.
 Run with:  python examples/fleet_energy_sweep.py  (takes ~1 minute)
 """
 
+import os
+
 from repro.experiments import fleet_sweep
+
+#: CI smoke runs shrink the sweep via the environment.
+DAYS = int(os.environ.get("REPRO_EXAMPLE_DAYS", "5"))
+N_VMS = int(os.environ.get("REPRO_EXAMPLE_VMS", "32"))
 
 
 def main() -> None:
     data = fleet_sweep.run(
         llmi_fractions=(0.0, 0.25, 0.5, 0.75, 1.0),
-        n_hosts=8, n_vms=32, days=5)
+        n_hosts=max(2, N_VMS // 4), n_vms=N_VMS, days=DAYS)
     print(data.render())
     print()
     best = max(data.points, key=lambda p: p.drowsy_vs_neat_no_s3_pct)

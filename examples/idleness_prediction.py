@@ -8,6 +8,7 @@ plus an ASCII ramp-up curve of the F-measure.
 Run with:  python examples/idleness_prediction.py [years]
 """
 
+import os
 import sys
 
 from repro.analysis import evaluate_traces, evaluation_table, sparkline
@@ -21,7 +22,8 @@ from repro.traces import (
 
 
 def main() -> None:
-    years = int(sys.argv[1]) if len(sys.argv) > 1 else 2
+    years = (int(sys.argv[1]) if len(sys.argv) > 1
+             else int(os.environ.get("REPRO_EXAMPLE_YEARS", "2")))
     days = years * 365
     traces = [
         daily_backup_trace(days=days),

@@ -11,18 +11,22 @@ ahead-of-time waking — and shows the wake margin at each expiry.
 Run with:  python examples/timer_driven_backup.py
 """
 
+import os
+
 from repro.core.params import DEFAULT_PARAMS
 from repro.experiments import backup_anticipation
+
+DAYS = int(os.environ.get("REPRO_EXAMPLE_DAYS", "3"))
 
 
 def main() -> None:
     print("=== with ahead-of-time wake (Drowsy-DC) ===")
-    data = backup_anticipation.run(days=3)
+    data = backup_anticipation.run(days=DAYS)
     print(data.render())
     print()
     print("=== without (wake sent at the expiry itself) ===")
     data_off = backup_anticipation.run(
-        days=3, params=DEFAULT_PARAMS.replace(ahead_of_time_wake=False))
+        days=DAYS, params=DEFAULT_PARAMS.replace(ahead_of_time_wake=False))
     print(data_off.render())
     print()
     saved = [a - b for a, b in zip(data.margins_s, data_off.margins_s)]

@@ -8,7 +8,16 @@ discrete-event data-center simulator, an OpenStack-Nova-like scheduler,
 an OpenStack-Neat reimplementation, an Oasis-like baseline, synthetic
 workload generators and the full experiment harness.
 
-Quickstart::
+Quickstart — one façade for every simulation run (DESIGN.md §13)::
+
+    from repro import Simulation
+    from repro.experiments.common import build_fleet
+
+    dc = build_fleet(n_hosts=16, n_vms=64, llmi_fraction=0.5, hours=72)
+    result = Simulation(dc, controller="drowsy", backend="hourly").run(72)
+    print(result.total_energy_kwh, result.global_suspended_fraction)
+
+and for the model-level building blocks::
 
     from repro import IdlenessModel, slot_of_hour
     from repro.traces import daily_backup_trace
@@ -23,6 +32,7 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.
 """
 
+from .api import Observer, RunResult, Simulation
 from .core import (
     DEFAULT_PARAMS,
     ConfusionCounts,
@@ -32,7 +42,7 @@ from .core import (
     slot_of_hour,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ConfusionCounts",
@@ -40,6 +50,9 @@ __all__ = [
     "DrowsyParams",
     "FleetIdlenessModel",
     "IdlenessModel",
+    "Observer",
+    "RunResult",
+    "Simulation",
     "slot_of_hour",
     "__version__",
 ]

@@ -1,0 +1,72 @@
+"""The controller registry: every consolidation policy by name.
+
+``controllers`` maps a string to a factory ``(dc, params) ->
+controller``.  The four controller families of the evaluation plus the
+un-managed baseline are pre-registered; the CLI, the sweep grids and
+the scenario compiler all resolve controller names here (DESIGN.md
+§13), so registering a new policy once makes it reachable from every
+entry point::
+
+    from repro.api import controllers
+
+    @controllers.register("my-policy")
+    def _my_policy(dc, params):
+        return MyPolicy(dc, params=params)
+
+Factories import their controller module lazily so importing
+``repro.api`` stays cheap.
+"""
+
+from __future__ import annotations
+
+from ..core.params import DrowsyParams
+from .registry import Registry
+
+#: Name -> factory ``(dc, params) -> controller``.
+controllers: Registry = Registry("controller")
+
+#: The controllers the standard sweep grids cycle through (the paper's
+#: §VI comparison set).  ``"none"`` is registered but not swept by
+#: default — it is the do-nothing reference, not a contender.
+SWEEP_CONTROLLERS = ("drowsy", "neat", "neat-distributed", "oasis")
+
+
+@controllers.register("drowsy")
+def _drowsy(dc, params: DrowsyParams):
+    from ..consolidation.drowsy import DrowsyController
+
+    return DrowsyController(dc, params=params)
+
+
+@controllers.register("neat")
+def _neat(dc, params: DrowsyParams):
+    from ..consolidation.neat import NeatController
+
+    return NeatController(dc, params=params)
+
+
+@controllers.register("neat-distributed")
+def _neat_distributed(dc, params: DrowsyParams):
+    from ..consolidation.managers import DistributedNeat
+
+    return DistributedNeat(dc, params)
+
+
+@controllers.register("oasis")
+def _oasis(dc, params: DrowsyParams):
+    from ..consolidation.oasis import OasisController
+
+    return OasisController(
+        dc, params, n_consolidation_hosts=max(1, len(dc.hosts) // 20))
+
+
+@controllers.register("none")
+def _none(dc, params: DrowsyParams):
+    from ..consolidation.baseline import PassiveController
+
+    return PassiveController()
+
+
+def build_controller(name: str, dc, params: DrowsyParams):
+    """Resolve ``name`` and build the controller for ``dc``."""
+    return controllers.get(name)(dc, params)

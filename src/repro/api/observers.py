@@ -1,0 +1,81 @@
+"""Typed observer hooks for the simulation lifecycle (DESIGN.md §13).
+
+An :class:`Observer` sees three moments of a
+:class:`~repro.api.Simulation`:
+
+* ``on_run_start(sim, start_hour, n_hours)`` — before the first hour;
+* ``on_hour(t, now)`` — at the end of every hour tick, after the
+  simulator's own bookkeeping (this is exactly where both engines'
+  legacy ``hour_hooks`` fired, so an observer sees the same state a
+  hook did);
+* ``on_run_end(result)`` — after the run, with the unified
+  :class:`~repro.api.RunResult`.
+
+Observers subsume the two simulators' ``hour_hooks`` tuples: the
+scenario engine's :class:`~repro.scenarios.compiler.ChurnInjector` is
+an observer, and plain ``(t, now)`` callables are adapted on the fly by
+:func:`as_observer`, so existing hooks keep working unchanged.
+Multiple observers fire in registration order at every moment.
+"""
+
+from __future__ import annotations
+
+
+class Observer:
+    """Base observer: subclass and override the moments you need.
+
+    Any object with the same three methods duck-types as an observer;
+    subclassing just inherits the no-ops.
+    """
+
+    def on_run_start(self, sim, start_hour: int, n_hours: int) -> None:
+        """The run is about to start; ``sim`` is the façade."""
+
+    def on_hour(self, t: int, now: float) -> None:
+        """Hour ``t`` just completed (``now`` = seconds since epoch)."""
+
+    def on_run_end(self, result) -> None:
+        """The run finished; ``result`` is the unified RunResult."""
+
+
+class CallableObserver(Observer):
+    """Adapter: a plain ``(t, now)`` hour hook as an observer."""
+
+    def __init__(self, fn) -> None:
+        self._fn = fn
+
+    def on_hour(self, t: int, now: float) -> None:
+        self._fn(t, now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CallableObserver({self._fn!r})"
+
+
+class _DuckObserver(Observer):
+    """Adapter filling the no-ops for a partial duck-typed observer."""
+
+    def __init__(self, obj) -> None:
+        self._obj = obj
+        for name in ("on_run_start", "on_hour", "on_run_end"):
+            method = getattr(obj, name, None)
+            if method is not None:
+                setattr(self, name, method)
+
+
+def as_observer(obj) -> Observer:
+    """Coerce ``obj`` into an :class:`Observer`.
+
+    Accepts full observers (returned as-is), objects defining a subset
+    of the three methods (missing ones become no-ops) and plain
+    ``(t, now)`` callables (adapted to ``on_hour``).
+    """
+    if isinstance(obj, Observer):
+        return obj
+    if any(hasattr(obj, name)
+           for name in ("on_run_start", "on_hour", "on_run_end")):
+        return _DuckObserver(obj)
+    if callable(obj):
+        return CallableObserver(obj)
+    raise TypeError(
+        f"{obj!r} is not an observer: expected on_run_start/on_hour/"
+        "on_run_end methods or a plain (t, now) callable")

@@ -1,0 +1,77 @@
+"""String-keyed extension registries for the simulation façade.
+
+One :class:`Registry` instance per extension point (controllers,
+backends).  Registries replace the ad-hoc name maps that used to live
+in ``repro.sim.sweep``, ``repro.cli`` and ``repro.scenarios.compiler``:
+the CLI, the sweep runners and the scenario compiler all resolve names
+through the same table, so registering a new controller or backend once
+makes it reachable everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Iterator, TypeVar
+
+T = TypeVar("T")
+
+
+class Registry(Generic[T]):
+    """An ordered name -> entry table with fail-fast lookups.
+
+    Registration order is preserved (it is the order ``names()`` and
+    iteration report), and unknown names raise :class:`ValueError`
+    listing what *is* available — the message the CLI surfaces
+    verbatim.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: dict[str, T] = {}
+
+    # ------------------------------------------------------------------
+    def register(self, name: str, entry: T | None = None):
+        """Register ``entry`` under ``name``.
+
+        Usable directly (``registry.register("x", obj)``) or as a
+        decorator (``@registry.register("x")``).  Re-registering a name
+        raises: silent replacement would make results depend on import
+        order.
+        """
+        def _add(value: T) -> T:
+            if name in self._entries:
+                raise ValueError(
+                    f"{self.kind} {name!r} is already registered")
+            self._entries[name] = value
+            return value
+
+        if entry is None:
+            return _add
+        return _add(entry)
+
+    def get(self, name: str) -> T:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown {self.kind} {name!r}; "
+                f"choose from {', '.join(self._entries)}") from None
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._entries)
+
+    # ------------------------------------------------------------------
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Registry({self.kind}: {', '.join(self._entries)})"
+
+
+#: Factory signature for controller registry entries.
+ControllerFactory = Callable[..., object]

@@ -1,0 +1,130 @@
+"""The unified run result: one schema over both simulation backends.
+
+:class:`RunResult` is the superset of the hourly simulator's
+``HourlyResult`` and the event-driven simulator's ``EventResult``.
+Quantities both backends produce (energy, suspended fractions, suspend
+cycles, migrations) are always populated; backend-specific quantities
+are ``None`` when the backend does not measure them:
+
+============================  =======  ======
+field                          hourly   event
+============================  =======  ======
+``overload_host_hours``          ✓       None
+``active_host_hours``            ✓       None
+``resume_cycles_by_host``       None      ✓
+``request_summary``             None      ✓
+``wol_sent``                    None      ✓
+``events_processed``            None      ✓
+============================  =======  ======
+
+Derived properties (``total_energy_kwh``, ``slatah``, ``esv``, …) are
+defined once here and behave identically for every backend; the ones
+built on backend-absent fields return ``None`` instead of guessing.
+Every populated field is a verbatim copy of the native result — the
+golden parity suite (``tests/test_api.py``) holds bit-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class RunResult:
+    """Aggregated outcome of one :class:`~repro.api.Simulation` run."""
+
+    hours: int
+    controller_name: str
+    #: Which backend produced this result (``"hourly"`` / ``"event"``).
+    backend: str
+    energy_kwh_by_host: dict[str, float]
+    suspended_fraction_by_host: dict[str, float]
+    suspend_cycles_by_host: dict[str, int]
+    migrations: int
+    vm_migrations: dict[str, int]
+    # -- hourly-backend provenance ------------------------------------
+    #: Beloglazov's SLATAH numerator / denominator (hourly only).
+    overload_host_hours: int | None = None
+    active_host_hours: int | None = None
+    # -- event-backend provenance -------------------------------------
+    resume_cycles_by_host: dict[str, int] | None = None
+    #: The SDN switch's request-latency digest (requests, SLA fraction,
+    #: mean/p50/p99/max sojourn, wake-triggered request count).
+    request_summary: dict[str, float] | None = None
+    #: Wake-on-LAN packets the active waking module sent.
+    wol_sent: int | None = None
+    events_processed: int | None = None
+
+    # ------------------------------------------------------------------
+    # derived metrics (identical for every backend)
+    # ------------------------------------------------------------------
+    @property
+    def total_energy_kwh(self) -> float:
+        return sum(self.energy_kwh_by_host.values())
+
+    @property
+    def global_suspended_fraction(self) -> float:
+        vals = list(self.suspended_fraction_by_host.values())
+        return sum(vals) / len(vals) if vals else 0.0
+
+    @property
+    def total_suspend_cycles(self) -> int:
+        return sum(self.suspend_cycles_by_host.values())
+
+    @property
+    def slatah(self) -> float | None:
+        """SLA violation Time per Active Host (fraction of active
+        host-hours spent at saturated CPU); ``None`` when the backend
+        does not account host-hours (event backend)."""
+        if self.active_host_hours is None:
+            return None
+        if self.active_host_hours == 0:
+            return 0.0
+        return self.overload_host_hours / self.active_host_hours
+
+    @property
+    def esv(self) -> float | None:
+        """Energy-SLA-Violation product (lower is better); ``None``
+        whenever :attr:`slatah` is."""
+        slatah = self.slatah
+        if slatah is None:
+            return None
+        return self.total_energy_kwh * slatah
+
+    # ------------------------------------------------------------------
+    # conversions from the backends' native results
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_hourly(cls, result) -> "RunResult":
+        """Wrap a :class:`~repro.sim.hourly.HourlyResult` verbatim."""
+        return cls(
+            hours=result.hours,
+            controller_name=result.controller_name,
+            backend="hourly",
+            energy_kwh_by_host=result.energy_kwh_by_host,
+            suspended_fraction_by_host=result.suspended_fraction_by_host,
+            suspend_cycles_by_host=result.suspend_cycles_by_host,
+            migrations=result.migrations,
+            vm_migrations=result.vm_migrations,
+            overload_host_hours=result.overload_host_hours,
+            active_host_hours=result.active_host_hours,
+        )
+
+    @classmethod
+    def from_event(cls, result) -> "RunResult":
+        """Wrap an :class:`~repro.sim.event_driven.EventResult`
+        verbatim."""
+        return cls(
+            hours=result.hours,
+            controller_name=result.controller_name,
+            backend="event",
+            energy_kwh_by_host=result.energy_kwh_by_host,
+            suspended_fraction_by_host=result.suspended_fraction_by_host,
+            suspend_cycles_by_host=result.suspend_cycles_by_host,
+            migrations=result.migrations,
+            vm_migrations=result.vm_migrations,
+            resume_cycles_by_host=result.resume_cycles_by_host,
+            request_summary=result.request_summary,
+            wol_sent=result.wol_sent,
+            events_processed=result.events_processed,
+        )

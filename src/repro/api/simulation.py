@@ -1,0 +1,183 @@
+"""The :class:`Simulation` façade: one entry point for every run.
+
+Construction, binding, observer wiring and result unification for both
+simulation engines (DESIGN.md §13)::
+
+    from repro.api import Simulation
+    from repro.experiments.common import build_fleet
+
+    dc = build_fleet(n_hosts=16, n_vms=64, llmi_fraction=0.5, hours=72)
+    result = Simulation(dc, controller="drowsy", backend="hourly").run(72)
+    print(result.total_energy_kwh, result.slatah)
+
+    result = Simulation(dc2, "neat", backend="event", seed=7).run(24)
+    print(result.request_summary["p99_s"], result.wol_sent)
+
+Scenario specs compile straight onto the façade::
+
+    sim = Simulation.from_scenario("flash-crowd", seed=7, backend="event")
+    row = sim.run(sim.hours)
+
+The façade is a *thin* owner: the engines
+(:class:`~repro.sim.hourly.HourlySimulator`,
+:class:`~repro.sim.event_driven.EventDrivenSimulation`) stay directly
+constructible and bit-identical — asserted by the golden parity suite
+in ``tests/test_api.py`` — and remain reachable as :attr:`Simulation.
+engine` for engine-specific probes (the SDN request log, the waking
+service, the event clock).
+"""
+
+from __future__ import annotations
+
+from ..cluster.datacenter import DataCenter
+from ..core.params import DrowsyParams
+from .backends import backends
+from .controllers import build_controller
+from .observers import Observer, as_observer
+from .result import RunResult
+
+
+class Simulation:
+    """One simulation run: fleet + controller + backend + observers.
+
+    Parameters
+    ----------
+    fleet_or_dc:
+        A :class:`~repro.cluster.datacenter.DataCenter`, or any object
+        carrying one as ``.dc`` (e.g. the testbed builder's
+        ``Testbed``).
+    controller:
+        A name from :data:`repro.api.controllers` (``"drowsy"``,
+        ``"neat"``, ``"neat-distributed"``, ``"oasis"``, ``"none"``) or
+        an already-built controller object.
+    backend:
+        A name from :data:`repro.api.backends`: ``"hourly"`` (analytic
+        hour loop) or ``"event"`` (full request-level stack).
+    params:
+        Drowsy parameters; defaults to the data center's own.
+    seed:
+        Request-traffic seed (event backend); accepted and ignored by
+        the hourly backend, whose runs draw no randomness.
+    config:
+        Backend-native config (:class:`~repro.sim.hourly.HourlyConfig`
+        or :class:`~repro.sim.event_driven.EventConfig`); defaults to
+        the backend's defaults.
+    observers:
+        :class:`~repro.api.Observer` instances or plain ``(t, now)``
+        callables, fired in order (see ``repro.api.observers``).
+    """
+
+    def __init__(self, fleet_or_dc, controller="drowsy",
+                 backend: str = "hourly", *,
+                 params: DrowsyParams | None = None,
+                 seed: int | None = None,
+                 config=None,
+                 observers: tuple = ()) -> None:
+        dc = getattr(fleet_or_dc, "dc", fleet_or_dc)
+        if not isinstance(dc, DataCenter):
+            raise TypeError(
+                f"expected a DataCenter (or an object with a .dc), "
+                f"got {type(fleet_or_dc).__name__}")
+        self.dc = dc
+        self.params = params if params is not None else dc.params
+        self.backend = backends.get(backend)
+        self.backend_name = self.backend.name
+        self.controller = (build_controller(controller, dc, self.params)
+                           if isinstance(controller, str) else controller)
+        if config is not None and not isinstance(config,
+                                                 self.backend.config_type):
+            raise TypeError(
+                f"{self.backend_name!r} backend expects "
+                f"{self.backend.config_type.__name__}, "
+                f"got {type(config).__name__}")
+        self.config = self.backend.prepare_config(config, seed)
+        self.observers: tuple[Observer, ...] = tuple(
+            as_observer(o) for o in observers)
+        self.engine = self.backend.build(
+            dc, self.controller, self.params, self.config,
+            tuple(o.on_hour for o in self.observers))
+        #: Horizon hint (hours) for scenario-compiled simulations; 0
+        #: for directly constructed ones (pass ``n_hours`` to ``run``).
+        self.hours = 0
+        #: The scenario churn injector, when compiled from a spec.
+        self.churn = None
+        #: The unified result of the most recent :meth:`run`.
+        self.last_result: RunResult | None = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_scenario(cls, spec_or_name, seed: int = 0, *,
+                      controller="drowsy", backend: str = "hourly",
+                      hours: int | None = None, scale: float = 1.0,
+                      params: DrowsyParams | None = None,
+                      relocate_all: bool | None = None) -> "Simulation":
+        """Compile a scenario spec (or built-in name) into a ready run.
+
+        Delegates to :class:`~repro.scenarios.compiler.ScenarioCompiler`
+        — fleet build, trace keying, churn wiring and per-VM request
+        streams are all functions of ``(spec, seed)``.  The returned
+        simulation carries the scenario horizon in :attr:`hours` and
+        the churn injector (if any) in :attr:`churn`.
+        """
+        from ..scenarios import ScenarioCompiler, get_scenario
+
+        spec = (get_scenario(spec_or_name)
+                if isinstance(spec_or_name, str) else spec_or_name)
+        if scale != 1.0:
+            spec = spec.scaled(scale)
+        compiler = (ScenarioCompiler(spec) if params is None
+                    else ScenarioCompiler(spec, params))
+        compiled = compiler.compile(
+            controller=controller, simulator=backend, seed=seed,
+            hours=hours, relocate_all=relocate_all)
+        return compiled.simulation
+
+    # ------------------------------------------------------------------
+    def run(self, n_hours: int | None = None,
+            start_hour: int = 0) -> RunResult:
+        """Run the simulation and return the unified result.
+
+        ``n_hours`` defaults to the scenario horizon for
+        scenario-compiled simulations; directly constructed ones must
+        pass it.  Observers see ``on_run_start`` before the first hour
+        and ``on_run_end`` after the unified result is built.
+        """
+        if n_hours is None:
+            n_hours = self.hours
+        if not n_hours:
+            raise ValueError(
+                "n_hours is required (only scenario-compiled simulations "
+                "carry a default horizon)")
+        for obs in self.observers:
+            obs.on_run_start(self, start_hour, n_hours)
+        native = self.engine.run(n_hours, start_hour=start_hour)
+        result = self.backend.to_run_result(native)
+        self.last_result = result
+        for obs in self.observers:
+            obs.on_run_end(result)
+        return result
+
+    # ------------------------------------------------------------------
+    # administrative surface (scenario churn, maintenance tooling)
+    # ------------------------------------------------------------------
+    def rebind_fleet(self) -> None:
+        """Re-bind the columnar fleet model after population changes."""
+        self.engine.rebind_fleet()
+
+    def force_awake(self, host, now: float) -> None:
+        """Administratively wake a drowsy host (no grace window)."""
+        self.backend.force_awake(self.engine, host, now)
+
+    def reinstate_check(self, host) -> None:
+        """Restore a host's suspend checks (after maintenance)."""
+        self.backend.reinstate_check(self.engine, host)
+
+    def note_vm_departed(self, vm_name: str) -> None:
+        """A VM left the fleet mid-run: drop its scheduled work."""
+        self.backend.note_vm_departed(self.engine, vm_name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Simulation({len(self.dc.hosts)} hosts, "
+                f"{len(self.dc.vms)} VMs, "
+                f"controller={getattr(self.controller, 'name', '?')!r}, "
+                f"backend={self.backend_name!r})")

@@ -103,14 +103,20 @@ def cmd_run_all(args) -> int:
 
 
 def _validated_controllers(spec: str) -> tuple[str, ...]:
-    """Parse a comma-separated controller list, failing fast on typos."""
-    from .sim.sweep import CONTROLLER_NAMES
+    """Parse a comma-separated controller list, failing fast on typos.
+
+    Names resolve through the one registry (``repro.api.controllers``)
+    every other entry point uses — anything registered there, including
+    the ``"none"`` baseline, is sweepable from the CLI.
+    """
+    from .api import controllers as registry
 
     controllers = tuple(spec.split(","))
-    unknown = [c for c in controllers if c not in CONTROLLER_NAMES]
-    if unknown:
-        raise SystemExit(f"unknown controllers: {', '.join(unknown)}; "
-                         f"choose from {', '.join(CONTROLLER_NAMES)}")
+    for name in controllers:
+        try:
+            registry.get(name)
+        except ValueError as exc:  # the registry's own fail-fast message
+            raise SystemExit(str(exc)) from None
     return controllers
 
 
@@ -174,11 +180,12 @@ def cmd_scenario_run(args) -> int:
         get_scenario(args.name)
     except KeyError as exc:
         raise SystemExit(exc.args[0]) from None
-    from .sim.sweep import CONTROLLER_NAMES
+    from .api import controllers as registry
 
-    if args.controller not in CONTROLLER_NAMES:
-        raise SystemExit(f"unknown controller {args.controller!r}; "
-                         f"choose from {', '.join(CONTROLLER_NAMES)}")
+    try:
+        registry.get(args.controller)
+    except ValueError as exc:  # the registry's own fail-fast message
+        raise SystemExit(str(exc)) from None
     simulators = (("hourly", "event") if args.simulator == "both"
                   else (args.simulator,))
     t0 = time.perf_counter()

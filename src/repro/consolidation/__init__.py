@@ -1,6 +1,10 @@
 """Consolidation controllers: Neat, Drowsy-DC, Oasis, pairwise baseline."""
 
-from .baseline import drowsy_linear_grouping, pairwise_matching_grouping
+from .baseline import (
+    PassiveController,
+    drowsy_linear_grouping,
+    pairwise_matching_grouping,
+)
 from .detection import (
     IqrDetector,
     LocalRegressionDetector,
@@ -53,6 +57,7 @@ __all__ = [
     "OasisController",
     "OasisCosts",
     "OverloadDetector",
+    "PassiveController",
     "PlacementPolicy",
     "PowerAwareBestFitDecreasing",
     "RandomSelector",

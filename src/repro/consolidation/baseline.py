@@ -15,6 +15,27 @@ from ..cluster.host import Host
 from ..cluster.vm import VM
 
 
+class PassiveController:
+    """No-op consolidation: VMs stay where they were placed.
+
+    The un-managed reference point (registered as ``"none"`` in
+    :data:`repro.api.controllers`): no migrations ever happen, so hosts
+    sleep — or fail to — purely on the merits of the initial placement
+    and the per-host suspend logic.  Combined with
+    ``suspend_enabled=False`` this is the paper's "current real world
+    case" baseline.
+    """
+
+    name = "none"
+    uses_idleness = False
+
+    def observe_hour(self, hour_index: int) -> None:
+        pass
+
+    def step(self, hour_index: int, now: float, executor=None) -> int:
+        return 0
+
+
 def drowsy_linear_grouping(vms: list[VM], hosts: list[Host],
                            hour_index: int) -> list[list[VM]]:
     """Drowsy-style O(n log n) grouping: sort VMs by IP, cut into hosts.

@@ -17,14 +17,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..api import Simulation
 from ..cluster.datacenter import DataCenter
 from ..cluster.host import Host
 from ..cluster.power import PowerState
 from ..cluster.resources import TESTBED_HOST, TESTBED_VM
 from ..cluster.vm import VM, ServiceTimer
-from ..consolidation.neat import NeatController
 from ..core.params import DEFAULT_PARAMS, DrowsyParams
-from ..sim.event_driven import EventConfig, EventDrivenSimulation
+from ..sim.event_driven import EventConfig
 from ..traces.synthetic import daily_backup_trace
 
 
@@ -73,9 +73,9 @@ def run(days: int = 3, params: DrowsyParams = DEFAULT_PARAMS,
                 # Still down/transitioning: negative margin (penalty).
                 margins.append(-(params.resume_latency_s))
 
-    sim = EventDrivenSimulation(
-        dc, NeatController(dc, params=params), params,
-        EventConfig(seed=seed), hour_hooks=(watch,))
+    sim = Simulation(
+        dc, "neat", "event", params=params,
+        config=EventConfig(seed=seed), observers=(watch,))
     result = sim.run(days * 24)
     return BackupData(
         margins_s=margins,

@@ -17,8 +17,6 @@ from ..cluster.datacenter import DataCenter
 from ..cluster.host import Host
 from ..cluster.resources import TESTBED_HOST, TESTBED_VM, HostCapacity, ResourceSpec
 from ..cluster.vm import VM
-from ..consolidation.drowsy import DrowsyController
-from ..consolidation.neat import NeatController
 from ..core.params import DEFAULT_PARAMS, DrowsyParams
 from ..traces.base import ActivityTrace
 from ..traces.google import google_llmu_fleet
@@ -72,14 +70,6 @@ def build_testbed(params: DrowsyParams = DEFAULT_PARAMS, days: int = 7,
     dc.place(vms["V8"], dc.host("P5"))
     dc.check_invariants()
     return Testbed(dc=dc, vms=vms)
-
-
-def drowsy_controller(dc: DataCenter, params: DrowsyParams = DEFAULT_PARAMS) -> DrowsyController:
-    return DrowsyController(dc, params=params)
-
-
-def neat_controller(dc: DataCenter, params: DrowsyParams = DEFAULT_PARAMS) -> NeatController:
-    return NeatController(dc, params=params)
 
 
 # ----------------------------------------------------------------------

@@ -31,8 +31,9 @@ from ..consolidation.selection import (
     MinimumMigrationTimeSelector,
     RandomSelector,
 )
+from ..api import RunResult, Simulation
 from ..core.params import DEFAULT_PARAMS, DrowsyParams
-from ..sim.hourly import HourlyConfig, HourlyResult, HourlySimulator
+from ..sim.hourly import HourlyConfig
 from ..traces.planetlab import planetlab_fleet
 
 #: Sized so that a memory-full host (8 VMs) saturates its CPUs when mean
@@ -109,14 +110,17 @@ def run(n_hosts: int = 8, n_vms: int = 24, days: int = 3,
     for det_name, det_factory in DETECTORS.items():
         for sel_name, sel_factory in SELECTORS.items():
             dc = _build_dc(n_hosts, n_vms, hours, params, seed)
+            # A parameterized controller object: the façade accepts it
+            # as-is (names are for the registry's stock factories).
             controller = NeatController(
                 dc, detector=det_factory(), selector=sel_factory(),
                 params=params)
-            sim = HourlySimulator(
-                dc, controller, params,
-                HourlyConfig(suspend_enabled=True, power_off_empty=True,
-                             update_models=False))
-            result: HourlyResult = sim.run(hours)
+            sim = Simulation(
+                dc, controller, params=params,
+                config=HourlyConfig(suspend_enabled=True,
+                                    power_off_empty=True,
+                                    update_models=False))
+            result: RunResult = sim.run(hours)
             cells.append(StudyCell(
                 detector=det_name, selector=sel_name,
                 energy_kwh=result.total_energy_kwh,

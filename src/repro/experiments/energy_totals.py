@@ -11,9 +11,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..analysis.energy import RunSummary, energy_table, improvement_pct, summarize
+from ..api import Simulation
 from ..core.params import DEFAULT_PARAMS, DrowsyParams
-from ..sim.hourly import HourlyConfig, HourlySimulator
-from .common import build_testbed, drowsy_controller, neat_controller
+from ..sim.hourly import HourlyConfig
+from .common import build_testbed
 
 
 @dataclass
@@ -45,19 +46,21 @@ def run(days: int = 7, params: DrowsyParams = DEFAULT_PARAMS,
     neat_params = params.replace(use_grace=False)
 
     bed = build_testbed(neat_params, days=days, seed=seed)
-    no_suspend = HourlySimulator(
-        bed.dc, neat_controller(bed.dc, neat_params), neat_params,
-        HourlyConfig(suspend_enabled=False, power_off_empty=False)).run(days * 24)
+    no_suspend = Simulation(
+        bed, "neat", params=neat_params,
+        config=HourlyConfig(suspend_enabled=False,
+                            power_off_empty=False)).run(days * 24)
 
     bed2 = build_testbed(neat_params, days=days, seed=seed)
-    neat_s3 = HourlySimulator(
-        bed2.dc, neat_controller(bed2.dc, neat_params), neat_params,
-        HourlyConfig(power_off_empty=False)).run(days * 24)
+    neat_s3 = Simulation(
+        bed2, "neat", params=neat_params,
+        config=HourlyConfig(power_off_empty=False)).run(days * 24)
 
     bed3 = build_testbed(params, days=days, seed=seed)
-    drowsy = HourlySimulator(
-        bed3.dc, drowsy_controller(bed3.dc, params), params,
-        HourlyConfig(relocate_all_mode=True, power_off_empty=False)).run(days * 24)
+    drowsy = Simulation(
+        bed3, "drowsy", params=params,
+        config=HourlyConfig(relocate_all_mode=True,
+                            power_off_empty=False)).run(days * 24)
 
     return EnergyData(
         neat_no_suspend=summarize("Neat (no suspension)", no_suspend),

@@ -16,15 +16,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..analysis.colocation import ColocationSummary, ColocationTracker, summarize_testbed
+from ..api import RunResult, Simulation
 from ..core.params import DEFAULT_PARAMS, DrowsyParams
-from ..sim.hourly import HourlyConfig, HourlyResult, HourlySimulator
-from .common import VM_NAMES, build_testbed, drowsy_controller
+from ..sim.hourly import HourlyConfig
+from .common import VM_NAMES, build_testbed
 
 
 @dataclass
 class Fig2Data:
     tracker: ColocationTracker
-    result: HourlyResult
+    result: RunResult
     summary: ColocationSummary
 
     def render(self) -> str:
@@ -44,14 +45,13 @@ class Fig2Data:
 def run(days: int = 7, params: DrowsyParams = DEFAULT_PARAMS,
         relocation_period_h: int = 1, seed: int = 42) -> Fig2Data:
     bed = build_testbed(params, days=days, seed=seed)
-    controller = drowsy_controller(bed.dc, params)
     tracker = ColocationTracker(bed.dc)
-    sim = HourlySimulator(
-        bed.dc, controller, params,
-        HourlyConfig(relocate_all_mode=True,
-                     consolidation_period_h=relocation_period_h,
-                     power_off_empty=False),
-        hour_hooks=(tracker.hour_hook,))
+    sim = Simulation(
+        bed, "drowsy", params=params,
+        config=HourlyConfig(relocate_all_mode=True,
+                            consolidation_period_h=relocation_period_h,
+                            power_off_empty=False),
+        observers=(tracker.hour_hook,))
     result = sim.run(days * 24)
     summary = summarize_testbed(tracker, result.vm_migrations)
     return Fig2Data(tracker=tracker, result=result, summary=summary)

@@ -15,10 +15,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..analysis.energy import improvement_pct
-from ..consolidation.oasis import OasisController
+from ..api import RunResult, Simulation
 from ..core.params import DEFAULT_PARAMS, DrowsyParams
-from ..sim.hourly import HourlyConfig, HourlyResult, HourlySimulator
-from .common import build_fleet, drowsy_controller, neat_controller
+from ..sim.hourly import HourlyConfig
+from .common import build_fleet
 
 
 @dataclass(frozen=True)
@@ -81,12 +81,16 @@ class SweepData:
 
 
 def _run(dc, controller, params: DrowsyParams, hours: int,
-         suspend: bool = True, relocate: bool = False) -> HourlyResult:
-    sim = HourlySimulator(
-        dc, controller, params,
-        HourlyConfig(suspend_enabled=suspend, relocate_all_mode=relocate,
-                     power_off_empty=True, update_models=relocate))
-    return sim.run(hours)
+         suspend: bool = True,
+         relocate: bool = False) -> tuple[Simulation, RunResult]:
+    """One sweep-variant run; returns the simulation too, for variants
+    that read controller state afterwards (Oasis transfer energy)."""
+    sim = Simulation(
+        dc, controller, "hourly", params=params,
+        config=HourlyConfig(suspend_enabled=suspend,
+                            relocate_all_mode=relocate,
+                            power_off_empty=True, update_models=relocate))
+    return sim, sim.run(hours)
 
 
 @dataclass(frozen=True)
@@ -108,24 +112,22 @@ def _run_point_cell(cell: _PointCell) -> tuple[float, str, float]:
     if cell.variant == "drowsy":
         dc = build_fleet(cell.n_hosts, cell.n_vms, cell.frac, cell.hours,
                          params, seed=cell.seed)
-        res = _run(dc, drowsy_controller(dc, params), params, cell.hours,
-                   relocate=True)
+        _, res = _run(dc, "drowsy", params, cell.hours, relocate=True)
         kwh = res.total_energy_kwh
     elif cell.variant in ("neat", "neat_no_s3"):
         neat_params = params.replace(use_grace=False)
         dc = build_fleet(cell.n_hosts, cell.n_vms, cell.frac, cell.hours,
                          neat_params, seed=cell.seed)
-        res = _run(dc, neat_controller(dc, neat_params), neat_params,
-                   cell.hours, suspend=cell.variant == "neat")
+        _, res = _run(dc, "neat", neat_params,
+                      cell.hours, suspend=cell.variant == "neat")
         kwh = res.total_energy_kwh
     elif cell.variant == "oasis":
         dc = build_fleet(cell.n_hosts, cell.n_vms, cell.frac, cell.hours,
                          params, seed=cell.seed)
-        oasis = OasisController(
-            dc, params, n_consolidation_hosts=max(1, cell.n_hosts // 20))
-        res = _run(dc, oasis, params, cell.hours)
+        sim, res = _run(dc, "oasis", params, cell.hours)
         # Oasis pays for its partial-migration transfers too.
-        kwh = res.total_energy_kwh + oasis.transfer_energy_j / 3.6e6
+        kwh = (res.total_energy_kwh
+               + sim.controller.transfer_energy_j / 3.6e6)
     else:  # pragma: no cover - guarded by the grid construction
         raise ValueError(f"unknown variant {cell.variant!r}")
     return (cell.frac, cell.variant, kwh)

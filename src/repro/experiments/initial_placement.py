@@ -23,31 +23,19 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..api import Simulation
 from ..cluster.datacenter import DataCenter
 from ..cluster.host import Host
 from ..cluster.resources import HostCapacity, ResourceSpec
 from ..cluster.vm import VM
 from ..core.params import DEFAULT_PARAMS, DrowsyParams
 from ..sched.filter_scheduler import FilterScheduler, drowsy_scheduler, vanilla_scheduler
-from ..sim.hourly import HourlyConfig, HourlySimulator
+from ..sim.hourly import HourlyConfig
 from ..traces.production import production_trace
 from ..traces.synthetic import llmu_trace, slmu_trace
 
 PLACE_HOST = HostCapacity(cpus=8, memory_mb=16 * 1024, cpu_overcommit=2.0)
 PLACE_VM = ResourceSpec(cpus=2, memory_mb=4 * 1024)
-
-
-class _NoConsolidation:
-    """Controller stub: the experiment isolates initial placement."""
-
-    name = "none"
-    uses_idleness = False
-
-    def observe_hour(self, hour_index: int) -> None:  # pragma: no cover
-        pass
-
-    def step(self, hour_index: int, now: float, executor=None) -> int:
-        return 0
 
 
 @dataclass
@@ -167,10 +155,12 @@ def _run(scheduler: FilterScheduler, scheduler_name: str, days: int,
                 terminations.append((hour_index + lifetime, vm))
         dc.check_invariants()
 
-    sim = HourlySimulator(
-        dc, _NoConsolidation(), params,
-        HourlyConfig(power_off_empty=False, update_models=True),
-        hour_hooks=(lifecycle_hook,))
+    # Consolidation stays off ("none", the registry's passive baseline)
+    # so the difference between runs is the weigher's alone.
+    sim = Simulation(
+        dc, "none", params=params,
+        config=HourlyConfig(power_off_empty=False, update_models=True),
+        observers=(lifecycle_hook,))
     result = sim.run(days * 24, start_hour=train_days * 24)
     return PlacementRunResult(
         scheduler_name=scheduler_name,

@@ -15,9 +15,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..analysis.energy import RunSummary, summarize, suspension_table
+from ..api import Simulation
 from ..core.params import DEFAULT_PARAMS, DrowsyParams
-from ..sim.hourly import HourlyConfig, HourlySimulator
-from .common import HOST_NAMES, build_testbed, drowsy_controller, neat_controller
+from ..sim.hourly import HourlyConfig
+from .common import HOST_NAMES, build_testbed
 
 
 @dataclass
@@ -47,16 +48,17 @@ def run(days: int = 7, params: DrowsyParams = DEFAULT_PARAMS,
         seed: int = 42) -> Table1Data:
     # Drowsy-DC: periodic relocation mode, grace enabled.
     bed = build_testbed(params, days=days, seed=seed)
-    drowsy_result = HourlySimulator(
-        bed.dc, drowsy_controller(bed.dc, params), params,
-        HourlyConfig(relocate_all_mode=True, power_off_empty=False)).run(days * 24)
+    drowsy_result = Simulation(
+        bed, "drowsy", params=params,
+        config=HourlyConfig(relocate_all_mode=True,
+                            power_off_empty=False)).run(days * 24)
 
     # Neat: same suspension algorithm without grace (it needs the IM).
     neat_params = params.replace(use_grace=False)
     bed2 = build_testbed(neat_params, days=days, seed=seed)
-    neat_result = HourlySimulator(
-        bed2.dc, neat_controller(bed2.dc, neat_params), neat_params,
-        HourlyConfig(power_off_empty=False)).run(days * 24)
+    neat_result = Simulation(
+        bed2, "neat", params=neat_params,
+        config=HourlyConfig(power_off_empty=False)).run(days * 24)
 
     return Table1Data(
         drowsy=summarize("Drowsy-DC", drowsy_result),

@@ -15,9 +15,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..analysis.sla import SLAReport, sla_report
+from ..api import Simulation
 from ..core.params import DEFAULT_PARAMS, DrowsyParams
-from ..sim.event_driven import EventConfig, EventDrivenSimulation
-from .common import build_testbed, drowsy_controller
+from ..sim.event_driven import EventConfig
+from .common import build_testbed
 
 
 @dataclass
@@ -50,29 +51,32 @@ class FailoverData:
 def run(days: int = 2, params: DrowsyParams = DEFAULT_PARAMS,
         crash_hour: int | None = None, seed: int = 42) -> FailoverData:
     bed = build_testbed(params, days=days, seed=seed)
-    sim = EventDrivenSimulation(
-        bed.dc, drowsy_controller(bed.dc, params), params,
-        EventConfig(relocate_all_mode=True, seed=seed))
+    sim = Simulation(
+        bed, "drowsy", "event", params=params,
+        config=EventConfig(relocate_all_mode=True, seed=seed))
+    # Fault injection drives engine internals (the waking service and
+    # the event clock) directly — that is what ``engine`` is for.
+    engine = sim.engine
 
     crash_at_h = crash_hour if crash_hour is not None else (days * 24) // 2
     resumes_at_crash = {}
 
     def crash() -> None:
-        sim.waking.fail_primary()
+        engine.waking.fail_primary()
         for host in bed.dc.hosts:
             resumes_at_crash[host.name] = host.resume_count
 
-    sim.sim.schedule_at(crash_at_h * 3600.0, crash)
-    result = sim.run(days * 24)
+    engine.sim.schedule_at(crash_at_h * 3600.0, crash)
+    sim.run(days * 24)
 
     resumes_after = sum(h.resume_count - resumes_at_crash.get(h.name, 0)
                         for h in bed.dc.hosts)
     return FailoverData(
-        failovers=sim.waking.failovers,
-        detection_delay_s=sim.waking.detection_delay_s,
-        wol_after_crash=sim.waking.mirror.wol_sent,
+        failovers=engine.waking.failovers,
+        detection_delay_s=engine.waking.detection_delay_s,
+        wol_after_crash=engine.waking.mirror.wol_sent,
         resumes_after_crash=resumes_after,
-        sla=sla_report(sim.switch.log),
+        sla=sla_report(engine.switch.log),
     )
 
 

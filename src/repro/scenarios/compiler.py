@@ -23,27 +23,29 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..api import Observer, Simulation
 from ..cluster.datacenter import DataCenter
 from ..cluster.host import Host
 from ..cluster.power import PowerState
 from ..cluster.vm import VM
 from ..core.params import DEFAULT_PARAMS, DrowsyParams
 from ..network.requests import RequestProfile
-from ..sim.event_driven import EventConfig, EventDrivenSimulation
-from ..sim.hourly import HourlyConfig, HourlySimulator
+from ..sim.event_driven import EventConfig
+from ..sim.hourly import HourlyConfig
 from .spec import ScenarioSpec, stable_seed
 
 
-class ChurnInjector:
-    """Apply a scenario's churn as an hour hook on either simulator.
+class ChurnInjector(Observer):
+    """Apply a scenario's churn as an observer on either backend.
 
     The injector owns one Philox stream keyed by ``(seed, scenario)``;
     it draws the hourly arrival/departure counts in a fixed order, so
     the churn sequence is identical under the hourly and event-driven
-    simulators.  Simulator-specific effects (forcing a drowsy host
-    awake, reinstating suspend checks after maintenance, swallowing a
-    departed VM's scheduled requests, rebinding the columnar fleet) go
-    through the callbacks the compiler wires per simulator.
+    backends.  Backend-specific effects (forcing a drowsy host awake,
+    reinstating suspend checks after maintenance, swallowing a departed
+    VM's scheduled requests, rebinding the columnar fleet) go through
+    the :class:`~repro.api.Simulation` façade's administrative surface
+    (:meth:`bind`), which dispatches to the backend adapter.
     """
 
     def __init__(self, spec: ScenarioSpec, dc: DataCenter,
@@ -67,11 +69,19 @@ class ChurnInjector:
         self.vms_removed = 0
         self.vms_evacuated = 0
         self.arrivals_dropped = 0
-        # Simulator adapters (wired by the compiler).
+        # Backend adapters (wired by :meth:`bind`).
         self.force_awake = None       # (host, now) -> None
         self.reinstate_check = None   # (host) -> None
         self.on_vm_removed = None     # (vm_name) -> None
         self.rebind = None            # () -> None
+
+    # ------------------------------------------------------------------
+    def bind(self, simulation: Simulation) -> None:
+        """Route the backend-specific effects through the façade."""
+        self.force_awake = simulation.force_awake
+        self.reinstate_check = simulation.reinstate_check
+        self.on_vm_removed = simulation.note_vm_departed
+        self.rebind = simulation.rebind_fleet
 
     # ------------------------------------------------------------------
     def hook(self, t: int, now: float) -> None:
@@ -100,6 +110,10 @@ class ChurnInjector:
                 self.churn.vm_arrivals_per_h)), t, now)
         if changed and self.rebind is not None:
             self.rebind()
+
+    #: Observer-protocol spelling of :meth:`hook` (same bound method, so
+    #: tests and tools that grab ``churn.hook`` see the same callable).
+    on_hour = hook
 
     # ------------------------------------------------------------------
     # maintenance windows
@@ -204,7 +218,12 @@ class ChurnInjector:
 
 @dataclass
 class CompiledRun:
-    """One ready-to-run scenario simulation."""
+    """One ready-to-run scenario simulation.
+
+    ``simulation`` is the :class:`~repro.api.Simulation` façade;
+    ``sim`` remains the underlying engine (compatibility: probes and
+    tests that patch ``sim.hour_hooks`` keep working).
+    """
 
     spec: ScenarioSpec
     seed: int
@@ -212,16 +231,16 @@ class CompiledRun:
     controller_name: str
     hours: int
     dc: DataCenter
-    sim: object  # HourlySimulator | EventDrivenSimulation
+    simulation: Simulation
+    sim: object  # the engine: HourlySimulator | EventDrivenSimulation
     controller: object
     churn: ChurnInjector | None = None
     _result: object = field(default=None, repr=False)
 
     def run(self):
-        """Run to the horizon; returns the simulator's native result
-        (:class:`~repro.sim.hourly.HourlyResult` or
-        :class:`~repro.sim.event_driven.EventResult`)."""
-        self._result = self.sim.run(self.hours)
+        """Run to the horizon; returns the unified
+        :class:`~repro.api.RunResult`."""
+        self._result = self.simulation.run(self.hours)
         return self._result
 
 
@@ -291,8 +310,6 @@ class ScenarioCompiler:
         periodic full-relocation evaluation mode, reactive baselines run
         their normal migration loop.
         """
-        from ..sim.sweep import _build_controller
-
         spec, params = self.spec, self.params
         if simulator not in ("hourly", "event"):
             raise ValueError(
@@ -301,46 +318,30 @@ class ScenarioCompiler:
         if relocate_all is None:
             relocate_all = controller == "drowsy"
         dc, ephemeral = self.build_datacenter(seed)
-        controller_obj = _build_controller(controller, dc, params)
         churn = (ChurnInjector(spec, dc, params, seed, start_hour=0,
                                ephemeral_names=ephemeral)
                  if spec.churn.enabled else None)
-        hooks = (churn.hook,) if churn is not None else ()
 
         if simulator == "hourly":
-            sim = HourlySimulator(
-                dc, controller_obj, params,
-                HourlyConfig(relocate_all_mode=relocate_all),
-                hour_hooks=hooks)
-            if churn is not None:
-                churn.force_awake = self._hourly_force_awake
-                churn.rebind = sim.rebind_fleet
+            config = HourlyConfig(relocate_all_mode=relocate_all)
         else:
             profile = RequestProfile(
                 peak_rate_per_s=spec.request_peak_rate_per_s,
                 shape=spec.arrivals)
-            sim = EventDrivenSimulation(
-                dc, controller_obj, params,
-                EventConfig(relocate_all_mode=relocate_all,
-                            request_profile=profile,
-                            seed=seed,
-                            request_streams="per-vm"),
-                hour_hooks=hooks)
-            if churn is not None:
-                churn.force_awake = lambda host, now: sim._force_awake(host)
-                churn.reinstate_check = lambda host: sim._schedule_check(
-                    host, params.suspend_check_period_s)
-                churn.on_vm_removed = sim.note_vm_departed
-                churn.rebind = sim.rebind_fleet
+            config = EventConfig(relocate_all_mode=relocate_all,
+                                 request_profile=profile,
+                                 seed=seed,
+                                 request_streams="per-vm")
+        simulation = Simulation(
+            dc, controller, simulator, params=params, config=config,
+            observers=(churn,) if churn is not None else ())
+        simulation.hours = hours
+        simulation.churn = churn
+        if churn is not None:
+            churn.bind(simulation)
         return CompiledRun(spec=spec, seed=seed, simulator=simulator,
                            controller_name=controller, hours=hours,
-                           dc=dc, sim=sim, controller=controller_obj,
+                           dc=dc, simulation=simulation,
+                           sim=simulation.engine,
+                           controller=simulation.controller,
                            churn=churn)
-
-    @staticmethod
-    def _hourly_force_awake(host: Host, now: float) -> None:
-        """Administrative wake at hour resolution: zero-latency resume,
-        no grace (matches the event driver's ``_force_awake``)."""
-        if host.state is PowerState.SUSPENDED:
-            host.begin_resume(now)
-            host.finish_resume(now, 0.0)

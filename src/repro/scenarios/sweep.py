@@ -37,7 +37,14 @@ class ScenarioCell:
 
 @dataclass(frozen=True)
 class ScenarioRow:
-    """One tidy result row (quantities both simulators produce)."""
+    """One tidy result row.
+
+    The first block holds quantities both backends produce; the
+    SLA/latency block is filled from the unified
+    :class:`~repro.api.RunResult`'s request summary and is all-zero for
+    hourly cells (the hourly backend has no request path) and for event
+    cells that served no requests.
+    """
 
     scenario: str
     simulator: str
@@ -52,6 +59,34 @@ class ScenarioRow:
     migrations: int
     suspend_cycles: int
     suspended_fraction: float
+    # -- event-backend SLA/latency (zero where not measured) -----------
+    requests: int = 0
+    sla_fraction: float = 0.0
+    mean_sojourn_ms: float = 0.0
+    p99_sojourn_ms: float = 0.0
+    wake_requests: int = 0
+    wol_sent: int = 0
+
+
+def _sla_columns(result) -> dict:
+    """The event-only row columns, zeroed when the backend (or an empty
+    request log) provides nothing — tidy tables stay flat floats/ints."""
+    summary = result.request_summary
+    if not summary or not summary.get("requests"):
+        return {}
+
+    def _ms(key: str) -> float:
+        value = summary.get(key, 0.0)
+        return 1e3 * value if value == value else 0.0  # NaN -> 0.0
+
+    return dict(
+        requests=int(summary["requests"]),
+        sla_fraction=summary["sla_fraction"],
+        mean_sojourn_ms=_ms("mean_s"),
+        p99_sojourn_ms=_ms("p99_s"),
+        wake_requests=int(summary["wake_requests"]),
+        wol_sent=int(result.wol_sent or 0),
+    )
 
 
 def run_scenario_cell(cell: ScenarioCell) -> ScenarioRow:
@@ -77,8 +112,9 @@ def run_scenario_cell(cell: ScenarioCell) -> ScenarioRow:
         vms_removed=churn.vms_removed if churn is not None else 0,
         energy_kwh=result.total_energy_kwh,
         migrations=result.migrations,
-        suspend_cycles=sum(result.suspend_cycles_by_host.values()),
+        suspend_cycles=result.total_suspend_cycles,
         suspended_fraction=result.global_suspended_fraction,
+        **_sla_columns(result),
     )
 
 
@@ -108,7 +144,8 @@ class ScenarioTable(SweepTable):
     def render(self) -> str:
         header = (f"{'scenario':<20}{'sim':<8}{'controller':<17}{'seed':>5}"
                   f"{'hours':>6}{'hosts':>6}{'VMs':>5}{'+VM':>5}{'-VM':>5}"
-                  f"{'kWh':>9}{'migr':>6}{'susp':>6}{'drowsy %':>10}")
+                  f"{'kWh':>9}{'migr':>6}{'susp':>6}{'drowsy %':>10}"
+                  f"{'p99 ms':>8}{'wake':>6}")
         lines = ["scenario sweep (one row per scenario x controller x seed)",
                  header, "-" * len(header)]
         for row in self.rows:
@@ -118,7 +155,8 @@ class ScenarioTable(SweepTable):
                 f"{row.vms_added:>5}{row.vms_removed:>5}"
                 f"{row.energy_kwh:>9.1f}{row.migrations:>6}"
                 f"{row.suspend_cycles:>6}"
-                f"{100 * row.suspended_fraction:>9.1f}%")
+                f"{100 * row.suspended_fraction:>9.1f}%"
+                f"{row.p99_sojourn_ms:>8.0f}{row.wake_requests:>6}")
         return "\n".join(lines)
 
 

@@ -45,6 +45,7 @@ from ..suspend.module import SuspendDecision, SuspendingModule
 from ..suspend.timers import compute_waking_date
 from ..waking.failover import ReplicatedWakingService
 from ..waking.packets import WoLPacket
+from .hourly import validate_shared_config
 from .suspend_sweep import SuspendSweepScheduler
 
 
@@ -64,8 +65,10 @@ class EventConfig:
     use_fleet_model: bool = True
     #: Consume the columnar host-accounting view (DESIGN.md §8) for the
     #: hourly meter sync and post-resume grace windows.  Bit-identical
-    #: to the scalar per-host properties; requires ``use_fleet_model``.
-    use_host_accounting: bool = True
+    #: to the scalar per-host properties.  ``None`` (the default)
+    #: follows ``use_fleet_model``; an explicit ``True`` without the
+    #: fleet model raises (the view is built on the fleet binding).
+    use_host_accounting: bool | None = None
     #: Batch the per-host suspend-check events into fleet-wide sweeps on
     #: a timer wheel of check deadlines, with verdicts from one columnar
     #: pass per hour (DESIGN.md §10).  Bit-identical to the per-host
@@ -95,11 +98,35 @@ class EventConfig:
     #: — the only instants a verdict can change — so every suspend
     #: fires at exactly the time the fixed-period oracle would pick:
     #: all results are bit-identical except ``events_processed``
-    #: (fewer checks).  Requires ``use_batched_checks``.
-    adaptive_checks: bool = False
+    #: (fewer checks).  ``None`` (the default) follows
+    #: ``use_batched_checks`` — adaptive widening is ON for the default
+    #: batched path (soaked in PR 4, ~3x fewer check events) and off on
+    #: the fixed-period oracle; an explicit ``True`` without batched
+    #: checks raises.
+    adaptive_checks: bool | None = None
     #: Cap on the widening (in base periods): the check interval never
     #: exceeds ``adaptive_max_factor * suspend_check_period_s``.
     adaptive_max_factor: int = 16
+
+    def __post_init__(self) -> None:
+        # All config contradictions raise here, at construction time —
+        # the shared flags through the one helper HourlyConfig also
+        # uses, then the event-only couplings (the simulator no longer
+        # re-validates).
+        validate_shared_config(self)
+        if self.request_streams not in ("shared", "per-vm"):
+            raise ValueError(
+                f"unknown request_streams {self.request_streams!r}; "
+                "expected 'shared' or 'per-vm'")
+        if self.request_streams == "per-vm" and not self.use_bulk_requests:
+            raise ValueError("per-vm request streams require bulk requests")
+        if self.adaptive_checks is None:
+            object.__setattr__(self, "adaptive_checks",
+                               self.use_batched_checks)
+        elif self.adaptive_checks and not self.use_batched_checks:
+            raise ValueError("adaptive check periods require batched checks")
+        if self.adaptive_max_factor < 1:
+            raise ValueError("adaptive_max_factor must be >= 1")
 
 
 @dataclass
@@ -154,17 +181,6 @@ class EventDrivenSimulation:
         #: (DESIGN.md §10); None = per-host event oracle path.
         self.sweeper = (SuspendSweepScheduler(self.sim, self._sweep_due)
                         if config.use_batched_checks else None)
-        if config.request_streams not in ("shared", "per-vm"):
-            raise ValueError(
-                f"unknown request_streams {config.request_streams!r}; "
-                "expected 'shared' or 'per-vm'")
-        if (config.request_streams == "per-vm"
-                and not config.use_bulk_requests):
-            raise ValueError("per-vm request streams require bulk requests")
-        if config.adaptive_checks and not config.use_batched_checks:
-            raise ValueError("adaptive check periods require batched checks")
-        if config.adaptive_max_factor < 1:
-            raise ValueError("adaptive_max_factor must be >= 1")
         #: Consecutive ACTIVE votes per host (adaptive check periods).
         self._active_streak: dict[str, int] = {}
         self._request_streams = (PerVMRequestStreams(config.seed)

@@ -30,6 +30,26 @@ from ..suspend.grace import grace_from_raw_ip
 HourHook = Callable[[int, float], None]
 
 
+def validate_shared_config(config) -> None:
+    """The config contract both simulators share (DESIGN.md §13).
+
+    Called from ``HourlyConfig.__post_init__`` and
+    ``EventConfig.__post_init__`` so the resolution rule and the error
+    wording cannot diverge: ``use_host_accounting=None`` follows
+    ``use_fleet_model``; an explicit ``True`` without the fleet model
+    is a contradiction and raises.
+    """
+    if config.use_host_accounting is None:
+        object.__setattr__(config, "use_host_accounting",
+                           config.use_fleet_model)
+    elif config.use_host_accounting and not config.use_fleet_model:
+        raise ValueError(
+            "use_host_accounting=True requires use_fleet_model=True "
+            "(the columnar host view is built on the fleet binding)")
+    if config.consolidation_period_h < 1:
+        raise ValueError("consolidation_period_h must be >= 1")
+
+
 @dataclass(frozen=True)
 class HourlyConfig:
     """Simulation options."""
@@ -60,8 +80,13 @@ class HourlyConfig:
     #: vectorized pass per hour; DESIGN.md §8) for suspend checks,
     #: SLATAH accounting and controller host queries.  Bit-identical to
     #: the scalar per-host property loop, which remains the parity
-    #: oracle; requires ``use_fleet_model``.
-    use_host_accounting: bool = True
+    #: oracle.  ``None`` (the default) follows ``use_fleet_model``; an
+    #: explicit ``True`` without the fleet model is a contradiction
+    #: (the accounting view is built on the fleet binding) and raises.
+    use_host_accounting: bool | None = None
+
+    def __post_init__(self) -> None:
+        validate_shared_config(self)
 
 
 @dataclass

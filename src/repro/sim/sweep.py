@@ -31,34 +31,18 @@ from dataclasses import dataclass, fields
 from multiprocessing import get_context
 from pathlib import Path
 
+from ..api.controllers import SWEEP_CONTROLLERS, build_controller
 from ..core.params import DEFAULT_PARAMS, DrowsyParams
-from .hourly import HourlyConfig, HourlySimulator
+from .hourly import HourlyConfig
 
-#: Controller factories available to sweep cells (name -> builder).
-CONTROLLER_NAMES = ("drowsy", "neat", "neat-distributed", "oasis")
+#: The controllers the standard sweep grids cycle through.  Name
+#: resolution happens in :data:`repro.api.controllers` — this tuple
+#: (re-exported from there) only picks the default comparison set.
+CONTROLLER_NAMES = SWEEP_CONTROLLERS
 
-
-def _build_controller(name: str, dc, params: DrowsyParams):
-    if name == "drowsy":
-        from ..consolidation.drowsy import DrowsyController
-
-        return DrowsyController(dc, params=params)
-    if name == "neat":
-        from ..consolidation.neat import NeatController
-
-        return NeatController(dc, params=params)
-    if name == "neat-distributed":
-        from ..consolidation.managers import DistributedNeat
-
-        return DistributedNeat(dc, params)
-    if name == "oasis":
-        from ..consolidation.oasis import OasisController
-
-        return OasisController(
-            dc, params,
-            n_consolidation_hosts=max(1, len(dc.hosts) // 20))
-    raise ValueError(
-        f"unknown controller {name!r}; expected one of {CONTROLLER_NAMES}")
+#: Backwards-compatible alias: cells and the scenario compiler used to
+#: resolve controllers here; the registry is the one path now.
+_build_controller = build_controller
 
 
 @dataclass(frozen=True)
@@ -103,15 +87,15 @@ class SweepRow:
 
 def run_cell(cell: SweepCell) -> SweepRow:
     """Run one sweep cell (top-level so spawn workers can pickle it)."""
+    from ..api import Simulation
     from ..experiments.common import build_fleet
 
     dc = build_fleet(cell.resolved_hosts, cell.n_vms, cell.llmi_fraction,
                      cell.hours, cell.params, seed=cell.seed)
-    controller = _build_controller(cell.controller, dc, cell.params)
-    sim = HourlySimulator(
-        dc, controller, cell.params,
-        HourlyConfig(suspend_enabled=cell.suspend_enabled,
-                     relocate_all_mode=cell.relocate_all))
+    sim = Simulation(
+        dc, cell.controller, "hourly", params=cell.params,
+        config=HourlyConfig(suspend_enabled=cell.suspend_enabled,
+                            relocate_all_mode=cell.relocate_all))
     result = sim.run(cell.hours)
     return SweepRow(
         controller=cell.controller,
@@ -123,7 +107,7 @@ def run_cell(cell: SweepCell) -> SweepRow:
         slatah=result.slatah,
         esv=result.esv,
         migrations=result.migrations,
-        suspend_cycles=sum(result.suspend_cycles_by_host.values()),
+        suspend_cycles=result.total_suspend_cycles,
         suspended_fraction=result.global_suspended_fraction,
     )
 
@@ -148,19 +132,20 @@ class EventParityCell:
 
 
 def run_event_parity_cell(cell: EventParityCell):
-    """Run one acceptance cell; returns ``(EventResult, wall_s)`` with
+    """Run one acceptance cell; returns ``(RunResult, wall_s)`` with
     the wall-clock measured inside the worker (top-level so spawn
     workers can pickle it)."""
     import time
 
+    from ..api import Simulation
     from ..experiments.common import build_fleet
-    from .event_driven import EventConfig, EventDrivenSimulation
+    from .event_driven import EventConfig
 
     dc = build_fleet(max(1, cell.n_vms // 4), cell.n_vms,
                      cell.llmi_fraction, max(cell.hours, 24),
                      seed=cell.seed)
-    sim = EventDrivenSimulation(
-        dc, _build_controller("drowsy", dc, dc.params),
+    sim = Simulation(
+        dc, "drowsy", "event",
         config=EventConfig(use_batched_checks=cell.batched,
                            use_bulk_requests=cell.batched,
                            adaptive_checks=cell.adaptive_checks))

@@ -60,8 +60,11 @@ def _build(n_hosts=3, n_vms=9, hours=24, seed=11, **config_kw):
 
 class TestSweepParity:
     def test_batched_matches_oracle(self):
+        # adaptive_checks=False pins the pure batching mechanics; the
+        # adaptive widening (default-on since PR 5) has its own parity
+        # class below, which permits fewer check events.
         oracle, dc_o = _build(use_batched_checks=False)
-        batched, dc_b = _build()
+        batched, dc_b = _build(adaptive_checks=False)
         r_o, r_b = oracle.run(6), batched.run(6)
         assert_results_equal(r_o, r_b)
         # Decision counters and power transition histories too.
@@ -81,7 +84,7 @@ class TestSweepParity:
         """Batched scheduling with the fleet binding off: the sweep
         evaluates scalar modules but must still be bit-identical."""
         oracle, _ = _build(use_fleet_model=False, use_batched_checks=False)
-        batched, _ = _build(use_fleet_model=False)
+        batched, _ = _build(use_fleet_model=False, adaptive_checks=False)
         assert_results_equal(oracle.run(6), batched.run(6))
 
     def test_deviating_module_falls_back_scalar(self):
@@ -97,7 +100,7 @@ class TestSweepParity:
 
         oracle, dc_o = _build(use_batched_checks=False)
         attach(oracle)
-        batched, dc_b = _build()
+        batched, dc_b = _build(adaptive_checks=False)
         attach(batched)
         assert_results_equal(oracle.run(6), batched.run(6))
         # The vetoed host never suspended in either path.
@@ -105,7 +108,7 @@ class TestSweepParity:
 
     def test_repeated_runs_rearm_cleanly(self):
         oracle, _ = _build(use_batched_checks=False)
-        batched, _ = _build()
+        batched, _ = _build(adaptive_checks=False)
         for start, n in ((0, 3), (3, 2), (5, 4)):
             r_o = oracle.run(n, start_hour=start)
             r_b = batched.run(n, start_hour=start)
@@ -134,7 +137,8 @@ class TestSweepParity:
                              hours=24, seed=seed)
             sim = EventDrivenSimulation(
                 dc, DrowsyController(dc),
-                config=EventConfig(use_batched_checks=use_batched))
+                config=EventConfig(use_batched_checks=use_batched,
+                                   adaptive_checks=False))
 
             def fire(kind, target, aux):
                 hosts, vms = dc.hosts, dc.vms
@@ -391,7 +395,7 @@ def test_events_per_second_metric_is_comparable():
     """The sweep credits coalesced checks, so events_processed — the
     events/s numerator — matches the oracle path exactly (asserted by
     parity above) while physical heap traffic shrinks."""
-    batched, _ = _build()
+    batched, _ = _build(adaptive_checks=False)
     result = batched.run(4)
     assert batched.sweeper is not None
     assert batched.sweeper.checks_performed > 0
@@ -409,8 +413,16 @@ class TestAdaptiveCheckPeriods:
         with pytest.raises(ValueError):
             _build(adaptive_checks=True, adaptive_max_factor=0)
 
+    def test_default_follows_batched_checks(self):
+        """PR 5 flipped the default: adaptive widening is on wherever it
+        is legal (the batched path) and off on the fixed-period oracle;
+        an explicit True without batched checks stays an error."""
+        assert EventConfig().adaptive_checks is True
+        assert EventConfig(use_batched_checks=False).adaptive_checks is False
+        assert EventConfig(adaptive_checks=False).adaptive_checks is False
+
     def test_parity_with_fixed_period_oracle(self):
-        fixed, dc_f = _build(n_hosts=4, n_vms=16)
+        fixed, dc_f = _build(n_hosts=4, n_vms=16, adaptive_checks=False)
         adaptive, dc_a = _build(n_hosts=4, n_vms=16, adaptive_checks=True)
         r_f, r_a = fixed.run(8), adaptive.run(8)
         for field in RESULT_FIELDS:
@@ -424,13 +436,14 @@ class TestAdaptiveCheckPeriods:
         assert r_a.events_processed < r_f.events_processed
 
     def test_max_factor_one_degenerates_to_fixed(self):
-        fixed, _ = _build()
+        fixed, _ = _build(adaptive_checks=False)
         capped, _ = _build(adaptive_checks=True, adaptive_max_factor=1)
         assert_results_equal(fixed.run(6), capped.run(6))
 
     def test_widening_keeps_grid_alignment_across_hours(self):
         """Longer horizon with migrations and resumes mixed in."""
-        fixed, dc_f = _build(n_hosts=3, n_vms=12, adaptive_max_factor=16)
+        fixed, dc_f = _build(n_hosts=3, n_vms=12, adaptive_checks=False,
+                             adaptive_max_factor=16)
         adaptive, dc_a = _build(n_hosts=3, n_vms=12, adaptive_checks=True,
                                 adaptive_max_factor=64)
         r_f, r_a = fixed.run(12), adaptive.run(12)

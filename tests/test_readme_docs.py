@@ -11,6 +11,7 @@ REPO = pathlib.Path(__file__).resolve().parents[1]
 PACKAGES = [
     "repro",
     "repro.analysis",
+    "repro.api",
     "repro.cluster",
     "repro.consolidation",
     "repro.core",
