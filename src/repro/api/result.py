@@ -54,6 +54,12 @@ class RunResult:
     #: Wake-on-LAN packets the active waking module sent.
     wol_sent: int | None = None
     events_processed: int | None = None
+    # -- fault injection (either backend) ------------------------------
+    #: Degradation accounting (:class:`~repro.faults.spec.FaultSummary`)
+    #: attached by the façade when a fault plan rode the run; ``None``
+    #: on fault-free runs, so fault-free results compare bit-identically
+    #: with and without the field ever being considered.
+    fault_summary: object | None = None
 
     # ------------------------------------------------------------------
     # derived metrics (identical for every backend)

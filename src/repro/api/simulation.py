@@ -65,6 +65,14 @@ class Simulation:
     observers:
         :class:`~repro.api.Observer` instances or plain ``(t, now)``
         callables, fired in order (see ``repro.api.observers``).
+    faults:
+        Optional chaos wiring: a :class:`~repro.faults.FaultPlan`
+        (compiled with ``seed or 0`` into a fresh injector) or an
+        already-built :class:`~repro.faults.FaultInjector`.  The
+        injector joins the observers and its
+        :class:`~repro.faults.FaultSummary` lands on
+        ``result.fault_summary``.  An all-zero plan installs nothing —
+        the run is bit-identical to a fault-free one.
     """
 
     def __init__(self, fleet_or_dc, controller="drowsy",
@@ -72,7 +80,8 @@ class Simulation:
                  params: DrowsyParams | None = None,
                  seed: int | None = None,
                  config=None,
-                 observers: tuple = ()) -> None:
+                 observers: tuple = (),
+                 faults=None) -> None:
         dc = getattr(fleet_or_dc, "dc", fleet_or_dc)
         if not isinstance(dc, DataCenter):
             raise TypeError(
@@ -91,8 +100,21 @@ class Simulation:
                 f"{self.backend.config_type.__name__}, "
                 f"got {type(config).__name__}")
         self.config = self.backend.prepare_config(config, seed)
+        if faults is not None and not getattr(faults, "is_fault_injector",
+                                              False):
+            from ..faults import FaultInjector  # deferred: faults -> api
+
+            faults = FaultInjector(faults, seed if seed is not None else 0)
         self.observers: tuple[Observer, ...] = tuple(
             as_observer(o) for o in observers)
+        if faults is not None:
+            self.observers += (as_observer(faults),)
+        #: The fault injector riding this run, if any (the first
+        #: fault-marked observer wins; detected by marker so scenario
+        #: compilation can pass injectors through ``observers=``).
+        self.faults = next(
+            (o for o in self.observers
+             if getattr(o, "is_fault_injector", False)), None)
         self.engine = self.backend.build(
             dc, self.controller, self.params, self.config,
             tuple(o.on_hour for o in self.observers))
@@ -152,6 +174,10 @@ class Simulation:
             obs.on_run_start(self, start_hour, n_hours)
         native = self.engine.run(n_hours, start_hour=start_hour)
         result = self.backend.to_run_result(native)
+        if self.faults is not None and not self.faults.plan.is_zero:
+            # Zero plans leave the field None so their results compare
+            # equal (==) to fault-free runs, not just field-by-field.
+            result.fault_summary = self.faults.finalize(self)
         self.last_result = result
         for obs in self.observers:
             obs.on_run_end(result)

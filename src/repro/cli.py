@@ -31,6 +31,7 @@ EXPERIMENTS: dict[str, dict] = {
     "backup_anticipation": {"args": {"days": int}},
     "detector_study": {"args": {"n_hosts": int, "n_vms": int, "days": int}},
     "waking_failover": {"args": {"days": int}},
+    "fault_tolerance": {"args": {"days": int, "workers": int}},
     "initial_placement": {"args": {"days": int}},
     "scenario_compare": {"args": {"workers": int, "scale": float,
                                   "hours": int}},
@@ -47,6 +48,7 @@ QUICK_OVERRIDES: dict[str, dict] = {
     "backup_anticipation": {"days": 2},
     "detector_study": {"n_hosts": 4, "n_vms": 12, "days": 2},
     "waking_failover": {"days": 1},
+    "fault_tolerance": {"days": 1},
     "initial_placement": {"days": 2},
     "scenario_compare": {"scale": 0.25, "hours": 24},
 }
@@ -162,9 +164,10 @@ def cmd_scenario_list(_args) -> int:
     print("built-in scenarios (python -m repro scenario run <name>):")
     for spec in list_scenarios():
         churn = " [churn]" if spec.churn.enabled else ""
+        faults = " [faults]" if spec.faults is not None else ""
         print(f"  {spec.name:<20} {spec.n_hosts:>3} hosts, {spec.n_vms:>3} "
               f"VMs, {spec.horizon_hours} h, arrivals={spec.arrivals.kind}"
-              f"{churn}")
+              f"{churn}{faults}")
         print(f"  {'':<20} {spec.description}")
     return 0
 

@@ -68,6 +68,8 @@ class Host:
         #: Resumes triggered so far (suspend/resume cycle counting).
         self.resume_count = 0
         self.suspend_count = 0
+        #: Injected crashes survived so far (fault accounting).
+        self.crash_count = 0
 
     # ------------------------------------------------------------------
     # resources
@@ -181,6 +183,22 @@ class Host:
 
     def power_on(self, now: float) -> None:
         self._transition(now, (PowerState.OFF,), PowerState.ON)
+
+    def crash(self, now: float) -> None:
+        """Abrupt failure (fault injection): any live state drops to
+        CRASHED.  VMs stay resident — the placement record stands, and
+        shared storage restores them on :meth:`recover` — but the host
+        serves nothing and draws off-state power until then."""
+        self._transition(
+            now,
+            (PowerState.ON, PowerState.SUSPENDING, PowerState.SUSPENDED,
+             PowerState.RESUMING),
+            PowerState.CRASHED)
+        self.crash_count += 1
+
+    def recover(self, now: float) -> None:
+        """Reboot a crashed host straight into S0 (no grace period)."""
+        self._transition(now, (PowerState.CRASHED,), PowerState.ON)
 
     def sync_meter(self, now: float, utilization: float | None = None) -> None:
         """Charge energy up to ``now`` without changing state.

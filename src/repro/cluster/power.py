@@ -23,6 +23,7 @@ class PowerState(enum.Enum):
     SUSPENDED = "S3"       # suspend-to-RAM ("drowsy")
     RESUMING = "S3->S0"    # waking up
     OFF = "S5"             # powered off (empty host, classic consolidation)
+    CRASHED = "fault"      # abruptly down (fault injection); draws off_w
 
 
 @dataclass(frozen=True)
@@ -44,7 +45,7 @@ class PowerModel:
             raise ValueError(f"utilization must be in [0, 1], got {utilization}")
         if state is PowerState.SUSPENDED:
             return self.suspend_w
-        if state is PowerState.OFF:
+        if state is PowerState.OFF or state is PowerState.CRASHED:
             return self.off_w
         # ON and both transitions draw S0 power.
         return self.idle_w + (self.max_w - self.idle_w) * utilization

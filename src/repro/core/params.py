@@ -134,6 +134,14 @@ class DrowsyParams:
     heartbeat_period_s: float = 1.0
     #: Heartbeats missed before a mirror takes over.
     heartbeat_miss_limit: int = 3
+    #: WoL retry: a sent wake not observed to land within this timeout is
+    #: re-sent (the resilient channel; only armed under fault injection).
+    wol_retry_timeout_s: float = 1.0
+    #: Multiplier applied to the retry timeout per attempt (exponential
+    #: backoff).
+    wol_retry_backoff: float = 2.0
+    #: Retries before a wake is abandoned to the periodic redispatch path.
+    wol_retry_max: int = 6
 
     # --- power model (section VI-A.2) ---
     suspend_power_w: float = SUSPEND_POWER_W
@@ -161,6 +169,10 @@ class DrowsyParams:
             raise ValueError("suspend_check_period_s must be positive")
         if self.heartbeat_period_s <= 0 or self.heartbeat_miss_limit < 1:
             raise ValueError("heartbeat configuration invalid")
+        if self.wol_retry_timeout_s <= 0 or self.wol_retry_backoff < 1.0:
+            raise ValueError("WoL retry configuration invalid")
+        if self.wol_retry_max < 0:
+            raise ValueError("wol_retry_max must be >= 0")
         if not 0.0 <= self.suspend_power_w <= self.idle_power_w <= self.max_power_w:
             raise ValueError("power model must satisfy 0 <= S3 <= idle <= max")
 

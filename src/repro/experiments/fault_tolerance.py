@@ -1,0 +1,154 @@
+"""E15 — availability under injected faults (chaos plans, DESIGN.md §14).
+
+The paper's fault-tolerance story (§V) is qualitative: WoL is fire-and-
+forget UDP, so the waking path must survive lost packets, and a
+defective waking module "is replaced with an identical version".  This
+experiment quantifies both on the §VI-A testbed:
+
+* a WoL **loss-rate sweep** — the same seeded run under increasing
+  magic-packet loss, showing the retry/backoff channel holding request
+  SLA flat and stranding nothing while retries and backoff wait grow;
+* a **primary-kill drill** — the waking-module primary dies mid-run
+  under a declarative fault plan (no hand-wired crash callback, unlike
+  E12) and the mirror's takeover is read off ``result.fault_summary``.
+
+Every cell is an independent ``(plan, seed)`` pair, so the sweep shards
+over :class:`~repro.sim.sweep.SweepRunner` workers byte-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..faults import FaultPlan, WakingServiceFaults, WolFaults
+from ..sim.sweep import SweepRunner
+
+#: §V sweep points: magic-packet loss probability per send attempt.
+LOSS_RATES = (0.0, 0.05, 0.1, 0.2, 0.4)
+
+
+@dataclass(frozen=True)
+class FaultCell:
+    """One loss-rate cell (top-level + frozen so spawn workers pickle it)."""
+
+    loss_probability: float
+    days: int = 2
+    seed: int = 42
+
+
+@dataclass(frozen=True)
+class FaultRow:
+    loss_probability: float
+    requests: int
+    sla_fraction: float
+    wake_requests: int
+    wol_sent: int
+    wol_dropped: int
+    wol_retries: int
+    wol_abandoned: int
+    backoff_wait_s: float
+    stranded_requests: int
+
+
+def _build_sim(days: int, seed: int, plan: FaultPlan | None):
+    from ..api import Simulation
+    from ..sim.event_driven import EventConfig
+    from .common import build_testbed
+
+    bed = build_testbed(days=days, seed=seed)
+    return Simulation(bed, "drowsy", "event",
+                      config=EventConfig(relocate_all_mode=True, seed=seed),
+                      seed=seed, faults=plan)
+
+
+def run_fault_cell(cell: FaultCell) -> FaultRow:
+    """Run one loss-rate point (top-level for spawn workers)."""
+    plan = FaultPlan(name="wol-loss",
+                     wol=WolFaults(loss_probability=cell.loss_probability))
+    sim = _build_sim(cell.days, cell.seed, plan)
+    result = sim.run(cell.days * 24)
+    summary = result.request_summary or {}
+    faults = result.fault_summary
+    return FaultRow(
+        loss_probability=cell.loss_probability,
+        requests=int(summary.get("requests", 0)),
+        sla_fraction=float(summary.get("sla_fraction", 0.0)),
+        wake_requests=int(summary.get("wake_requests", 0)),
+        wol_sent=int(result.wol_sent or 0),
+        wol_dropped=faults.wol_dropped if faults else 0,
+        wol_retries=faults.wol_retries if faults else 0,
+        wol_abandoned=faults.wol_abandoned if faults else 0,
+        backoff_wait_s=faults.backoff_wait_s if faults else 0.0,
+        stranded_requests=faults.stranded_requests if faults else 0,
+    )
+
+
+@dataclass
+class FaultToleranceData:
+    rows: list[FaultRow]
+    kill_failovers: int
+    kill_stranded: int
+    kill_journaled: int
+    kill_sla_fraction: float
+
+    @property
+    def all_served(self) -> bool:
+        """No loss rate stranded a request (the §V resilience claim)."""
+        return all(row.stranded_requests == 0 for row in self.rows)
+
+    @property
+    def failover_survived(self) -> bool:
+        return self.kill_failovers >= 1 and self.kill_stranded == 0
+
+    def render(self) -> str:
+        header = (f"{'loss':>6}{'requests':>10}{'SLA %':>8}{'wakes':>7}"
+                  f"{'WoL':>6}{'drop':>6}{'retry':>7}{'aband':>7}"
+                  f"{'backoff s':>11}{'stranded':>10}")
+        lines = ["E15 — availability vs WoL loss rate (event backend)",
+                 header, "-" * len(header)]
+        for row in self.rows:
+            lines.append(
+                f"{row.loss_probability:>6.2f}{row.requests:>10}"
+                f"{100 * row.sla_fraction:>7.2f}%{row.wake_requests:>7}"
+                f"{row.wol_sent:>6}{row.wol_dropped:>6}{row.wol_retries:>7}"
+                f"{row.wol_abandoned:>7}{row.backoff_wait_s:>11.1f}"
+                f"{row.stranded_requests:>10}")
+        lines += [
+            "",
+            f"all requests served at every loss rate  "
+            f"{'YES' if self.all_served else 'NO'}",
+            "",
+            "primary-kill drill (declarative fault plan):",
+            f"failovers            {self.kill_failovers}",
+            f"window journal calls {self.kill_journaled}",
+            f"stranded requests    {self.kill_stranded}",
+            f"SLA after failover   {100 * self.kill_sla_fraction:.2f} %",
+            f"service survived     "
+            f"{'YES' if self.failover_survived else 'NO'}",
+        ]
+        return "\n".join(lines)
+
+
+def run(days: int = 2, seed: int = 42,
+        workers: int = 1) -> FaultToleranceData:
+    cells = [FaultCell(loss, days=days, seed=seed) for loss in LOSS_RATES]
+    rows = SweepRunner(workers=workers).map(run_fault_cell, cells)
+
+    kill_plan = FaultPlan(
+        name="kill-primary",
+        waking=WakingServiceFaults(kill_primary_at_h=(days * 24) / 2))
+    sim = _build_sim(days, seed, kill_plan)
+    result = sim.run(days * 24)
+    faults = result.fault_summary
+    summary = result.request_summary or {}
+    return FaultToleranceData(
+        rows=rows,
+        kill_failovers=faults.failovers if faults else 0,
+        kill_stranded=faults.stranded_requests if faults else 0,
+        kill_journaled=faults.window_journaled_calls if faults else 0,
+        kill_sla_fraction=float(summary.get("sla_fraction", 0.0)),
+    )
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,23 @@
+"""Declarative, seed-deterministic fault injection (DESIGN.md §14)."""
+
+from .injector import FaultInjector
+from .spec import (
+    FaultPlan,
+    FaultSummary,
+    HostCrashFaults,
+    PartitionWindow,
+    TransitionFaults,
+    WakingServiceFaults,
+    WolFaults,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSummary",
+    "HostCrashFaults",
+    "PartitionWindow",
+    "TransitionFaults",
+    "WakingServiceFaults",
+    "WolFaults",
+]

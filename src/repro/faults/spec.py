@@ -1,0 +1,222 @@
+"""Declarative fault plans (DESIGN.md §14).
+
+A :class:`FaultPlan` is a pure, frozen description of the faults a chaos
+run injects: host crash/recover processes, WoL packet loss and delay
+distributions, suspend/resume transition faults, waking-module primary
+kills and SDN<->waking-module partition windows.  Like
+:class:`~repro.scenarios.spec.ScenarioSpec`, a plan carries no RNG
+state and no simulator references — every random draw is derived by the
+:class:`~repro.faults.injector.FaultInjector` from stable blake2b
+digests of ``(seed, plan name, concern, entity name)``, so the injected
+fault sequence is a pure function of ``(plan, seed)``: identical across
+runs, across :class:`~repro.sim.sweep.SweepRunner` spawn workers and
+across fleet iteration orders.
+
+The zero plan is the parity oracle: a plan whose every probability and
+rate is zero (``plan.is_zero``) installs **no** hooks, so its runs are
+bit-identical to runs with no plan at all (asserted by
+``tests/test_faults.py``).
+
+This module is deliberately dependency-free (stdlib only): it is
+imported by ``repro.scenarios.spec`` for the ``faults=`` field, which
+sits below the api/compiler layers in the import graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class WolFaults:
+    """Wake-on-LAN transport faults (the lossy rack network)."""
+
+    #: Probability an emitted WoL packet is dropped on the wire.  The
+    #: resilient channel (:class:`~repro.network.sdn.ReliableWolChannel`)
+    #: retries dropped wakes with exponential backoff.
+    loss_probability: float = 0.0
+    #: Probability a (non-dropped) WoL packet is delayed in flight.
+    delay_probability: float = 0.0
+    #: Mean of the exponential in-flight delay for delayed packets.
+    mean_delay_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        _check_probability("loss_probability", self.loss_probability)
+        _check_probability("delay_probability", self.delay_probability)
+        if self.mean_delay_s <= 0.0:
+            raise ValueError("mean_delay_s must be positive")
+
+    @property
+    def is_zero(self) -> bool:
+        return self.loss_probability == 0.0 and self.delay_probability == 0.0
+
+
+@dataclass(frozen=True)
+class HostCrashFaults:
+    """Abrupt host crashes: a per-host Poisson process over the run.
+
+    A crashed host keeps its VMs resident (their memory is lost but the
+    placement record stands — shared storage brings them back on
+    recovery); requests targeting them queue on the SDN switch until the
+    host recovers, when the redispatch pass drains them.
+    """
+
+    #: Poisson crash rate per host per simulated hour.
+    rate_per_host_per_h: float = 0.0
+    #: Seconds a crashed host stays down before it reboots into S0.
+    recover_after_s: float = 1800.0
+    #: Cap on crashes over one run (earliest-first), bounding chaos.
+    max_crashes: int = 8
+
+    def __post_init__(self) -> None:
+        if self.rate_per_host_per_h < 0.0:
+            raise ValueError("rate_per_host_per_h must be >= 0")
+        if self.recover_after_s <= 0.0:
+            raise ValueError("recover_after_s must be positive")
+        if self.max_crashes < 0:
+            raise ValueError("max_crashes must be >= 0")
+
+    @property
+    def is_zero(self) -> bool:
+        return self.rate_per_host_per_h == 0.0 or self.max_crashes == 0
+
+
+@dataclass(frozen=True)
+class TransitionFaults:
+    """Suspend/resume transition faults (the flaky ACPI firmware)."""
+
+    #: Probability a suspend transition hangs (takes extra time).
+    suspend_hang_probability: float = 0.0
+    #: Extra S0->S3 latency charged to a hung suspend.
+    suspend_hang_extra_s: float = 30.0
+    #: Probability a resume fails outright.  The host is declared
+    #: crashed and its VMs fail over to live hosts by migration (the
+    #: consolidation manager's evacuation path).
+    resume_failure_probability: float = 0.0
+    #: Seconds a resume-failed host stays down before rebooting.
+    recover_after_s: float = 900.0
+
+    def __post_init__(self) -> None:
+        _check_probability("suspend_hang_probability",
+                           self.suspend_hang_probability)
+        _check_probability("resume_failure_probability",
+                           self.resume_failure_probability)
+        if self.suspend_hang_extra_s < 0.0:
+            raise ValueError("suspend_hang_extra_s must be >= 0")
+        if self.recover_after_s <= 0.0:
+            raise ValueError("recover_after_s must be positive")
+
+    @property
+    def is_zero(self) -> bool:
+        return (self.suspend_hang_probability == 0.0
+                and self.resume_failure_probability == 0.0)
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """One SDN<->waking-module network partition (hours, run-relative)."""
+
+    start_h: float
+    duration_h: float
+
+    def __post_init__(self) -> None:
+        if self.start_h < 0.0 or self.duration_h <= 0.0:
+            raise ValueError(
+                "partition window needs start_h >= 0, duration_h > 0")
+
+
+@dataclass(frozen=True)
+class WakingServiceFaults:
+    """Faults against the rack waking service (paper section V)."""
+
+    #: Kill the primary waking module at this run-relative hour (the
+    #: heartbeat mirror must take over); ``None`` = never.
+    kill_primary_at_h: float | None = None
+    #: Windows during which the SDN switch cannot reach the waking
+    #: service (packet analysis unavailable; the switch-port WoL
+    #: fallback still wakes hosts for queued requests).
+    partitions: tuple[PartitionWindow, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kill_primary_at_h is not None and self.kill_primary_at_h < 0:
+            raise ValueError("kill_primary_at_h must be >= 0")
+        spans = sorted((w.start_h, w.start_h + w.duration_h)
+                       for w in self.partitions)
+        for (a0, a1), (b0, b1) in zip(spans, spans[1:]):
+            if b0 < a1:
+                raise ValueError(
+                    f"overlapping partition windows [{a0}, {a1}) and "
+                    f"[{b0}, {b1})")
+
+    @property
+    def is_zero(self) -> bool:
+        return self.kill_primary_at_h is None and not self.partitions
+
+
+@dataclass(frozen=True)
+class FaultSummary:
+    """Degradation accounting for one chaos run (``RunResult.fault_summary``).
+
+    Produced by :meth:`~repro.faults.injector.FaultInjector.finalize`;
+    every field is zero on a run whose plan injected nothing.
+    """
+
+    plan: str = ""
+    host_crashes: int = 0
+    host_recoveries: int = 0
+    wol_dropped: int = 0
+    wol_delayed: int = 0
+    wol_retries: int = 0
+    wol_abandoned: int = 0
+    backoff_wait_s: float = 0.0
+    suspend_hangs: int = 0
+    resume_failures: int = 0
+    failover_migrations: int = 0
+    stranded_vms: int = 0
+    failovers: int = 0
+    primary_kills: int = 0
+    partitions: int = 0
+    window_journaled_calls: int = 0
+    lost_service_calls: int = 0
+    stranded_requests: int = 0
+    recovered_requests: int = 0
+    migrations_blocked: int = 0
+    unavailability_s: float = 0.0
+
+    @property
+    def faults_injected(self) -> int:
+        """Total primitive faults the plan actually landed."""
+        return (self.host_crashes + self.wol_dropped + self.wol_delayed
+                + self.suspend_hangs + self.resume_failures
+                + self.primary_kills + self.partitions)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete declarative chaos plan."""
+
+    name: str = "chaos"
+    wol: WolFaults = field(default_factory=WolFaults)
+    crashes: HostCrashFaults = field(default_factory=HostCrashFaults)
+    transitions: TransitionFaults = field(default_factory=TransitionFaults)
+    waking: WakingServiceFaults = field(default_factory=WakingServiceFaults)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("fault plan needs a name")
+
+    @property
+    def is_zero(self) -> bool:
+        """True iff the plan can inject nothing — the parity oracle.
+
+        A zero plan installs no hooks and schedules no events, so its
+        runs are bit-identical to fault-free runs (``tests/
+        test_faults.py`` asserts this on both backends).
+        """
+        return (self.wol.is_zero and self.crashes.is_zero
+                and self.transitions.is_zero and self.waking.is_zero)

@@ -18,6 +18,102 @@ from .requests import Request, RequestLog
 from ..waking.packets import Packet, PacketKind, WoLPacket
 
 
+class ReliableWolChannel:
+    """Retry-with-timeout WoL delivery (DESIGN.md §14).
+
+    Without fault injection a WoL "send" is a synchronous function call
+    and cannot be lost; with a lossy transport attached, a dropped wake
+    would strand its requests forever.  The channel makes the wake path
+    resilient: every send traverses the ``transport`` verdict function
+    (installed by the fault injector), dropped packets are re-sent with
+    exponential backoff until the destination is observed awake, and
+    delayed packets land after their in-flight delay.
+
+    Determinism and parity rules:
+
+    * ``transport is None`` (the fault-free default) short-circuits to a
+      direct synchronous call — bit-identical to the pre-channel path,
+      zero events scheduled.
+    * Retry and delay timers carry a per-MAC generation token
+      (the ``suspend_sweep`` tombstone pattern): :meth:`settle` bumps the
+      generation so stale timers become no-ops instead of firing on a
+      host that already woke, crashed or left the fleet.
+    """
+
+    def __init__(self, sim: EventSimulator, deliver,
+                 params: DrowsyParams = DEFAULT_PARAMS,
+                 wake_satisfied=None) -> None:
+        self.sim = sim
+        #: Final delivery callback ``(WoLPacket, now) -> None`` — the
+        #: engine's NIC-level WoL handler.
+        self._deliver = deliver
+        self.params = params
+        #: ``(mac) -> bool``: is the wake already satisfied (host awake,
+        #: resuming, or gone)?  Retries consult it before re-sending.
+        self._wake_satisfied = wake_satisfied or (lambda mac: False)
+        #: Fault hook ``(WoLPacket) -> (verdict, delay_s)`` with verdict
+        #: one of "ok" | "drop" | "delay".  ``None`` = perfect wire.
+        self.transport = None
+        #: mac -> generation of the newest *valid* timers; absent means
+        #: no timer was ever armed for that MAC (fault-free fast path).
+        self._generation: dict[str, int] = {}
+        self.attempts = 0
+        self.dropped = 0
+        self.delayed = 0
+        self.retries = 0
+        self.abandoned = 0
+        self.backoff_wait_s = 0.0
+
+    def send(self, packet: WoLPacket, now: float) -> None:
+        if self.transport is None:
+            self._deliver(packet, now)
+            return
+        self._attempt(packet, 0, self._generation.get(packet.mac_address, 0))
+
+    def _attempt(self, packet: WoLPacket, attempt: int, gen: int) -> None:
+        mac = packet.mac_address
+        if self._generation.get(mac, 0) != gen:
+            return  # settled since this timer was armed (tombstone)
+        if attempt > 0:
+            if self._wake_satisfied(mac):
+                return  # another packet landed meanwhile
+            self.retries += 1
+        self.attempts += 1
+        verdict, delay_s = self.transport(packet)
+        if verdict == "drop":
+            self.dropped += 1
+            if attempt >= self.params.wol_retry_max:
+                self.abandoned += 1  # redispatch remains the last resort
+                return
+            wait = (self.params.wol_retry_timeout_s
+                    * self.params.wol_retry_backoff ** attempt)
+            self.backoff_wait_s += wait
+            self._generation.setdefault(mac, 0)
+            self.sim.schedule_in(
+                wait, lambda: self._attempt(packet, attempt + 1, gen))
+        elif verdict == "delay":
+            self.delayed += 1
+            self._generation.setdefault(mac, 0)
+            self.sim.schedule_in(
+                delay_s, lambda: self._deliver_late(packet, gen))
+        else:
+            self._deliver(packet, self.sim.now)
+
+    def _deliver_late(self, packet: WoLPacket, gen: int) -> None:
+        if self._generation.get(packet.mac_address, 0) != gen:
+            return
+        self._deliver(packet, self.sim.now)
+
+    def settle(self, mac: str) -> None:
+        """The wake for ``mac`` is moot (host awake, crashed or removed):
+        tombstone every in-flight retry/delay timer for it.  Idempotent —
+        double-settling just bumps the generation past timers that are
+        already dead.  No-op for MACs that never armed a timer, so the
+        fault-free path stays allocation-free."""
+        if mac in self._generation:
+            self._generation[mac] += 1
+
+
 class SDNSwitch:
     """Rack switch with an attached waking service.
 
@@ -45,6 +141,9 @@ class SDNSwitch:
         #: consolidation round may migrate the VM while its request waits.
         self._pending: list[Request] = []
         self.packets_forwarded = 0
+        #: Queued requests forgotten because their VM departed (churn);
+        #: closes the request-conservation ledger under fault fuzzing.
+        self.requests_dropped = 0
 
     # ------------------------------------------------------------------
     def _vm_host(self, vm_name: str):
@@ -121,7 +220,9 @@ class SDNSwitch:
         """Forget queued requests of a departing VM (scenario churn):
         its host may never wake for them, and re-examining them would
         fault on the now-unknown VM."""
-        self._pending = [r for r in self._pending if r.vm_name != vm_name]
+        kept = [r for r in self._pending if r.vm_name != vm_name]
+        self.requests_dropped += len(self._pending) - len(kept)
+        self._pending = kept
 
     @property
     def queued_requests(self) -> int:

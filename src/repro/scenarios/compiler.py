@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..api import Observer, Simulation
+from ..faults import FaultInjector
 from ..cluster.datacenter import DataCenter
 from ..cluster.host import Host
 from ..cluster.power import PowerState
@@ -321,6 +322,10 @@ class ScenarioCompiler:
         churn = (ChurnInjector(spec, dc, params, seed, start_hour=0,
                                ephemeral_names=ephemeral)
                  if spec.churn.enabled else None)
+        # Chaos plans compile like everything else: a pure function of
+        # (spec, seed), so fault matrices shard byte-identically.
+        faults = (FaultInjector(spec.faults, seed)
+                  if spec.faults is not None else None)
 
         if simulator == "hourly":
             config = HourlyConfig(relocate_all_mode=relocate_all)
@@ -332,9 +337,10 @@ class ScenarioCompiler:
                                  request_profile=profile,
                                  seed=seed,
                                  request_streams="per-vm")
+        observers = tuple(o for o in (churn, faults) if o is not None)
         simulation = Simulation(
             dc, controller, simulator, params=params, config=config,
-            observers=(churn,) if churn is not None else ())
+            observers=observers)
         simulation.hours = hours
         simulation.churn = churn
         if churn is not None:

@@ -11,6 +11,14 @@ create/delete, host maintenance windows).
 
 from __future__ import annotations
 
+from ..faults.spec import (
+    FaultPlan,
+    HostCrashFaults,
+    PartitionWindow,
+    TransitionFaults,
+    WakingServiceFaults,
+    WolFaults,
+)
 from ..network.requests import ArrivalShape
 from .spec import (
     ChurnSpec,
@@ -160,6 +168,78 @@ register_scenario(ScenarioSpec(
         VMClass("stream", count=40, trace=TraceSpec(
             generator="llmu", base_level=0.6, diurnal_amplitude=0.2)),
     ),
+))
+
+# ----------------------------------------------------------------------
+# chaos built-ins (DESIGN.md §14): the flash-crowd and maintenance
+# scenarios above, re-run under fault plans — `scenario run` and
+# `scenario sweep` take them like any other entry.
+# ----------------------------------------------------------------------
+
+register_scenario(ScenarioSpec(
+    name="flash-crowd-lossy-wol",
+    description="flash crowds over a lossy rack network: 20% WoL loss "
+                "plus in-flight delays — retries/backoff must strand "
+                "no request",
+    hosts=(HostClass("std", count=12),),
+    vms=(
+        VMClass("web", count=32, trace=TraceSpec(
+            generator="google-llmu", base_level=0.5,
+            diurnal_amplitude=0.2)),
+        VMClass("tail", count=16, trace=TraceSpec(
+            generator="production")),
+    ),
+    arrivals=ArrivalShape(kind="flash", burst_period_h=47, burst_len_h=2,
+                          burst_factor=8.0),
+    faults=FaultPlan(
+        name="lossy-wol",
+        wol=WolFaults(loss_probability=0.2, delay_probability=0.1,
+                      mean_delay_s=0.5)),
+))
+
+register_scenario(ScenarioSpec(
+    name="maintenance-with-crashes",
+    description="rolling maintenance windows while hosts crash at random "
+                "and the occasional resume fails over to live migration",
+    hosts=(HostClass("std", count=8),),
+    vms=(
+        VMClass("app", count=16, trace=TraceSpec(generator="production")),
+        VMClass("web", count=8, trace=TraceSpec(
+            generator="google-llmu", base_level=0.4)),
+    ),
+    churn=ChurnSpec(maintenance=tuple(
+        MaintenanceWindow(host_index=i, start_hour=12 + 24 * i, duration_h=8)
+        for i in range(4))),
+    arrivals=ArrivalShape(kind="diurnal", amplitude=0.4),
+    faults=FaultPlan(
+        name="crashes",
+        crashes=HostCrashFaults(rate_per_host_per_h=0.01,
+                                recover_after_s=1800.0, max_crashes=6),
+        transitions=TransitionFaults(resume_failure_probability=0.02,
+                                     recover_after_s=900.0)),
+))
+
+register_scenario(ScenarioSpec(
+    name="failover-drill",
+    description="diurnal fleet whose waking-module primary is killed on "
+                "day two, with an SDN partition window on day three — "
+                "the paper's section V failover claim as a scenario",
+    hosts=(HostClass("std", count=12),),
+    vms=(
+        VMClass("office", count=24, trace=TraceSpec(
+            generator="weekly", weekdays=(0, 1, 2, 3, 4),
+            hours_of_day=(8, 9, 10, 11, 12, 13, 14, 15, 16, 17),
+            level=0.25)),
+        VMClass("web", count=16, trace=TraceSpec(
+            generator="google-llmu", base_level=0.45)),
+    ),
+    horizon_hours=96,
+    arrivals=ArrivalShape(kind="diurnal", amplitude=0.6, phase_h=15.0),
+    faults=FaultPlan(
+        name="failover-drill",
+        waking=WakingServiceFaults(
+            kill_primary_at_h=30.0,
+            partitions=(PartitionWindow(start_h=54.0, duration_h=2.0),))),
 ))
 
 register_scenario(ScenarioSpec(

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from ..cluster.resources import HostCapacity, ResourceSpec
+from ..faults.spec import FaultPlan
 from ..network.requests import ArrivalShape
 from ..traces.base import ActivityTrace
 from ..traces.google import google_llmu_trace
@@ -230,6 +231,12 @@ class ScenarioSpec:
     #: Full-activity request rate of interactive VMs (the event
     #: simulator's traffic knob; shaped per hour by ``arrivals``).
     request_peak_rate_per_s: float = 0.01
+    #: Optional chaos plan (DESIGN.md §14): compiled runs get a
+    #: :class:`~repro.faults.FaultInjector` keyed by the run seed, so
+    #: fault matrices shard through ``SweepRunner`` byte-identically.
+    #: ``None`` (and any all-zero plan) leaves runs bit-identical to
+    #: fault-free ones.
+    faults: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if not self.name:

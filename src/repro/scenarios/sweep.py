@@ -66,6 +66,12 @@ class ScenarioRow:
     p99_sojourn_ms: float = 0.0
     wake_requests: int = 0
     wol_sent: int = 0
+    # -- fault injection (zero for plan-free cells) --------------------
+    faults_injected: int = 0
+    wol_retries: int = 0
+    failovers: int = 0
+    stranded_requests: int = 0
+    unavailability_s: float = 0.0
 
 
 def _sla_columns(result) -> dict:
@@ -86,6 +92,21 @@ def _sla_columns(result) -> dict:
         p99_sojourn_ms=_ms("p99_s"),
         wake_requests=int(summary["wake_requests"]),
         wol_sent=int(result.wol_sent or 0),
+    )
+
+
+def _fault_columns(result) -> dict:
+    """Degradation columns for chaos cells; empty (row defaults) when no
+    fault plan rode the run."""
+    s = result.fault_summary
+    if s is None:
+        return {}
+    return dict(
+        faults_injected=s.faults_injected,
+        wol_retries=s.wol_retries,
+        failovers=s.failovers,
+        stranded_requests=s.stranded_requests,
+        unavailability_s=s.unavailability_s,
     )
 
 
@@ -115,6 +136,7 @@ def run_scenario_cell(cell: ScenarioCell) -> ScenarioRow:
         suspend_cycles=result.total_suspend_cycles,
         suspended_fraction=result.global_suspended_fraction,
         **_sla_columns(result),
+        **_fault_columns(result),
     )
 
 
@@ -145,7 +167,7 @@ class ScenarioTable(SweepTable):
         header = (f"{'scenario':<20}{'sim':<8}{'controller':<17}{'seed':>5}"
                   f"{'hours':>6}{'hosts':>6}{'VMs':>5}{'+VM':>5}{'-VM':>5}"
                   f"{'kWh':>9}{'migr':>6}{'susp':>6}{'drowsy %':>10}"
-                  f"{'p99 ms':>8}{'wake':>6}")
+                  f"{'p99 ms':>8}{'wake':>6}{'faults':>7}")
         lines = ["scenario sweep (one row per scenario x controller x seed)",
                  header, "-" * len(header)]
         for row in self.rows:
@@ -156,7 +178,8 @@ class ScenarioTable(SweepTable):
                 f"{row.energy_kwh:>9.1f}{row.migrations:>6}"
                 f"{row.suspend_cycles:>6}"
                 f"{100 * row.suspended_fraction:>9.1f}%"
-                f"{row.p99_sojourn_ms:>8.0f}{row.wake_requests:>6}")
+                f"{row.p99_sojourn_ms:>8.0f}{row.wake_requests:>6}"
+                f"{row.faults_injected:>7}")
         return "\n".join(lines)
 
 

@@ -33,7 +33,7 @@ from ..core.binding import FleetBinding
 from ..core.calendar import time_of_hour
 from ..core.params import DEFAULT_PARAMS, DrowsyParams
 from ..network.requests import PerVMRequestStreams, Request, RequestProfile
-from ..network.sdn import SDNSwitch
+from ..network.sdn import ReliableWolChannel, SDNSwitch
 from ..suspend.columnar import (
     CODE_CANDIDATE,
     DECISION_OF_CODE,
@@ -170,12 +170,34 @@ class EventDrivenSimulation:
         self.sim = EventSimulator()
         self.rng = np.random.default_rng(config.seed)
         self.switch = SDNSwitch(self.sim, dc, params)
-        self.waking = ReplicatedWakingService(self.sim, self._on_wol, params)
+        #: Every WoL emission goes through the resilient channel; with no
+        #: fault transport attached it is a direct synchronous call to
+        #: :meth:`_on_wol` (bit-identical to the pre-channel path).
+        self.wol_channel = ReliableWolChannel(
+            self.sim, self._on_wol, params, self._wake_satisfied)
+        self.waking = ReplicatedWakingService(
+            self.sim, self.wol_channel.send, params)
         self.switch.waking_service = self.waking
-        self.switch.wol_sender = self._on_wol
+        self.switch.wol_sender = self.wol_channel.send
         self.suspending = {h.name: SuspendingModule(h, params) for h in dc.hosts}
         self._check_events: dict[str, object] = {}
         self._resume_pending: set[str] = set()
+        #: In-flight finish_suspend/finish_resume timers per host, so an
+        #: injected crash can tombstone them instead of letting them fire
+        #: an illegal transition on a CRASHED host (DESIGN.md §14).
+        self._transition_events: dict[str, object] = {}
+        #: Fault injector hook (set by repro.faults.FaultInjector); None
+        #: on fault-free runs, where every fault branch below is a single
+        #: attribute test.
+        self.faults = None
+        # Fault accounting (all stay zero without an injector).
+        self.host_crashes = 0
+        self.host_recoveries = 0
+        self.resume_failures = 0
+        self.failover_migrations = 0
+        self.stranded_vms = 0
+        self.recovered_requests = 0
+        self.migrations_blocked = 0
         self._current_hour = 0
         #: Timer wheel batching the per-host suspend checks into sweeps
         #: (DESIGN.md §10); None = per-host event oracle path.
@@ -511,8 +533,11 @@ class EventDrivenSimulation:
         # packet analyzer covers the whole drowsy window.
         self.waking.register_suspension(host, waking_date_s)
         host.begin_suspend(self.sim.now)
-        self.sim.schedule_in(self.params.suspend_latency_s,
-                             self._finish_suspend, host)
+        latency = self.params.suspend_latency_s
+        if self.faults is not None:
+            latency = self.faults.suspend_latency(latency)
+        self._transition_events[host.name] = self.sim.schedule_in(
+            latency, self._finish_suspend, host)
 
     def _suspend_check(self, host: Host) -> None:
         self._check_events.pop(host.name, None)
@@ -528,6 +553,7 @@ class EventDrivenSimulation:
             self._schedule_check(host, self.params.suspend_check_period_s)
 
     def _finish_suspend(self, host: Host) -> None:
+        self._transition_events.pop(host.name, None)
         host.finish_suspend(self.sim.now)
         if host.name in self._resume_pending:
             # A wake arrived mid-transition: resume immediately.
@@ -548,12 +574,23 @@ class EventDrivenSimulation:
         elif host.state is PowerState.SUSPENDING:
             self._resume_pending.add(host.name)
 
+    def _wake_satisfied(self, mac: str) -> bool:
+        """Retry-channel predicate: is a wake for ``mac`` moot?  True
+        for hosts already up/coming up or gone from the fleet."""
+        host = self.dc.host_by_mac.get(mac)
+        return host is None or host.state in (PowerState.ON,
+                                              PowerState.RESUMING)
+
     def _begin_resume(self, host: Host) -> None:
         host.begin_resume(self.sim.now)
-        self.sim.schedule_in(self.params.resume_latency_s,
-                             self._finish_resume, host)
+        self._transition_events[host.name] = self.sim.schedule_in(
+            self.params.resume_latency_s, self._finish_resume, host)
 
     def _finish_resume(self, host: Host) -> None:
+        self._transition_events.pop(host.name, None)
+        if self.faults is not None and self.faults.resume_fails():
+            self._resume_failed(host)
+            return
         acc = (columnar_host_view(self.dc)
                if self._accounting_enabled and self._fleet_active else None)
         if acc is not None:
@@ -565,9 +602,73 @@ class EventDrivenSimulation:
             module = self.suspending[host.name]
             grace = module.grace_for_resume(self.sim.now, self._current_hour)
         host.finish_resume(self.sim.now, grace)
+        self.wol_channel.settle(host.mac_address)
         self.waking.on_host_awake(host)
         self.switch.on_host_available(host)
         self._schedule_check(host, self.params.suspend_check_period_s)
+
+    # ------------------------------------------------------------------
+    # fault primitives (driven by repro.faults.FaultInjector)
+    # ------------------------------------------------------------------
+    def crash_host(self, host: Host,
+                   recover_after_s: float | None = None) -> bool:
+        """Inject an abrupt host failure (DESIGN.md §14).
+
+        Cancels the host's in-flight transition/check timers and
+        tombstones its WoL retries — a ``finish_*`` firing on a CRASHED
+        host would be an illegal transition — then drops the host to
+        CRASHED.  Its VMs stay resident (requests queue on the switch
+        until recovery).  Returns False for hosts that cannot crash
+        (already CRASHED, or powered off)."""
+        if host.state in (PowerState.CRASHED, PowerState.OFF):
+            return False
+        ev = self._transition_events.pop(host.name, None)
+        if ev is not None:
+            ev.cancel()
+        if self.sweeper is not None:
+            self.sweeper.cancel(host)
+        else:
+            ev = self._check_events.pop(host.name, None)
+            if ev is not None:
+                ev.cancel()
+        self._resume_pending.discard(host.name)
+        self.wol_channel.settle(host.mac_address)
+        host.crash(self.sim.now)
+        self.host_crashes += 1
+        if recover_after_s is not None:
+            self.sim.schedule_in(recover_after_s, self._recover_host, host)
+        return True
+
+    def _recover_host(self, host: Host) -> None:
+        """Reboot a crashed host into S0 and drain its queued requests."""
+        if host.state is not PowerState.CRASHED:
+            return
+        host.recover(self.sim.now)
+        self.host_recoveries += 1
+        # The reboot clears any drowsy-era registrations: the host is up.
+        self.waking.on_host_awake(host)
+        queued_before = self.switch.queued_requests
+        self.switch.on_host_available(host)
+        self.recovered_requests += queued_before - self.switch.queued_requests
+        if self.config.suspend_enabled:
+            self._schedule_check(host, self.params.suspend_check_period_s)
+
+    def _resume_failed(self, host: Host) -> None:
+        """A resume that never came back: declare the host crashed and
+        fail its VMs over to live hosts by migration (the consolidation
+        manager's evacuation path); stranded VMs wait for recovery."""
+        self.resume_failures += 1
+        recover_after = (self.faults.resume_recover_after_s()
+                         if self.faults is not None else None)
+        self.crash_host(host, recover_after)
+        live = [h for h in self.dc.hosts
+                if h is not host and h.state is PowerState.ON]
+        migrated, stranded = self.dc.evacuate(host, self.sim.now,
+                                              targets=live)
+        self.failover_migrations += len(migrated)
+        self.stranded_vms += len(stranded)
+        # Requests for the migrated VMs can complete on their new hosts.
+        self.switch.redispatch_pending()
 
     # ------------------------------------------------------------------
     # migrations
@@ -575,6 +676,10 @@ class EventDrivenSimulation:
     def _execute_migration(self, vm: VM, dest: Host) -> None:
         """Controller-requested migration; wakes endpoints as needed."""
         src = self.dc.host_of(vm)
+        if (src.state is PowerState.CRASHED
+                or dest.state is PowerState.CRASHED):
+            self.migrations_blocked += 1
+            return
         for host in (src, dest):
             self._force_awake(host)
         self.dc.migrate(vm, dest, self.sim.now)
@@ -583,6 +688,7 @@ class EventDrivenSimulation:
         if host.state is PowerState.SUSPENDED:
             host.begin_resume(self.sim.now)
             host.finish_resume(self.sim.now, 0.0)
+            self.wol_channel.settle(host.mac_address)
             self.waking.on_host_awake(host)
             self.switch.on_host_available(host)
             self._schedule_check(host, self.params.suspend_check_period_s)

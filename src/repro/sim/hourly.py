@@ -289,6 +289,10 @@ class HourlySimulator:
                          sleepable_hint: bool | None = None) -> None:
         cfg, p = self.config, self.params
 
+        if host.state is PowerState.CRASHED:
+            # Fault injection owns crashed hosts: no power decisions
+            # until the injector's recovery schedule reboots them.
+            return
         # Empty hosts: classic consolidation powers them off.
         if not host.vms:
             if cfg.power_off_empty and host.state is PowerState.ON:

@@ -6,9 +6,25 @@ this way, when a waking module is defective, it is replaced with an
 identical version."
 
 :class:`ReplicatedWakingService` fronts a primary/mirror pair: every
-state-changing call is applied to the primary and synchronously
-replicated to the mirror's state; a heartbeat monitor promotes the
-mirror when the primary misses enough beats.
+state-changing call is applied to the active module and synchronously
+replicated to the standby's state; a heartbeat monitor promotes the
+mirror when the primary misses ``heartbeat_miss_limit`` beats.
+
+The detection window is real.  Between the primary dying and the
+heartbeat noticing (worst case :attr:`detection_delay_s`), calls against
+the service behave like their distributed-system counterparts:
+
+* state-changing calls (register/awake) time out against the dead
+  active, but the same update also reaches the standby over the
+  replication channel, which *journals* it — state only, no timers —
+  so promotion re-arms every wake registered inside the window (the
+  in-flight-wake-loss fix; regression-tested in ``tests/test_waking.py``);
+* packet analysis returns "no wake" (counted in
+  :attr:`unanswered_packets`); the SDN switch's port-level WoL fallback
+  keeps request-triggered wakes working meanwhile;
+* with *both* replicas dead the service degrades instead of raising:
+  updates are dropped (counted in :attr:`lost_calls`) and analysis
+  declines, leaving the switch fallback as the only wake path.
 """
 
 from __future__ import annotations
@@ -35,6 +51,13 @@ class ReplicatedWakingService:
         self._mirror_active = False
         self._missed_beats = 0
         self.failovers = 0
+        #: Updates journaled on the standby while the active was dead
+        #: (the heartbeat detection window).
+        self.window_journaled = 0
+        #: Packets no live module could analyze (window or total outage).
+        self.unanswered_packets = 0
+        #: State-changing calls dropped because both replicas were dead.
+        self.lost_calls = 0
         self._heartbeat_event = sim.schedule_in(
             params.heartbeat_period_s, self._heartbeat)
 
@@ -49,31 +72,44 @@ class ReplicatedWakingService:
     def active(self) -> WakingModule:
         return self.mirror if self._mirror_active else self.primary
 
-    def _ensure_live(self) -> WakingModule:
-        """Fail fast: a call hitting a dead primary (an RPC timeout in a
-        real deployment) promotes the mirror immediately, without waiting
-        for the heartbeat to notice."""
-        if not self.active.alive and not self._mirror_active:
-            self._promote_mirror()
-        return self.active
+    @property
+    def standby(self) -> WakingModule:
+        return self.primary if self._mirror_active else self.mirror
 
     def register_suspension(self, host: Host, waking_date_s: float | None) -> None:
-        self._ensure_live().register_suspension(host, waking_date_s)
-        self._replicate()
+        if self.active.alive:
+            self.active.register_suspension(host, waking_date_s)
+            self._replicate()
+        elif self.standby.alive:
+            # Detection window: the RPC to the active times out, but the
+            # suspending module's update also rides the replication
+            # channel; the standby journals it and promotion re-arms it.
+            self.standby.journal_suspension(host, waking_date_s)
+            self.window_journaled += 1
+        else:
+            self.lost_calls += 1
 
     def on_host_awake(self, host: Host) -> None:
-        self._ensure_live().on_host_awake(host)
-        self._replicate()
+        if self.active.alive:
+            self.active.on_host_awake(host)
+            self._replicate()
+        elif self.standby.alive:
+            self.standby.journal_awake(host)
+            self.window_journaled += 1
+        else:
+            self.lost_calls += 1
 
     def analyze_packet(self, packet: Packet) -> bool:
-        module = self._ensure_live()
-        if not module.alive:  # both replicas down
+        if not self.active.alive:
+            # Window or total outage: analysis is unavailable; the SDN
+            # switch's port-level WoL fallback covers inbound requests.
+            self.unanswered_packets += 1
             return False
-        return module.analyze_packet(packet)
+        return self.active.analyze_packet(packet)
 
     def _replicate(self) -> None:
         """Synchronous state mirroring after each update."""
-        standby = self.primary if self._mirror_active else self.mirror
+        standby = self.standby
         if standby.alive:
             standby.state = self.active.snapshot()
 
@@ -87,7 +123,9 @@ class ReplicatedWakingService:
         else:
             self._missed_beats += 1
             if self._missed_beats >= self.params.heartbeat_miss_limit:
-                self._promote_mirror()
+                if self.mirror.alive:
+                    self._promote_mirror()
+                # Both dead: stop monitoring, service stays degraded.
                 return
         self._heartbeat_event = self.sim.schedule_in(
             self.params.heartbeat_period_s, self._heartbeat)

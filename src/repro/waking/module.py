@@ -172,6 +172,30 @@ class WakingModule:
     # ------------------------------------------------------------------
     # mirroring hooks (fault tolerance, section V)
     # ------------------------------------------------------------------
+    def journal_suspension(self, host: Host, waking_date_s: float | None) -> None:
+        """Standby-side state update off the replication channel.
+
+        While the active module is dead but undetected (the heartbeat
+        window), suspending-module updates still reach the standby; it
+        records them *state-only* — no timers armed, no WoL emitted —
+        and promotion's :meth:`restore` re-arms every journaled waking
+        date.  This is what makes a wake registered inside the detection
+        window survive the failover."""
+        if not self.alive:
+            raise RuntimeError(f"waking module {self.name} is down")
+        mac = host.mac_address
+        for vm in host.vms:
+            self.state.map_vm(vm.ip_address, mac)
+        self.state.waking_dates[mac] = waking_date_s
+
+    def journal_awake(self, host: Host) -> None:
+        """Standby-side counterpart of :meth:`on_host_awake`."""
+        if not self.alive:
+            raise RuntimeError(f"waking module {self.name} is down")
+        mac = host.mac_address
+        self.state.waking_dates.pop(mac, None)
+        self.state.drop_mac(mac)
+
     def snapshot(self) -> WakingModuleState:
         """State to replicate to the mirror module."""
         return self.state.copy()

@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.consolidation",
     "repro.core",
     "repro.experiments",
+    "repro.faults",
     "repro.network",
     "repro.scenarios",
     "repro.sched",

@@ -171,6 +171,83 @@ class TestFailover:
             service.primary.analyze_packet(Packet(dst_ip=vm.ip_address))
 
 
+class TestFailoverWindow:
+    """The heartbeat detection window is real: calls landing between the
+    primary dying and the mirror's promotion must not be lost."""
+
+    def make_service(self):
+        sim = EventSimulator()
+        spy = WolSpy()
+        service = ReplicatedWakingService(sim, spy)
+        host, vm = make_host()
+        return sim, spy, service, host, vm
+
+    def test_wake_registered_in_window_survives_failover(self):
+        """Regression: a suspension registered DURING the detection
+        window (worst case: just after the last good heartbeat) is
+        journaled on the standby and re-armed by promotion — the
+        in-flight-wake-loss fix."""
+        sim, spy, service, host, vm = self.make_service()
+        service.fail_primary()
+        # Deep inside the window, before any chance of promotion.
+        sim.schedule_at(
+            service.detection_delay_s * 0.5,
+            service.register_suspension, host, 1000.0)
+        sim.run_until(2000.0)
+        assert service.failovers == 1
+        assert service.window_journaled == 1
+        assert len(spy.sent) == 1
+        packet, at = spy.sent[0]
+        assert packet.mac_address == host.mac_address
+        assert at <= 1000.0
+
+    def test_awake_in_window_cancels_scheduled_wake(self):
+        sim, spy, service, host, vm = self.make_service()
+        service.register_suspension(host, waking_date_s=1000.0)
+        service.fail_primary()
+        sim.schedule_at(service.detection_delay_s * 0.5,
+                        service.on_host_awake, host)
+        sim.run_until(2000.0)
+        assert service.window_journaled == 1
+        assert spy.sent == []  # promotion must not re-arm a moot wake
+
+    def test_promotion_within_detection_bound(self):
+        sim, spy, service, host, vm = self.make_service()
+        service.fail_primary()
+        # One heartbeat period past the worst-case bound is enough.
+        sim.run_until(service.detection_delay_s
+                      + DEFAULT_PARAMS.heartbeat_period_s)
+        assert service.failovers == 1
+        assert service.active is service.mirror
+
+    def test_analysis_declines_during_window(self):
+        sim, spy, service, host, vm = self.make_service()
+        service.register_suspension(host, waking_date_s=None)
+        service.fail_primary()
+        assert service.analyze_packet(Packet(dst_ip=vm.ip_address)) is False
+        assert service.unanswered_packets == 1
+        assert spy.sent == []
+
+    def test_dead_mirror_is_not_promoted(self):
+        sim, spy, service, host, vm = self.make_service()
+        service.fail_primary()
+        service.mirror.fail()
+        sim.run_until(service.detection_delay_s + 5.0)
+        assert service.failovers == 0
+
+    def test_both_dead_degrades_without_raising(self):
+        sim, spy, service, host, vm = self.make_service()
+        service.fail_primary()
+        service.mirror.fail()
+        sim.run_until(service.detection_delay_s + 5.0)
+        service.register_suspension(host, waking_date_s=1000.0)
+        service.on_host_awake(host)
+        assert service.lost_calls == 2
+        assert service.analyze_packet(Packet(dst_ip=vm.ip_address)) is False
+        sim.run_until(2000.0)
+        assert spy.sent == []
+
+
 class TestReverseIndex:
     """The MAC -> IPs reverse index replacing the per-resume map scan."""
 
