@@ -17,11 +17,12 @@ string-keyed extension registries and typed lifecycle observers:
   engines used to take as bare callables.
 """
 
-from .backends import EventBackend, HourlyBackend, backends
+from .backends import EventBackend, HourlyBackend, ShardedBackend, backends
 from .controllers import SWEEP_CONTROLLERS, build_controller, controllers
 from .observers import CallableObserver, Observer, as_observer
 from .registry import Registry
 from .result import RunResult
+from .sharded import ShardedConfig
 from .simulation import Simulation
 
 __all__ = [
@@ -32,6 +33,8 @@ __all__ = [
     "Registry",
     "RunResult",
     "SWEEP_CONTROLLERS",
+    "ShardedBackend",
+    "ShardedConfig",
     "Simulation",
     "as_observer",
     "backends",

@@ -27,7 +27,24 @@ from .result import RunResult
 backends: Registry = Registry("backend")
 
 
-class HourlyBackend:
+class _DirectFleetAdmin:
+    """Fleet administration for single-engine backends: the effects run
+    straight on the engine's (only) data center."""
+
+    def evacuate_host(self, engine, host, now: float, targets=None):
+        return engine.dc.evacuate(host, now, targets)
+
+    def place_vm(self, engine, vm, dest) -> None:
+        engine.dc.place(vm, dest)
+
+    def power_off_host(self, engine, host, now: float) -> None:
+        host.power_off(now)
+
+    def power_on_host(self, engine, host, now: float) -> None:
+        host.power_on(now)
+
+
+class HourlyBackend(_DirectFleetAdmin):
     """The analytic hour-resolution engine (DESIGN.md §3)."""
 
     name = "hourly"
@@ -69,7 +86,7 @@ class HourlyBackend:
         pass  # no scheduled per-VM events to swallow
 
 
-class EventBackend:
+class EventBackend(_DirectFleetAdmin):
     """The request-level event-driven engine (DESIGN.md §3, §10)."""
 
     name = "event"
@@ -109,5 +126,83 @@ class EventBackend:
         engine.note_vm_departed(vm_name)
 
 
+class ShardedBackend:
+    """One run partitioned across per-shard engines (DESIGN.md §15).
+
+    The fleet is split by a stable hash of the host name; each shard
+    runs an unmodified inner engine (``hourly`` or ``event``) over its
+    sub-fleet while the coordinator drives the real controller and the
+    observers against a global replica, replaying their side effects
+    into the owning shards.  Results are bit-identical to the inner
+    backend for every shard/worker count — asserted by the sharded
+    parity suite.  The administrative surface routes through the
+    coordinator's op capture: churn effects must reach both the replica
+    and the shard that owns the touched host.
+    """
+
+    name = "sharded"
+
+    @property
+    def config_type(self):
+        from .sharded import ShardedConfig
+
+        return ShardedConfig
+
+    def prepare_config(self, config, seed: int | None):
+        from .sharded import ShardedConfig
+
+        if config is None:
+            config = ShardedConfig()
+        inner = backends.get(config.inner)
+        inner_cfg = config.inner_config
+        if inner_cfg is None and config.inner == "event":
+            from ..sim.event_driven import EventConfig
+
+            # The sharded default differs from the plain event default
+            # in exactly one way: per-VM request streams (a shared
+            # stream's draw order cannot be partitioned).
+            inner_cfg = (EventConfig(request_streams="per-vm")
+                         if seed is None
+                         else EventConfig(seed=seed,
+                                          request_streams="per-vm"))
+        inner_cfg = inner.prepare_config(inner_cfg, seed)
+        if inner_cfg is not config.inner_config:
+            config = replace(config, inner_config=inner_cfg)
+        return config
+
+    def build(self, dc, controller, params: DrowsyParams, config,
+              hour_hooks: tuple):
+        from .sharded.coordinator import ShardedCoordinator
+
+        return ShardedCoordinator(dc, controller, params, config,
+                                  hour_hooks=hour_hooks)
+
+    def to_run_result(self, native) -> RunResult:
+        return native  # the coordinator's reduction is already unified
+
+    # -- administrative surface (scenario churn) -----------------------
+    def force_awake(self, engine, host, now: float) -> None:
+        engine.force_awake(host, now)
+
+    def reinstate_check(self, engine, host) -> None:
+        engine.reinstate_check(host)
+
+    def note_vm_departed(self, engine, vm_name: str) -> None:
+        engine.note_vm_departed(vm_name)
+
+    def evacuate_host(self, engine, host, now: float, targets=None):
+        return engine.evacuate_host(host, now, targets)
+
+    def place_vm(self, engine, vm, dest) -> None:
+        engine.place_vm(vm, dest)
+
+    def power_off_host(self, engine, host, now: float) -> None:
+        engine.power_off_host(host, now)
+
+    def power_on_host(self, engine, host, now: float) -> None:
+        engine.power_on_host(host, now)
+
+
 backends.register("hourly", HourlyBackend())
 backends.register("event", EventBackend())
+backends.register("sharded", ShardedBackend())

@@ -33,6 +33,7 @@ SWEEP_CONTROLLERS = ("drowsy", "neat", "neat-distributed", "oasis")
 
 @controllers.register("drowsy")
 def _drowsy(dc, params: DrowsyParams):
+    """Drowsy-DC: idleness-model consolidation with drowsy standby."""
     from ..consolidation.drowsy import DrowsyController
 
     return DrowsyController(dc, params=params)
@@ -40,6 +41,7 @@ def _drowsy(dc, params: DrowsyParams):
 
 @controllers.register("neat")
 def _neat(dc, params: DrowsyParams):
+    """Neat: reactive overload/underload migration baseline."""
     from ..consolidation.neat import NeatController
 
     return NeatController(dc, params=params)
@@ -47,6 +49,7 @@ def _neat(dc, params: DrowsyParams):
 
 @controllers.register("neat-distributed")
 def _neat_distributed(dc, params: DrowsyParams):
+    """Neat with per-rack distributed consolidation managers."""
     from ..consolidation.managers import DistributedNeat
 
     return DistributedNeat(dc, params)
@@ -54,6 +57,7 @@ def _neat_distributed(dc, params: DrowsyParams):
 
 @controllers.register("oasis")
 def _oasis(dc, params: DrowsyParams):
+    """Oasis-like hybrid partial-migration baseline (EuroSys'16)."""
     from ..consolidation.oasis import OasisController
 
     return OasisController(
@@ -62,6 +66,7 @@ def _oasis(dc, params: DrowsyParams):
 
 @controllers.register("none")
 def _none(dc, params: DrowsyParams):
+    """Un-managed baseline: no migrations, hosts never sleep."""
     from ..consolidation.baseline import PassiveController
 
     return PassiveController()

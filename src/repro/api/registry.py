@@ -59,6 +59,22 @@ class Registry(Generic[T]):
     def names(self) -> tuple[str, ...]:
         return tuple(self._entries)
 
+    def describe(self) -> dict[str, str]:
+        """Ordered ``name -> one-line summary`` over the entries.
+
+        The summary is the headline of the entry's docstring (for
+        registered instances, attribute lookup falls through to the
+        class docstring), so an extension documents itself at the
+        point of registration.  ``python -m repro list`` renders this
+        table verbatim — it is the one listing path for every
+        registry-backed extension point.
+        """
+        out: dict[str, str] = {}
+        for name, entry in self._entries.items():
+            doc = (getattr(entry, "__doc__", None) or "").strip()
+            out[name] = doc.splitlines()[0].strip() if doc else ""
+        return out
+
     # ------------------------------------------------------------------
     def __contains__(self, name: object) -> bool:
         return name in self._entries

@@ -26,7 +26,58 @@ golden parity suite (``tests/test_api.py``) holds bit-identically.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields, is_dataclass
+from pathlib import Path
+
+
+@dataclass(frozen=True)
+class ResultRow:
+    """One cell of the flattened :class:`RunResult` wire table.
+
+    ``field`` names the result field, ``key`` the dict key (or the
+    fault-summary field) inside it — empty for scalars.  Every value is
+    carried as text: floats via ``repr`` (shortest round-trip form),
+    so a reloaded result compares equal bit-for-bit.
+    """
+
+    field: str
+    key: str
+    kind: str
+    value: str
+
+
+_TABLE_CLS = None
+
+
+def _result_table():
+    """The :class:`~repro.sim.sweep.SweepTable` subclass carrying
+    flattened results (lazy: ``sim.sweep`` imports the api package)."""
+    global _TABLE_CLS
+    if _TABLE_CLS is None:
+        from ..sim.sweep import SweepTable
+
+        class _RunResultTable(SweepTable):
+            row_type = ResultRow
+            _TABLE = "run_result"
+
+        _TABLE_CLS = _RunResultTable
+    return _TABLE_CLS
+
+
+def _cell(value) -> tuple[str, str]:
+    if isinstance(value, float):
+        return "float", repr(value)
+    if isinstance(value, int):
+        return "int", str(value)
+    return "str", str(value)
+
+
+def _decode(kind: str, value: str):
+    if kind == "float":
+        return float(value)
+    if kind == "int":
+        return int(value)
+    return value
 
 
 @dataclass
@@ -134,3 +185,78 @@ class RunResult:
             wol_sent=result.wol_sent,
             events_processed=result.events_processed,
         )
+
+    # ------------------------------------------------------------------
+    # persistence (suffix dispatch through the sweep-table machinery)
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Write the result to ``path``; the suffix picks the format
+        (``.csv``, ``.sqlite``/``.sqlite3``/``.db`` — one appended run
+        per call — or ``.parquet``), exactly like sweep tables.
+
+        The result is flattened to :class:`ResultRow` cells in field
+        order (dict rows in dict order, which for per-host maps is
+        fleet order), so :meth:`load` rebuilds a result that compares
+        equal to the original — floats included.
+        """
+        self._table()(rows=self._to_rows()).save(path)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RunResult":
+        """Read a result previously written by :meth:`save` (for
+        SQLite: the most recently appended run)."""
+        return cls._from_rows(cls._table().load(path).rows)
+
+    _table = staticmethod(_result_table)
+
+    def _to_rows(self) -> list[ResultRow]:
+        rows: list[ResultRow] = []
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if value is None:
+                rows.append(ResultRow(f.name, "", "none", ""))
+            elif isinstance(value, dict):
+                # Marker row first: an *empty* dict still round-trips,
+                # and the count guards against truncated files.
+                rows.append(ResultRow(f.name, "", "dict", str(len(value))))
+                for key, item in value.items():
+                    kind, text = _cell(item)
+                    rows.append(ResultRow(f.name, str(key), kind, text))
+            elif is_dataclass(value) and not isinstance(value, type):
+                rows.append(ResultRow(f.name, "", "fault-summary", ""))
+                for sf in fields(value):
+                    kind, text = _cell(getattr(value, sf.name))
+                    rows.append(ResultRow(f.name, sf.name, kind, text))
+            else:
+                kind, text = _cell(value)
+                rows.append(ResultRow(f.name, "", kind, text))
+        return rows
+
+    @classmethod
+    def _from_rows(cls, rows) -> "RunResult":
+        from ..faults.spec import FaultSummary
+
+        kwargs: dict = {}
+        counts: dict[str, int] = {}
+        summaries: list[str] = []
+        for row in rows:
+            if row.key:
+                kwargs[row.field][row.key] = _decode(row.kind, row.value)
+            elif row.kind == "none":
+                kwargs[row.field] = None
+            elif row.kind == "dict":
+                kwargs[row.field] = {}
+                counts[row.field] = int(row.value)
+            elif row.kind == "fault-summary":
+                kwargs[row.field] = {}
+                summaries.append(row.field)
+            else:
+                kwargs[row.field] = _decode(row.kind, row.value)
+        for name, expected in counts.items():
+            if len(kwargs[name]) != expected:
+                raise ValueError(
+                    f"result table is truncated: {name} has "
+                    f"{len(kwargs[name])} of {expected} entries")
+        for name in summaries:
+            kwargs[name] = FaultSummary(**kwargs[name])
+        return cls(**kwargs)

@@ -1,0 +1,43 @@
+"""Configuration for the sharded distributed backend (DESIGN.md §15).
+
+A :class:`ShardedConfig` wraps one of the two single-engine backends —
+the *inner* engine — and says how many shards to partition the fleet
+into and how many OS processes to spread the shards over.  It is a
+frozen dataclass so a prepared config can be shipped to spawn workers
+and compared for equality in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ShardedConfig:
+    """How to shard one simulation run across engines.
+
+    ``shards`` is the number of fleet partitions (each runs a full
+    inner engine over its sub-fleet); ``workers`` the number of worker
+    *processes* — ``0`` runs every shard as a thread of the calling
+    process (deterministic, zero spawn cost, the default for tests),
+    ``N > 0`` spreads shards round-robin over ``min(N, shards)``
+    spawned processes for real parallelism.  ``inner`` picks the
+    per-shard engine (``"event"`` or ``"hourly"``) and
+    ``inner_config`` its config; ``None`` means the inner backend's
+    default, with the event engine forced onto per-VM request streams
+    (shared-stream runs are not shardable, see ``coordinator``).
+    """
+
+    shards: int = 4
+    inner: str = "event"
+    inner_config: object | None = None
+    workers: int = 0
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.inner not in ("event", "hourly"):
+            raise ValueError(
+                f"inner engine must be 'event' or 'hourly', got {self.inner!r}")
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")

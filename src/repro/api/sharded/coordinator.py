@@ -1,0 +1,596 @@
+"""The sharded backend's coordinator: one global brain, N shard engines.
+
+``ShardedCoordinator`` is the "engine" object the façade drives when
+``backend="sharded"``.  It partitions the fleet by host name
+(:mod:`.partition`), ships each partition to a shard running an
+unmodified inner engine around a :class:`~.port.ShardPort`, and keeps
+the *original* data center as a *replica*: a global mirror whose power
+states come from shard digests and whose placement the coordinator
+itself maintains.  The real consolidation controller and the real
+observers (scenario churn, user hooks) run against the replica only —
+their side effects are captured as ops and replayed into the owning
+shards through the per-hour three-phase exchange:
+
+1. **extract** — each shard detaches the VMs leaving it this tick and
+   ships them as self-contained bundles (pickled VM + request stream +
+   queued requests + scheduled arrivals + waking-map entry);
+2. **bundles** — the coordinator routes each bundle to the shard that
+   now owns the VM;
+3. **ops** — each shard applies its op list in global call order.
+
+Every op in one exchange shares the tick's timestamp, so meter
+intervals between replayed ops are zero-length and the per-shard
+filtered order is result-identical to the global order; the digests
+before the controller (``hour``) and before the observers (``hook``)
+keep the replica's power states exact even though the hourly engine
+flips states *between* those two points.  The reduction then rebuilds
+the single-engine result bit-for-bit: per-host quantities reassemble
+in fleet order from their owning shard, request latencies merge as a
+multiset (the digest sorts), waking heartbeats and hour ticks are
+de-duplicated by count, and placement-level counts come straight from
+the replica.
+
+Not shardable (rejected with ``ValueError``): shared request streams
+(one global RNG), controllers that veto sleep per-host on the hourly
+inner (they read global state at power-step time), waking-service
+fault plans and resume failures (both draw from streams whose order
+depends on the global interleaving).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ...cluster.power import PowerState
+from ...core.binding import FleetBinding
+from ...core.calendar import time_of_hour
+from ..result import RunResult
+from .config import ShardedConfig
+from .guard import WakingVerifier
+from .partition import clone_shard_dc, detach_fleet_models, partition_hosts
+from .transport import ShardTransport
+from .wire import pickle_vm, record_as_dict
+
+
+class ShardError(RuntimeError):
+    """A shard died or broke protocol; the run cannot continue."""
+
+
+class ShardedCoordinator:
+    """Drives one sharded run; the façade's ``engine`` object."""
+
+    def __init__(self, dc, controller, params,
+                 config: ShardedConfig | None = None,
+                 hour_hooks: tuple = ()) -> None:
+        self.dc = dc
+        self.controller = controller
+        self.params = params
+        self.config = config if config is not None else ShardedConfig()
+        self.hour_hooks = tuple(hour_hooks)
+        self._inner_config = self._resolve_inner_config()
+        self._validate()
+        #: Migration attempts refused because an endpoint host was
+        #: crashed — counted here (the replica decides), never on shards.
+        self.migrations_blocked = 0
+        self._fault = None
+        self._binding = None
+        self._horizon: tuple[int, int] | None = None
+        self._outcomes: list[dict] | None = None
+        self._transport: ShardTransport | None = None
+        self._shard_hosts: list[list] = []
+        self._shard_of_host: dict[str, int] = {}
+        self._vm_shard: dict[str, int] = {}
+        self._extracts: list[list] = []
+        self._ops: list[list] = []
+        self._needs: list[set] = []
+        self._bulk_records: list = []
+        self._verifier: WakingVerifier | None = None
+        self._now = 0.0
+
+    # ------------------------------------------------------------------
+    def _resolve_inner_config(self):
+        cfg = self.config.inner_config
+        if cfg is not None:
+            return cfg
+        if self.config.inner == "event":
+            from ...sim.event_driven import EventConfig
+
+            return EventConfig(request_streams="per-vm")
+        from ...sim.hourly import HourlyConfig
+
+        return HourlyConfig()
+
+    def _validate(self) -> None:
+        cfg = self._inner_config
+        if self.config.inner == "event":
+            if getattr(cfg, "request_streams", "shared") != "per-vm":
+                raise ValueError(
+                    "the sharded backend needs request_streams='per-vm': "
+                    "a shared request stream's draw order depends on the "
+                    "global fleet interleaving and cannot be partitioned")
+            if not cfg.use_bulk_requests:
+                raise ValueError(
+                    "the sharded backend needs use_bulk_requests=True "
+                    "(the per-push path draws from one global stream)")
+        elif getattr(self.controller, "host_can_sleep", None) is not None:
+            raise ValueError(
+                f"controller {self.controller.name!r} vetoes sleep "
+                "per-host from global state; the hourly inner engine "
+                "would consult it on every shard — not shardable")
+
+    # ------------------------------------------------------------------
+    # fault-plan installation (called by FaultInjector.on_run_start)
+    # ------------------------------------------------------------------
+    def install_fault_plan(self, injector, start_hour: int,
+                           n_hours: int) -> None:
+        plan = injector.plan
+        if not plan.waking.is_zero:
+            raise ValueError(
+                "waking-service faults (kill_primary_at_h / partitions) "
+                "target per-shard service replicas and are not shardable")
+        if plan.transitions.resume_failure_probability > 0.0:
+            raise ValueError(
+                "resume failures draw from one shared stream in global "
+                "resume order and are not shardable")
+        # The global schedule (name-keyed per-host streams, global
+        # max_crashes cap) is computed once here and sliced by owning
+        # shard, so every shard sees exactly the crashes an unsharded
+        # run would inject on its hosts.
+        schedule = injector._crash_schedule(self.dc.hosts, start_hour,
+                                            n_hours)
+        self._fault = (injector, schedule)
+
+    # ------------------------------------------------------------------
+    # run
+    # ------------------------------------------------------------------
+    def run(self, n_hours: int, start_hour: int = 0) -> RunResult:
+        if n_hours <= 0:
+            raise ValueError("n_hours must be positive")
+        detach_fleet_models(self.dc)
+        shard_lists = partition_hosts(self.dc, self.config.shards)
+        if not shard_lists:
+            raise ValueError("cannot shard an empty fleet")
+        self._shard_hosts = shard_lists
+        self._shard_of_host = {h.name: k
+                               for k, hosts in enumerate(shard_lists)
+                               for h in hosts}
+        self._vm_shard = {vm.name: self._shard_of_host[h.name]
+                          for hosts in shard_lists
+                          for h in hosts for vm in h.vms}
+        if self.config.inner == "event":
+            # The waking-plane guard (DESIGN.md §15): replays each
+            # shard's recorded waking activity and refuses runs whose
+            # waking interactions cross shards mid-hour.
+            self._verifier = WakingVerifier(self.dc, self._shard_of_host,
+                                            len(shard_lists))
+        setups = self._build_setups(shard_lists, n_hours, start_hour)
+        self._horizon = (start_hour, n_hours)
+        self._bind_replica()
+        migrations_before = len(self.dc.migrations)
+        self._transport = ShardTransport(setups, self.config.workers)
+        try:
+            for t in range(start_hour, start_hour + n_hours):
+                self._hour(t)
+            outcomes = [self._recv(k, "done")[1]
+                        for k in range(len(shard_lists))]
+            self._verify_window([o.get("waking") for o in outcomes],
+                                f"end of hour {start_hour + n_hours - 1}",
+                                check_states=False)
+        except BaseException:
+            self._transport.abort()
+            self._transport.shutdown(force=True)
+            self._transport = None
+            raise
+        self._transport.shutdown()
+        self._transport = None
+        self._outcomes = outcomes
+        self.dc.sync_meters(time_of_hour(start_hour + n_hours))
+        return self._reduce(outcomes, n_hours, migrations_before)
+
+    def _build_setups(self, shard_lists: list[list], n_hours: int,
+                      start_hour: int) -> list[dict]:
+        from dataclasses import replace
+
+        shard_cfg = self._inner_config
+        if self.config.inner == "hourly":
+            # The hourly engine hoists its columnar accounting view per
+            # hour, *before* consolidation — a mid-tick cross-shard
+            # insert would be invisible to it.  The scalar path reads
+            # live state and is bit-identical (asserted by the parity
+            # suite), so shards run without host accounting.
+            shard_cfg = replace(shard_cfg, use_host_accounting=False)
+        setups = []
+        for k, hosts in enumerate(shard_lists):
+            fault = None
+            if self._fault is not None:
+                injector, schedule = self._fault
+                names = {h.name for h in hosts}
+                fault = {"plan": injector.plan, "seed": injector.seed,
+                         "crashes": [(at, nm) for at, nm in schedule
+                                     if nm in names]}
+            setups.append({
+                "index": k,
+                "dc": clone_shard_dc(self.dc, hosts),
+                "controller_name": self.controller.name,
+                "uses_idleness": getattr(self.controller, "uses_idleness",
+                                         False),
+                "params": self.params,
+                "inner": self.config.inner,
+                "config": shard_cfg,
+                "n_hours": n_hours,
+                "start_hour": start_hour,
+                "fault": fault,
+            })
+        return setups
+
+    def _bind_replica(self) -> None:
+        if getattr(self._inner_config, "use_fleet_model", False):
+            self._binding = FleetBinding.try_bind(self.dc, self.params,
+                                                  accounting=False)
+            if self._binding is not None and self._horizon is not None:
+                self._binding.ensure_horizon(*self._horizon)
+        else:
+            self._binding = None
+
+    # ------------------------------------------------------------------
+    # the per-hour lockstep
+    # ------------------------------------------------------------------
+    def _hour(self, t: int) -> None:
+        cfg = self._inner_config
+        now = time_of_hour(t)
+        self._now = now
+        n_shards = len(self._shard_hosts)
+        drains = []
+        for k in range(n_shards):
+            msg = self._recv(k, "hour")
+            self._apply_digest(k, msg[2])
+            drains.append(msg[3])
+        self._verify_window(drains, f"hour {t}")
+        # Replica prologue — mirror of the engines' hour prologue, so
+        # the real controller reads the same activities and models an
+        # unsharded run would show it.  (Replica meters are clock
+        # hygiene only; no result reads them.)
+        vms = self.dc.vms
+        binding = self._binding
+        activities = None
+        if binding is not None and binding.covers(vms):
+            self.dc.sync_meters(now)
+            activities = binding.load_hour(t)
+        else:
+            self.dc.set_hour_activities(t, now)
+        self.controller.observe_hour(t)
+        if t % cfg.consolidation_period_h == 0:
+            self._begin_capture()
+            if cfg.relocate_all_mode and hasattr(self.controller,
+                                                 "relocate_all"):
+                before = len(self.dc.migrations)
+                self.controller.relocate_all(t, now)
+                self._route_bulk(self.dc.migrations[before:])
+            elif self.config.inner == "event":
+                self.controller.step(t, now,
+                                     executor=self._capturing_executor)
+            else:
+                before = len(self.dc.migrations)
+                self.controller.step(t, now)
+                self._route_records(self.dc.migrations[before:])
+            self._flush_exchange()
+        if cfg.update_models or getattr(self.controller, "uses_idleness",
+                                        False):
+            if activities is not None:
+                binding.observe(t, activities)
+            else:
+                for vm in vms:
+                    vm.model.observe(t, vm.current_activity)
+        # Hook barrier: a second digest (the hourly engine changes power
+        # states between consolidation and its hooks), then the
+        # observers against the replica with op capture.
+        for k in range(n_shards):
+            self._apply_digest(k, self._recv(k, "hook")[2])
+        self._begin_capture()
+        for hook in self.hour_hooks:
+            hook(t, now)
+        self._flush_exchange()
+
+    def _verify_window(self, drains: list, label: str,
+                       check_states: bool = True) -> None:
+        """Run the waking guard over one hour's records (event inner
+        only).  ``check_states`` cross-checks the verifier's replayed
+        power states against the digest just applied — a protocol
+        sanity net over the probe itself."""
+        verifier = self._verifier
+        if verifier is None:
+            return
+        residency: dict[str, set[int]] = {}
+        for vm in self.dc.vms:
+            if vm.interactive:
+                residency.setdefault(vm.ip_address, set()).add(
+                    self._vm_shard[vm.name])
+        verifier.verify_window(drains, residency, label)
+        if check_states:
+            for host in self.dc.hosts:
+                if verifier.states[host.name] is not host.state:
+                    raise ShardError(
+                        f"waking guard desynchronized at {label}: host "
+                        f"{host.name} digest says {host.state.name}, "
+                        "transition replay says "
+                        f"{verifier.states[host.name].name}")
+
+    def _apply_digest(self, k: int, states: list) -> None:
+        for host, state in zip(self._shard_hosts[k], states):
+            host.state = state
+
+    def _recv(self, k: int, expect: str):
+        msg = self._transport.endpoints[k].recv()
+        if msg[0] == "error":
+            raise ShardError(f"shard {k} failed:\n{msg[1]}")
+        if msg[0] != expect:
+            raise ShardError(f"protocol error from shard {k}: "
+                             f"expected {expect!r}, got {msg[0]!r}")
+        return msg
+
+    # ------------------------------------------------------------------
+    # op capture
+    # ------------------------------------------------------------------
+    def _begin_capture(self) -> None:
+        n_shards = len(self._shard_hosts)
+        self._extracts = [[] for _ in range(n_shards)]
+        self._ops = [[] for _ in range(n_shards)]
+        self._needs = [set() for _ in range(n_shards)]
+        self._bulk_records = []
+
+    def _flush_exchange(self) -> None:
+        endpoints = self._transport.endpoints
+        for k, endpoint in enumerate(endpoints):
+            endpoint.send(("extract", self._extracts[k]))
+        bundles: dict[str, dict] = {}
+        for k in range(len(endpoints)):
+            bundles.update(self._recv(k, "bundles")[1])
+        for k, endpoint in enumerate(endpoints):
+            ops = [("place", pickle_vm(op[1]), op[2]) if op[0] == "place"
+                   else op for op in self._ops[k]]
+            endpoint.send(("ops", ops,
+                           {name: bundles[name] for name in self._needs[k]}))
+        self._mirror_map_surgery(bundles)
+
+    def _mirror_map_surgery(self, bundles: dict[str, dict]) -> None:
+        """Replay this exchange's waking-map surgery into the guard's
+        replicas: the entry travelling with each extracted VM, then the
+        bulk refresh in global record order (exactly what the shards
+        apply while their probes are muted)."""
+        verifier = self._verifier
+        if verifier is None:
+            return
+        for k, extracts in enumerate(self._extracts):
+            for name, _wake in extracts:
+                bundle = bundles[name]
+                verifier.transfer(k, self._vm_shard[name],
+                                  bundle.get("ip"),
+                                  bundle.get("waking_mac"),
+                                  bundle.get("kept", False))
+        for record in self._bulk_records:
+            vm, _ = self.dc.find_vm(record.vm_name)
+            dest = self.dc.host(record.destination)
+            drowsy = dest.state in (PowerState.SUSPENDING,
+                                    PowerState.SUSPENDED)
+            verifier.bulk_note(self._shard_of_host[dest.name],
+                               vm.ip_address,
+                               dest.mac_address if drowsy else None)
+        self._bulk_records = []
+
+    def _mirror_wake(self, host) -> None:
+        # The replica half of a force-awake: state + meter only (the
+        # channel/waking/switch machinery lives on the shards).  A
+        # SUSPENDING host resumes shard-side when its transition
+        # completes; the next digest refreshes the replica.
+        if host.state is PowerState.SUSPENDED:
+            host.begin_resume(self._now)
+            host.finish_resume(self._now, 0.0)
+            if self._verifier is not None:
+                self._verifier.surgery_wake(host.mac_address, self._now)
+
+    def _capturing_executor(self, vm, dest) -> None:
+        # Mirror of EventDrivenSimulation._execute_migration over the
+        # replica, emitting the shard ops that replay it.
+        dc = self.dc
+        src = dc.host_of(vm)
+        if (src.state is PowerState.CRASHED
+                or dest.state is PowerState.CRASHED):
+            self.migrations_blocked += 1
+            return
+        self._mirror_wake(src)
+        self._mirror_wake(dest)
+        dc.migrate(vm, dest, self._now)
+        k_src = self._shard_of_host[src.name]
+        k_dst = self._shard_of_host[dest.name]
+        if k_src == k_dst:
+            self._ops[k_src].append(("exec-mig", vm.name, dest.name))
+        else:
+            self._extracts[k_src].append((vm.name, True))
+            self._needs[k_dst].add(vm.name)
+            record = dc.migrations[-1]
+            self._ops[k_dst].append(("insert", vm.name, dest.name,
+                                     src.name, record.duration_s, True))
+            self._vm_shard[vm.name] = k_dst
+
+    def _route_records(self, records) -> None:
+        """Route already-applied replica migrations (hourly controller
+        steps, churn evacuations) as no-wake migration ops."""
+        for record in records:
+            k_src = self._shard_of_host[record.source]
+            k_dst = self._shard_of_host[record.destination]
+            if k_src == k_dst:
+                self._ops[k_src].append(("mig", record.vm_name,
+                                         record.destination))
+            else:
+                self._extracts[k_src].append((record.vm_name, False))
+                self._needs[k_dst].add(record.vm_name)
+                self._ops[k_dst].append(
+                    ("insert", record.vm_name, record.destination,
+                     record.source, record.duration_s, False))
+                self._vm_shard[record.vm_name] = k_dst
+
+    def _route_bulk(self, records) -> None:
+        moves: list[list[dict]] = [[] for _ in self._shard_hosts]
+        for record in records:
+            k_src = self._shard_of_host[record.source]
+            k_dst = self._shard_of_host[record.destination]
+            if k_src != k_dst:
+                self._extracts[k_src].append((record.vm_name, False))
+                self._needs[k_dst].add(record.vm_name)
+                self._vm_shard[record.vm_name] = k_dst
+            moves[k_dst].append(record_as_dict(record))
+        for k, shard_moves in enumerate(moves):
+            if shard_moves:
+                self._ops[k].append(("bulk", shard_moves))
+        self._bulk_records.extend(records)
+
+    # ------------------------------------------------------------------
+    # admin surface (what the façade's backend adapter delegates here;
+    # scenario churn drives these during the hook barrier)
+    # ------------------------------------------------------------------
+    def rebind_fleet(self) -> None:
+        self._bind_replica()
+
+    def force_awake(self, host, now: float) -> None:
+        self._mirror_wake(host)
+        self._ops[self._shard_of_host[host.name]].append(
+            ("wake", host.name))
+
+    def reinstate_check(self, host) -> None:
+        self._ops[self._shard_of_host[host.name]].append(
+            ("reinstate", host.name))
+
+    def note_vm_departed(self, vm_name: str) -> None:
+        k = self._vm_shard.pop(vm_name, None)
+        if k is not None:
+            self._ops[k].append(("remove", vm_name))
+
+    def evacuate_host(self, host, now: float, targets=None):
+        before = len(self.dc.migrations)
+        migrated, stranded = self.dc.evacuate(host, now, targets)
+        self._route_records(self.dc.migrations[before:])
+        return migrated, stranded
+
+    def place_vm(self, vm, dest) -> None:
+        self.dc.place(vm, dest)
+        k = self._shard_of_host[dest.name]
+        self._vm_shard[vm.name] = k
+        # The VM object is pickled at flush time, after the tick's
+        # remaining hooks finished mutating it (activity, rebinding).
+        self._ops[k].append(("place", vm, dest.name))
+
+    def power_off_host(self, host, now: float) -> None:
+        host.power_off(now)
+        self._ops[self._shard_of_host[host.name]].append(
+            ("power_off", host.name))
+
+    def power_on_host(self, host, now: float) -> None:
+        host.power_on(now)
+        self._ops[self._shard_of_host[host.name]].append(
+            ("power_on", host.name))
+
+    # ------------------------------------------------------------------
+    # reduction
+    # ------------------------------------------------------------------
+    def _reduce(self, outcomes: list[dict], n_hours: int,
+                migrations_before: int) -> RunResult:
+        natives = [o["native"] for o in outcomes]
+        owner = self._shard_of_host
+
+        def per_host(field: str) -> dict:
+            return {h.name: getattr(natives[owner[h.name]], field)[h.name]
+                    for h in self.dc.hosts}
+
+        base = dict(
+            hours=n_hours,
+            controller_name=self.controller.name,
+            backend="sharded",
+            energy_kwh_by_host=per_host("energy_kwh_by_host"),
+            suspended_fraction_by_host=per_host(
+                "suspended_fraction_by_host"),
+            suspend_cycles_by_host=per_host("suspend_cycles_by_host"),
+            migrations=len(self.dc.migrations) - migrations_before,
+            vm_migrations={vm.name: vm.migrations for vm in self.dc.vms},
+        )
+        if self.config.inner == "hourly":
+            return RunResult(
+                overload_host_hours=sum(r.overload_host_hours
+                                        for r in natives),
+                active_host_hours=sum(r.active_host_hours
+                                      for r in natives),
+                **base)
+        from ...network.requests import summarize_latencies
+
+        latencies = np.concatenate([o["latencies"] for o in outcomes])
+        wake_latencies = np.concatenate(
+            [o["wake_latencies"] for o in outcomes])
+        beats = outcomes[0]["beats"]
+        if any(o["beats"] != beats for o in outcomes):
+            raise ShardError(
+                "waking heartbeat counts diverged across shards; the "
+                "events_processed reduction would be wrong")
+        # Each shard ran its own hour ticks and waking heartbeats; an
+        # unsharded engine runs exactly one set of each.
+        extra = len(outcomes) - 1
+        events = (sum(r.events_processed for r in natives)
+                  - extra * n_hours - extra * beats)
+        return RunResult(
+            resume_cycles_by_host=per_host("resume_cycles_by_host"),
+            request_summary=summarize_latencies(latencies, wake_latencies),
+            wol_sent=sum(o["wol_sent"] for o in outcomes),
+            events_processed=events,
+            **base)
+
+    # ------------------------------------------------------------------
+    def collect_fault_summary(self, injector):
+        """Merge per-shard degradation accounting into one
+        :class:`~repro.faults.spec.FaultSummary` (what ``finalize``
+        returns on the sharded backend)."""
+        from ...faults.spec import FaultSummary
+
+        faults = [o["fault"] for o in (self._outcomes or [])]
+        # Plain sum in replica fleet order — the same order (and the
+        # same float rounding) the unsharded summary uses.
+        unavailability_s = sum(
+            faults[self._shard_of_host[h.name]]["crashed_s"][h.name]
+            for h in self.dc.hosts)
+
+        def total(key: str) -> int:
+            return sum(f[key] for f in faults)
+
+        if self.config.inner == "hourly":
+            return FaultSummary(
+                plan=injector.plan.name,
+                host_crashes=total("host_crashes"),
+                host_recoveries=total("host_recoveries"),
+                unavailability_s=unavailability_s)
+        backoff_waits: list[float] = []
+        for f in faults:
+            backoff_waits.extend(f["backoff_waits"])
+        return FaultSummary(
+            plan=injector.plan.name,
+            host_crashes=total("host_crashes"),
+            host_recoveries=total("host_recoveries"),
+            wol_dropped=total("wol_dropped"),
+            wol_delayed=total("wol_delayed"),
+            wol_retries=total("wol_retries"),
+            wol_abandoned=total("wol_abandoned"),
+            # fsum is exactly rounded: the merged total is a pure
+            # function of the wait multiset, not the shard partition.
+            backoff_wait_s=math.fsum(backoff_waits),
+            suspend_hangs=total("suspend_hangs"),
+            resume_failures=total("resume_failures"),
+            failover_migrations=total("failover_migrations"),
+            stranded_vms=total("stranded_vms"),
+            failovers=total("failovers"),
+            primary_kills=injector.primary_kills,
+            partitions=injector.partitions_applied,
+            window_journaled_calls=total("window_journaled_calls"),
+            lost_service_calls=total("lost_service_calls"),
+            stranded_requests=total("stranded_requests"),
+            recovered_requests=total("recovered_requests"),
+            migrations_blocked=(self.migrations_blocked
+                                + total("migrations_blocked")),
+            unavailability_s=unavailability_s)

@@ -1,0 +1,329 @@
+"""Cross-shard waking-plane guard (DESIGN.md §15).
+
+The event engine's waking plane — the VM->MAC map consulted on every
+request, the WoL packets it emits, and the host power transitions they
+trigger — is *global* mutable state with sub-hour causality: a request
+analyzed anywhere in the fleet can wake a host anywhere else,
+immediately, and IP addresses collide across VMs by design (the map is
+keyed by a 250-address space).  The sharded backend runs one waking
+service per shard and exchanges state only at hour boundaries, so a
+run whose waking interactions cross shards *mid-hour* cannot be
+reproduced bit-for-bit by any hour-lockstep protocol.  Rather than
+ever returning a silently divergent result, the backend verifies the
+shard-locality of every waking interaction and raises
+:class:`~.coordinator.ShardError` at the first violation.
+
+Shard side, :class:`WakingProbe` records the organic waking-map
+mutations (suspension registrations, resume drops, churn repoints),
+every WoL whose target MAC lives on another shard, and every host
+power transition.  The exchange's own map surgery is muted — the
+coordinator mirrors it exactly from the transfer bundles.  Records
+ride the hour-digest message, so they add no extra round trips.
+
+Coordinator side, :class:`WakingVerifier` replays the records into a
+global map replica plus one per-shard replica and enforces, per hour:
+
+* **writer locality** — no IP's mapping is written by two shards in
+  the same hour, and no shard writes a mapping for an IP that is also
+  resident (on an interactive VM) on another shard: plain's mid-hour
+  request analysis there would see the write, the shard-local waking
+  module cannot;
+* **remote-WoL equivalence** — a WoL to another shard's MAC is a
+  local no-op; plain must agree, so the target host must be ON,
+  RESUMING, CRASHED or OFF at that instant (reconstructed from the
+  owner shard's transition record) and plain's map entry must still
+  be alive (the owner host must not have woken earlier in the hour);
+* **boundary coherence** — at every hour boundary, each shard's local
+  map restricted to its resident interactive IPs must equal the
+  global replica (catches stale shipped entries whose owner-side
+  original was dropped remotely).
+
+Runs that pass every check evolve their waking plane exactly as the
+unsharded engine would; runs that cannot are refused loudly and
+deterministically, with the offending IP/MAC and hour in the message.
+"""
+
+from __future__ import annotations
+
+from ...cluster.power import PowerState
+
+#: Host methods whose calls are power transitions (all take ``now``
+#: as their first argument).
+_TRANSITIONS = ("begin_suspend", "finish_suspend", "begin_resume",
+                "finish_resume", "crash", "recover", "power_off",
+                "power_on")
+
+#: State a host is in *after* each transition call.
+_AFTER = {
+    "begin_suspend": PowerState.SUSPENDING,
+    "finish_suspend": PowerState.SUSPENDED,
+    "begin_resume": PowerState.RESUMING,
+    "finish_resume": PowerState.ON,
+    "crash": PowerState.CRASHED,
+    "recover": PowerState.ON,
+    "power_off": PowerState.OFF,
+    "power_on": PowerState.ON,
+}
+
+#: States in which an unsharded engine's ``_on_wol`` is a no-op — the
+#: only states in which a cross-shard WoL (a guaranteed local no-op)
+#: matches plain behaviour.
+_WOL_NOOP_STATES = (PowerState.ON, PowerState.RESUMING,
+                    PowerState.CRASHED, PowerState.OFF)
+
+
+class WakingProbe:
+    """Shard-side recorder of waking-plane activity (event inner only).
+
+    Installed by the port after engine construction (always in the
+    worker, never before shipping — the wrappers close over live
+    objects and must not be pickled).  Wraps the waking-service front
+    and every host's transition methods with thin per-instance
+    recorders; the engine's behaviour is unchanged.
+    """
+
+    def __init__(self, engine) -> None:
+        self.engine = engine
+        #: True while the port replays exchange surgery; surgery map
+        #: updates are mirrored by the coordinator, not recorded here.
+        self.muted = False
+        self.ops: list[tuple] = []
+        self.wols: list[tuple] = []
+        self.transitions: list[tuple] = []
+        self._local_macs = frozenset(engine.dc.host_by_mac)
+        self._wrap_front(engine.waking)
+        for host in engine.dc.hosts:
+            self._wrap_host(host)
+
+    # ------------------------------------------------------------------
+    def _wrap_front(self, front) -> None:
+        sim = self.engine.sim
+        orig_reg = front.register_suspension
+        orig_awake = front.on_host_awake
+        orig_note = front.note_vm_moved
+        orig_analyze = front.analyze_packet
+
+        def register_suspension(host, waking_date_s):
+            if not self.muted:
+                self.ops.append(("reg", sim.now, host.mac_address,
+                                 tuple(vm.ip_address for vm in host.vms)))
+            orig_reg(host, waking_date_s)
+
+        def on_host_awake(host):
+            if not self.muted:
+                self.ops.append(("awake", sim.now, host.mac_address))
+            orig_awake(host)
+
+        def note_vm_moved(ip, mac):
+            if not self.muted:
+                self.ops.append(("note", sim.now, ip, mac))
+            orig_note(ip, mac)
+
+        def analyze_packet(packet):
+            woke = orig_analyze(packet)
+            if woke:
+                mac = front.active.state.vm_to_mac.get(packet.dst_ip)
+                if mac is not None and mac not in self._local_macs:
+                    self.wols.append((sim.now, packet.dst_ip, mac))
+            return woke
+
+        front.register_suspension = register_suspension
+        front.on_host_awake = on_host_awake
+        front.note_vm_moved = note_vm_moved
+        # The switch holds the same front object, so its per-packet
+        # calls route through this wrapper too.
+        front.analyze_packet = analyze_packet
+
+    def _wrap_host(self, host) -> None:
+        for kind in _TRANSITIONS:
+            orig = getattr(host, kind)
+
+            def wrapped(now, *args, _orig=orig, _kind=kind,
+                        _name=host.name):
+                self.transitions.append((now, _name, _kind))
+                return _orig(now, *args)
+
+            setattr(host, kind, wrapped)
+
+    # ------------------------------------------------------------------
+    def drain(self) -> dict | None:
+        """Hand over (and clear) everything recorded since last drain."""
+        if not (self.ops or self.wols or self.transitions):
+            return None
+        out = {"ops": self.ops, "wols": self.wols,
+               "transitions": self.transitions}
+        self.ops, self.wols, self.transitions = [], [], []
+        return out
+
+
+class WakingVerifier:
+    """Coordinator-side replay and shard-locality checks."""
+
+    def __init__(self, dc, shard_of_host: dict[str, int],
+                 n_shards: int) -> None:
+        self.n_shards = n_shards
+        #: Plain's single global map, replayed from the shard records.
+        self.global_map: dict[str, str] = {}
+        #: Each shard's local map, mirrored the same way.
+        self.local: list[dict[str, str]] = [{} for _ in range(n_shards)]
+        self.mac_host = {h.mac_address: h.name for h in dc.hosts}
+        self.mac_shard = {h.mac_address: shard_of_host[h.name]
+                          for h in dc.hosts}
+        #: Host power states as of the last verified boundary.
+        self.states = {h.name: h.state for h in dc.hosts}
+        #: MAC -> wake times that belong to the *next* window (surgery
+        #: wakes happen at the boundary the window opens on).
+        self._pending_wakes: dict[str, list[float]] = {}
+
+    # ------------------------------------------------------------------
+    def _fail(self, message: str):
+        from .coordinator import ShardError
+
+        raise ShardError(
+            "cross-shard waking interaction — this run cannot be "
+            f"sharded bit-identically: {message}  (Use fewer shards, "
+            "shards=1, or the hourly inner engine.)")
+
+    @staticmethod
+    def _drop_mac(mapping: dict[str, str], mac: str) -> None:
+        for ip in [ip for ip, m in mapping.items() if m == mac]:
+            del mapping[ip]
+
+    # ------------------------------------------------------------------
+    # surgery mirroring (called by the coordinator while shards mute)
+    # ------------------------------------------------------------------
+    def surgery_wake(self, mac: str, now: float) -> None:
+        """A force-awake replayed into a shard: plain drops the woken
+        host's mappings; so do the global replica and the owner's."""
+        self._drop_mac(self.global_map, mac)
+        self._drop_mac(self.local[self.mac_shard[mac]], mac)
+        self._pending_wakes.setdefault(mac, []).append(now)
+
+    def transfer(self, k_src: int, k_dst: int, ip: str | None,
+                 mac: str | None, kept: bool) -> None:
+        """Mirror of the port's extract/install map surgery: the moved
+        VM's entry travels with it (plain keeps the single global
+        entry untouched); the source keeps its copy only while another
+        local VM shares the IP."""
+        if mac is None or ip is None:
+            return
+        if not kept:
+            self.local[k_src].pop(ip, None)
+        self.local[k_dst][ip] = mac
+
+    def bulk_note(self, k_dst: int, ip: str, mac: str | None) -> None:
+        """Mirror of ``_refresh_waking_after_bulk`` for one record, in
+        global record order (plain applies exactly this note)."""
+        if mac is None:
+            self.global_map.pop(ip, None)
+            self.local[k_dst].pop(ip, None)
+        else:
+            self.global_map[ip] = mac
+            self.local[k_dst][ip] = mac
+
+    # ------------------------------------------------------------------
+    # per-window verification
+    # ------------------------------------------------------------------
+    def verify_window(self, drains: list[dict | None],
+                      residency: dict[str, set[int]], label: str) -> None:
+        """Replay one hour's records from every shard and enforce the
+        three shard-locality rules.  ``residency`` maps each IP to the
+        shards holding an interactive VM with that IP (constant within
+        the window: transfers happen only at boundaries)."""
+        mac_wakes = self._pending_wakes
+        self._pending_wakes = {}
+        writers: dict[str, int] = {}
+        transitions: dict[str, list[tuple[float, str]]] = {}
+        for k, drain in enumerate(drains):
+            if not drain:
+                continue
+            for now, name, kind in drain["transitions"]:
+                transitions.setdefault(name, []).append((now, kind))
+            for op in drain["ops"]:
+                if op[0] == "reg":
+                    _, now, mac, ips = op
+                    for ip in ips:
+                        self._organic_write(k, ip, writers, residency,
+                                            label)
+                        self.local[k][ip] = mac
+                        self.global_map[ip] = mac
+                elif op[0] == "awake":
+                    _, now, mac = op
+                    mac_wakes.setdefault(mac, []).append(now)
+                    self._drop_mac(self.local[k], mac)
+                    self._drop_mac(self.global_map, mac)
+                else:  # "note"
+                    _, now, ip, mac = op
+                    self._organic_write(k, ip, writers, residency, label)
+                    if mac is None:
+                        self.local[k].pop(ip, None)
+                        self.global_map.pop(ip, None)
+                    else:
+                        self.local[k][ip] = mac
+                        self.global_map[ip] = mac
+        for k, drain in enumerate(drains):
+            if not drain:
+                continue
+            for now, ip, mac in drain["wols"]:
+                self._check_remote_wol(k, now, ip, mac, mac_wakes,
+                                       transitions, label)
+        for name, events in transitions.items():
+            self.states[name] = _AFTER[events[-1][1]]
+        for ip, shards in residency.items():
+            want = self.global_map.get(ip)
+            for k in shards:
+                if self.local[k].get(ip) != want:
+                    self._fail(
+                        f"at {label}, shard {k}'s waking map entry for "
+                        f"resident IP {ip} is {self.local[k].get(ip)!r} "
+                        f"but the fleet-global map says {want!r} (a "
+                        "mapping was created or dropped on another "
+                        "shard).")
+
+    def _organic_write(self, k: int, ip: str, writers: dict[str, int],
+                       residency: dict[str, set[int]],
+                       label: str) -> None:
+        other = writers.setdefault(ip, k)
+        if other != k:
+            self._fail(
+                f"at {label}, shards {other} and {k} both updated the "
+                f"waking mapping of IP {ip} in the same hour; plain's "
+                "outcome depends on their sub-hour interleaving.")
+        foreign = residency.get(ip, ()) - {k} if ip in residency else ()
+        if foreign:
+            self._fail(
+                f"at {label}, shard {k} updated the waking mapping of "
+                f"IP {ip}, which is also the address of an interactive "
+                f"VM on shard(s) {sorted(foreign)}; plain's request "
+                "analysis there would see the update mid-hour, the "
+                "shard-local waking module cannot.")
+
+    def _check_remote_wol(self, k: int, now: float, ip: str, mac: str,
+                          mac_wakes: dict[str, list[float]],
+                          transitions: dict[str, list[tuple[float, str]]],
+                          label: str) -> None:
+        for wake_time in mac_wakes.get(mac, ()):
+            if wake_time <= now:
+                self._fail(
+                    f"at {label}, shard {k} sent a WoL for IP {ip} to "
+                    f"remote MAC {mac} at t={now:.3f}s, after the "
+                    f"owner host woke at t={wake_time:.3f}s and plain "
+                    "would already have dropped the mapping.")
+        host = self.mac_host[mac]
+        state = self.states[host]
+        for event_time, kind in transitions.get(host, ()):
+            if event_time == now:
+                self._fail(
+                    f"at {label}, a WoL from shard {k} to remote MAC "
+                    f"{mac} coincides exactly with a power transition "
+                    f"of its host at t={now:.3f}s; plain's ordering "
+                    "is not reconstructible.")
+            if event_time > now:
+                break
+            state = _AFTER[kind]
+        if state not in _WOL_NOOP_STATES:
+            self._fail(
+                f"at {label}, shard {k} sent a WoL for IP {ip} to "
+                f"remote MAC {mac} at t={now:.3f}s while its host "
+                f"{host} was {state.name}; plain would have started a "
+                "resume that the owning shard never saw.")

@@ -1,0 +1,122 @@
+"""Duplex transports between the coordinator and its shards.
+
+Two interchangeable transports carry the same picklable messages:
+
+* **threads** (``workers=0``): each shard is a daemon thread of the
+  coordinator process, talking over a pair of ``queue.Queue``s.  Zero
+  start-up cost and no pickling of the setup payload — the default,
+  and what the parity suite exercises most.
+* **processes** (``workers=N``): shards are distributed round-robin
+  over ``min(N, shards)`` ``spawn`` processes (the same start method
+  as :class:`~repro.sim.sweep.SweepRunner`, safe under pytest-xdist
+  and macOS), each shard on its own ``multiprocessing.Pipe``.
+
+The transport owns lifecycle only; message semantics live in
+``port``/``coordinator``.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+
+
+class QueueEndpoint:
+    """One side of a thread-mode duplex channel."""
+
+    def __init__(self, inbox: queue.Queue, outbox: queue.Queue) -> None:
+        self._inbox = inbox
+        self._outbox = outbox
+
+    def send(self, msg) -> None:
+        self._outbox.put(msg)
+
+    def recv(self):
+        return self._inbox.get()
+
+
+class PipeEndpoint:
+    """One side of a process-mode duplex channel."""
+
+    def __init__(self, conn) -> None:
+        self._conn = conn
+
+    def send(self, msg) -> None:
+        self._conn.send(msg)
+
+    def recv(self):
+        try:
+            return self._conn.recv()
+        except EOFError:
+            # The peer died without a goodbye; surface it as a protocol
+            # error message so the coordinator aborts cleanly.
+            return ("error", "shard endpoint closed unexpectedly")
+
+
+class ShardTransport:
+    """Launches shards and hands the coordinator its endpoints."""
+
+    def __init__(self, setups: list[dict], workers: int) -> None:
+        self.endpoints: list = []
+        self._threads: list[threading.Thread] = []
+        self._processes: list = []
+        if workers <= 0:
+            self._launch_threads(setups)
+        else:
+            self._launch_processes(setups, workers)
+
+    # ------------------------------------------------------------------
+    def _launch_threads(self, setups: list[dict]) -> None:
+        from .worker import run_shard
+
+        for setup in setups:
+            to_shard: queue.Queue = queue.Queue()
+            to_coord: queue.Queue = queue.Queue()
+            self.endpoints.append(QueueEndpoint(to_coord, to_shard))
+            shard_end = QueueEndpoint(to_shard, to_coord)
+            thread = threading.Thread(target=run_shard,
+                                      args=(shard_end, setup), daemon=True)
+            self._threads.append(thread)
+            thread.start()
+
+    def _launch_processes(self, setups: list[dict], workers: int) -> None:
+        from ...sim.sweep import spawn_context
+        from .worker import worker_main
+
+        ctx = spawn_context()
+        n_workers = min(workers, len(setups))
+        per_worker: list[list] = [[] for _ in range(n_workers)]
+        for index, setup in enumerate(setups):
+            parent, child = ctx.Pipe()
+            self.endpoints.append(PipeEndpoint(parent))
+            per_worker[index % n_workers].append((setup, child))
+        for assignments in per_worker:
+            proc = ctx.Process(target=worker_main, args=(assignments,),
+                               daemon=True)
+            self._processes.append(proc)
+            proc.start()
+        # The parent copies of the child connection ends are not needed
+        # after the fork/spawn handoff.
+        for assignments in per_worker:
+            for _, child in assignments:
+                child.close()
+
+    # ------------------------------------------------------------------
+    def abort(self) -> None:
+        """Best-effort: tell every shard to stop waiting."""
+        for endpoint in self.endpoints:
+            try:
+                endpoint.send(("abort",))
+            except Exception:
+                pass
+
+    def shutdown(self, force: bool = False) -> None:
+        if force:
+            self.abort()
+        for thread in self._threads:
+            thread.join(timeout=5.0 if force else None)
+        for proc in self._processes:
+            proc.join(timeout=5.0 if force else None)
+            if proc.exitcode is None:
+                proc.terminate()
+                proc.join(timeout=5.0)

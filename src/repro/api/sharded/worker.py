@@ -1,0 +1,147 @@
+"""Shard workers: build an inner engine around a port and run it.
+
+``run_shard`` is the whole shard lifecycle — construct the engine over
+the shipped sub-fleet, install the sliced fault plan, run, and send
+the outcome (native result + the raw material the coordinator's
+reduction needs) back over the endpoint.  It runs as a thread of the
+coordinator process (``workers=0``) or inside a spawned worker process
+(:func:`worker_main`, which must stay a top-level importable for the
+``spawn`` start method).
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+
+from .port import ShardAborted, ShardPort
+
+
+def run_shard(endpoint, setup: dict) -> None:
+    """Run one shard to completion; never raises into the caller."""
+    try:
+        outcome = _simulate(endpoint, setup)
+    except ShardAborted:
+        return
+    except BaseException:
+        try:
+            endpoint.send(("error", traceback.format_exc()))
+        except Exception:
+            pass
+        return
+    endpoint.send(("done", outcome))
+
+
+def _simulate(endpoint, setup: dict) -> dict:
+    dc = setup["dc"]
+    config = setup["config"]
+    inner = setup["inner"]
+    port = ShardPort(endpoint, setup["controller_name"],
+                     setup["uses_idleness"])
+    injector = None
+    fault = setup["fault"]
+    if fault is not None:
+        from ...faults.injector import FaultInjector
+
+        injector = FaultInjector(fault["plan"], fault["seed"])
+    update_models = config.update_models or port.uses_idleness
+    if inner == "event":
+        from ...sim.event_driven import EventDrivenSimulation
+
+        engine = EventDrivenSimulation(dc, port, setup["params"], config,
+                                       hour_hooks=(port.hook,))
+        port.attach(engine, "event", update_models, injector)
+        if injector is not None:
+            # Same install order as an unsharded run: fault events enter
+            # the queue before the hour ticks, keeping sequence numbers
+            # in the same relative order.
+            injector._install_event(engine, setup["start_hour"],
+                                    setup["n_hours"],
+                                    crash_schedule=fault["crashes"])
+        native = engine.run(setup["n_hours"], start_hour=setup["start_hour"])
+        return _event_outcome(engine, native, injector, port)
+    from ...sim.hourly import HourlySimulator
+
+    engine = HourlySimulator(dc, port, setup["params"], config,
+                             hour_hooks=(port.hook,))
+    port.attach(engine, "hourly", update_models, injector)
+    if injector is not None:
+        injector._install_hourly(engine, setup["start_hour"],
+                                 setup["n_hours"],
+                                 crash_schedule=fault["crashes"])
+    native = engine.run(setup["n_hours"], start_hour=setup["start_hour"])
+    return _hourly_outcome(engine, native, injector)
+
+
+def _crashed_seconds(dc) -> dict[str, float]:
+    from ...cluster.power import PowerState
+
+    return {h.name: h.meter.state_seconds.get(PowerState.CRASHED, 0.0)
+            for h in dc.hosts}
+
+
+def _event_outcome(engine, native, injector, port) -> dict:
+    channel = engine.wol_channel
+    waking = engine.waking
+    return {
+        "native": native,
+        "latencies": engine.switch.log.latencies_s,
+        "wake_latencies": engine.switch.log.wake_latencies_s,
+        "wol_sent": waking.active.wol_sent,
+        "beats": waking.beats,
+        # The last hour's waking records (everything since the final
+        # hour digest) for the coordinator's closing verification.
+        "waking": port.drain_probe(),
+        "fault": {
+            "host_crashes": engine.host_crashes,
+            "host_recoveries": engine.host_recoveries,
+            "wol_dropped": channel.dropped,
+            "wol_delayed": channel.delayed,
+            "wol_retries": channel.retries,
+            "wol_abandoned": channel.abandoned,
+            "backoff_waits": list(channel.backoff_waits),
+            "suspend_hangs": injector.suspend_hangs if injector else 0,
+            "resume_failures": engine.resume_failures,
+            "failover_migrations": engine.failover_migrations,
+            "stranded_vms": engine.stranded_vms,
+            "failovers": waking.failovers,
+            "window_journaled_calls": waking.window_journaled,
+            "lost_service_calls": waking.lost_calls,
+            "stranded_requests": engine.switch.queued_requests,
+            "recovered_requests": engine.recovered_requests,
+            "migrations_blocked": engine.migrations_blocked,
+            "crashed_s": _crashed_seconds(engine.dc),
+        },
+    }
+
+
+def _hourly_outcome(engine, native, injector) -> dict:
+    return {
+        "native": native,
+        "fault": {
+            "host_crashes": injector._hourly_crash_count if injector else 0,
+            "host_recoveries": (injector._hourly_recover_count
+                                if injector else 0),
+            "crashed_s": _crashed_seconds(engine.dc),
+        },
+    }
+
+
+def worker_main(assignments: list) -> None:
+    """Spawned-process entry: run this worker's shards (as threads when
+    it owns more than one).  ``assignments`` is a list of
+    ``(setup, connection)`` pairs, pickled by the spawn machinery."""
+    from .transport import PipeEndpoint
+
+    if len(assignments) == 1:
+        setup, conn = assignments[0]
+        run_shard(PipeEndpoint(conn), setup)
+        return
+    threads = [threading.Thread(target=run_shard,
+                                args=(PipeEndpoint(conn), setup),
+                                daemon=True)
+               for setup, conn in assignments]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()

@@ -59,9 +59,11 @@ class Simulation:
         Request-traffic seed (event backend); accepted and ignored by
         the hourly backend, whose runs draw no randomness.
     config:
-        Backend-native config (:class:`~repro.sim.hourly.HourlyConfig`
-        or :class:`~repro.sim.event_driven.EventConfig`); defaults to
-        the backend's defaults.
+        Backend-native config (:class:`~repro.sim.hourly.HourlyConfig`,
+        :class:`~repro.sim.event_driven.EventConfig` or
+        :class:`~repro.api.sharded.ShardedConfig`); defaults to the
+        backend's defaults.  ``backend_config`` is an exact alias
+        (passing both raises).
     observers:
         :class:`~repro.api.Observer` instances or plain ``(t, now)``
         callables, fired in order (see ``repro.api.observers``).
@@ -80,8 +82,15 @@ class Simulation:
                  params: DrowsyParams | None = None,
                  seed: int | None = None,
                  config=None,
+                 backend_config=None,
                  observers: tuple = (),
                  faults=None) -> None:
+        if backend_config is not None:
+            if config is not None:
+                raise TypeError(
+                    "pass config= or backend_config=, not both "
+                    "(they are aliases)")
+            config = backend_config
         dc = getattr(fleet_or_dc, "dc", fleet_or_dc)
         if not isinstance(dc, DataCenter):
             raise TypeError(
@@ -132,7 +141,8 @@ class Simulation:
                       controller="drowsy", backend: str = "hourly",
                       hours: int | None = None, scale: float = 1.0,
                       params: DrowsyParams | None = None,
-                      relocate_all: bool | None = None) -> "Simulation":
+                      relocate_all: bool | None = None,
+                      shards: int = 4, workers: int = 0) -> "Simulation":
         """Compile a scenario spec (or built-in name) into a ready run.
 
         Delegates to :class:`~repro.scenarios.compiler.ScenarioCompiler`
@@ -151,7 +161,8 @@ class Simulation:
                     else ScenarioCompiler(spec, params))
         compiled = compiler.compile(
             controller=controller, simulator=backend, seed=seed,
-            hours=hours, relocate_all=relocate_all)
+            hours=hours, relocate_all=relocate_all,
+            shards=shards, workers=workers)
         return compiled.simulation
 
     # ------------------------------------------------------------------
@@ -201,6 +212,22 @@ class Simulation:
     def note_vm_departed(self, vm_name: str) -> None:
         """A VM left the fleet mid-run: drop its scheduled work."""
         self.backend.note_vm_departed(self.engine, vm_name)
+
+    def evacuate_host(self, host, now: float, targets=None):
+        """Migrate every VM off ``host`` (maintenance drain)."""
+        return self.backend.evacuate_host(self.engine, host, now, targets)
+
+    def place_vm(self, vm, dest) -> None:
+        """Place a new VM on ``dest`` (churn arrival)."""
+        self.backend.place_vm(self.engine, vm, dest)
+
+    def power_off_host(self, host, now: float) -> None:
+        """Power a drained host fully off (maintenance)."""
+        self.backend.power_off_host(self.engine, host, now)
+
+    def power_on_host(self, host, now: float) -> None:
+        """Power a host back on (maintenance end)."""
+        self.backend.power_on_host(self.engine, host, now)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Simulation({len(self.dc.hosts)} hosts, "

@@ -61,12 +61,57 @@ def _load(name: str):
     return importlib.import_module(f"repro.experiments.{name}")
 
 
-def cmd_list(_args) -> int:
+def _print_experiments() -> None:
     print("available experiments (python -m repro run <name>):")
     for name in EXPERIMENTS:
         module = _load(name)
         doc = (module.__doc__ or "").strip().splitlines()[0]
         print(f"  {name:<22} {doc}")
+
+
+def _print_controllers() -> None:
+    from .api import controllers
+
+    print("registered controllers (run/sweep --controller(s) <name>):")
+    for name, summary in controllers.describe().items():
+        print(f"  {name:<22} {summary}")
+
+
+def _print_backends() -> None:
+    from .api import backends
+
+    print('registered backends (Simulation(..., backend="<name>")):')
+    for name, summary in backends.describe().items():
+        config = backends.get(name).config_type.__name__
+        print(f"  {name:<10} [{config}] {summary}")
+
+
+def _print_scenarios() -> None:
+    from .scenarios import list_scenarios
+
+    print("built-in scenarios (python -m repro scenario run <name>):")
+    for spec in list_scenarios():
+        churn = " [churn]" if spec.churn.enabled else ""
+        faults = " [faults]" if spec.faults is not None else ""
+        print(f"  {spec.name:<20} {spec.n_hosts:>3} hosts, {spec.n_vms:>3} "
+              f"VMs, {spec.horizon_hours} h, arrivals={spec.arrivals.kind}"
+              f"{churn}{faults}")
+        print(f"  {'':<20} {spec.description}")
+
+
+#: ``python -m repro list <what>``: every listing goes through the
+#: registries' ``describe()`` (or the scenario registry), replacing the
+#: per-kind ad-hoc loops that used to live on separate subcommands.
+_LISTINGS = {
+    "experiments": _print_experiments,
+    "controllers": _print_controllers,
+    "backends": _print_backends,
+    "scenarios": _print_scenarios,
+}
+
+
+def cmd_list(args) -> int:
+    _LISTINGS[getattr(args, "what", None) or "experiments"]()
     return 0
 
 
@@ -159,16 +204,7 @@ def cmd_sweep(args) -> int:
 
 
 def cmd_scenario_list(_args) -> int:
-    from .scenarios import list_scenarios
-
-    print("built-in scenarios (python -m repro scenario run <name>):")
-    for spec in list_scenarios():
-        churn = " [churn]" if spec.churn.enabled else ""
-        faults = " [faults]" if spec.faults is not None else ""
-        print(f"  {spec.name:<20} {spec.n_hosts:>3} hosts, {spec.n_vms:>3} "
-              f"VMs, {spec.horizon_hours} h, arrivals={spec.arrivals.kind}"
-              f"{churn}{faults}")
-        print(f"  {'':<20} {spec.description}")
+    _print_scenarios()
     return 0
 
 
@@ -195,7 +231,8 @@ def cmd_scenario_run(args) -> int:
     for simulator in simulators:
         row = run_scenario_cell(ScenarioCell(
             scenario=args.name, controller=args.controller, seed=args.seed,
-            simulator=simulator, scale=args.scale, hours=args.hours or 0))
+            simulator=simulator, scale=args.scale, hours=args.hours or 0,
+            shards=args.shards, workers=args.shard_workers))
         print(f"[{simulator}] {row.scenario}: {row.n_vms} VMs on "
               f"{row.n_hosts} hosts x {row.hours} h under {row.controller} "
               f"-> {row.energy_kwh:.1f} kWh, "
@@ -253,7 +290,12 @@ def build_parser() -> argparse.ArgumentParser:
         description="Drowsy-DC reproduction experiment runner")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list experiments").set_defaults(fn=cmd_list)
+    lister = sub.add_parser(
+        "list",
+        help="list experiments, controllers, backends or scenarios")
+    lister.add_argument("what", nargs="?", default="experiments",
+                        choices=tuple(_LISTINGS))
+    lister.set_defaults(fn=cmd_list)
 
     run = sub.add_parser("run", help="run one experiment")
     run.add_argument("name")
@@ -305,12 +347,18 @@ def build_parser() -> argparse.ArgumentParser:
     srun.add_argument("--controller", default="drowsy",
                       help="consolidation controller (default drowsy)")
     srun.add_argument("--simulator", default="hourly",
-                      choices=("hourly", "event", "both"))
+                      choices=("hourly", "event", "sharded", "both"))
     srun.add_argument("--seed", type=int, default=0)
     srun.add_argument("--scale", type=float, default=1.0,
                       help="class-count multiplier (0.25 = quarter fleet)")
     srun.add_argument("--hours", type=int,
                       help="override the scenario horizon")
+    srun.add_argument("--shards", type=int, default=4,
+                      help="shard count for --simulator sharded")
+    srun.add_argument("--shard-workers", dest="shard_workers", type=int,
+                      default=0,
+                      help="worker processes for --simulator sharded "
+                           "(0 = in-process threads)")
     srun.set_defaults(fn=cmd_scenario_run)
 
     ssweep = ssub.add_parser(

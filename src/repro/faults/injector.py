@@ -15,8 +15,10 @@ Determinism rules (DESIGN.md §14):
   from the engine's request RNG, so attaching a plan does not shift the
   workload's draws, and the same ``(plan, seed)`` replays the same
   fault sequence across runs, across ``SweepRunner`` spawn workers and
-  across fleet iteration orders (crash processes are keyed per host
-  *name*);
+  across fleet iteration orders (crash processes, WoL transport draws
+  and suspend-hang draws are keyed per entity — host name / MAC — so
+  each host's fault sequence is independent of every other host's, and
+  the sharded backend can slice a plan by host without shifting draws);
 * a concern whose probability/rate is zero installs nothing and draws
   nothing, so an all-zero plan is bit-identical to running with no plan
   at all (the parity oracle, asserted on both backends).
@@ -105,19 +107,26 @@ class FaultInjector(Observer):
     def on_run_start(self, sim, start_hour: int, n_hours: int) -> None:
         if self.plan.is_zero:
             return  # parity oracle: install nothing, draw nothing
-        if sim.backend_name == "event":
+        if sim.backend_name == "sharded":
+            # The sharded engine validates the plan, slices the crash
+            # schedule by host name and installs per-shard injectors.
+            sim.engine.install_fault_plan(self, start_hour, n_hours)
+        elif sim.backend_name == "event":
             self._install_event(sim.engine, start_hour, n_hours)
         else:
             self._install_hourly(sim.engine, start_hour, n_hours)
 
-    def _install_event(self, engine, start_hour: int, n_hours: int) -> None:
+    def _install_event(self, engine, start_hour: int, n_hours: int,
+                       crash_schedule=None) -> None:
         plan = self.plan
         if not plan.transitions.is_zero:
             engine.faults = self
         if not plan.wol.is_zero:
             engine.wol_channel.transport = self._wol_transport
-        for at, name in self._crash_schedule(engine.dc.hosts,
-                                             start_hour, n_hours):
+        if crash_schedule is None:
+            crash_schedule = self._crash_schedule(engine.dc.hosts,
+                                                  start_hour, n_hours)
+        for at, name in crash_schedule:
             engine.sim.schedule_at(at, self._event_crash, engine, name)
         start_s = time_of_hour(start_hour)
         if plan.waking.kill_primary_at_h is not None:
@@ -131,10 +140,13 @@ class FaultInjector(Observer):
                 start_s + (window.start_h + window.duration_h) * 3600.0,
                 self._partition_end, engine)
 
-    def _install_hourly(self, engine, start_hour: int, n_hours: int) -> None:
+    def _install_hourly(self, engine, start_hour: int, n_hours: int,
+                        crash_schedule=None) -> None:
         self._hourly_engine = engine
-        self._hourly_crashes = self._crash_schedule(
-            engine.dc.hosts, start_hour, n_hours)
+        self._hourly_crashes = (list(crash_schedule)
+                                if crash_schedule is not None
+                                else self._crash_schedule(
+                                    engine.dc.hosts, start_hour, n_hours))
         self._hourly_recoveries = []
 
     def on_hour(self, t: int, now: float) -> None:
@@ -193,7 +205,9 @@ class FaultInjector(Observer):
 
     def _wol_transport(self, packet) -> tuple[str, float]:
         spec = self.plan.wol
-        rng = self._stream("wol")
+        # Keyed per destination MAC: each host's loss/delay sequence is
+        # independent of how many other hosts' packets interleave.
+        rng = self._stream(f"wol:{packet.mac_address}")
         if spec.loss_probability > 0.0 and rng.random() < spec.loss_probability:
             return ("drop", 0.0)
         if (spec.delay_probability > 0.0
@@ -202,11 +216,13 @@ class FaultInjector(Observer):
         return ("ok", 0.0)
 
     # -- transition-fault hooks (engine.faults) ------------------------
-    def suspend_latency(self, base_s: float) -> float:
+    def suspend_latency(self, base_s: float, host_name: str) -> float:
         spec = self.plan.transitions
         if spec.suspend_hang_probability <= 0.0:
             return base_s
-        if (self._stream("suspend-hang").random()
+        # Keyed per host: a host's hang sequence depends only on its own
+        # suspend history, not on the fleet-wide suspend interleaving.
+        if (self._stream(f"suspend-hang:{host_name}").random()
                 < spec.suspend_hang_probability):
             self.suspend_hangs += 1
             return base_s + spec.suspend_hang_extra_s
@@ -226,6 +242,8 @@ class FaultInjector(Observer):
     def finalize(self, sim) -> FaultSummary:
         """Collect the run's degradation accounting (``fault_summary``)."""
         engine = sim.engine
+        if sim.backend_name == "sharded":
+            return engine.collect_fault_summary(self)
         crashed = PowerState.CRASHED
         unavailability_s = sum(
             h.meter.state_seconds.get(crashed, 0.0) for h in sim.dc.hosts)

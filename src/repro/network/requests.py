@@ -233,6 +233,36 @@ class RequestProfile:
             0.0, self.service_sigma, size=n)
 
 
+def summarize_latencies(latencies_s: np.ndarray,
+                        wake_latencies_s: np.ndarray) -> dict[str, float]:
+    """The request-latency digest over raw latency arrays.
+
+    Canonicalizes through one ``np.sort`` so the digest is a pure
+    function of the latency *multiset*: any partition of the same
+    requests (e.g. the sharded backend's per-shard logs) concatenated in
+    any order produces the bit-identical digest, because every float
+    reduction below runs over the same sorted array.
+    """
+    lat = np.sort(np.asarray(latencies_s, dtype=float))
+    wake = np.asarray(wake_latencies_s, dtype=float)
+    if lat.size:
+        p50, p99, p100 = np.percentile(lat, (50, 99, 100))
+        sla = float(np.mean(lat <= SLA_LATENCY_S))
+        mean = float(np.mean(lat))
+    else:
+        p50 = p99 = p100 = sla = mean = float("nan")
+    return {
+        "requests": float(lat.size),
+        "sla_fraction": sla,
+        "mean_s": mean,
+        "p50_s": float(p50),
+        "p99_s": float(p99),
+        "max_s": float(p100),
+        "wake_requests": float(wake.size),
+        "max_wake_latency_s": float(wake.max()) if wake.size else 0.0,
+    }
+
+
 @dataclass
 class RequestLog:
     """Completed-request archive with the paper's SLA metrics."""
@@ -266,6 +296,10 @@ class RequestLog:
         """Requests that hit a drowsy server (the tail of section VI-A.3)."""
         return [r for r in self.requests if r.woke_host]
 
+    @property
+    def wake_latencies_s(self) -> np.ndarray:
+        return np.array([r.latency_s for r in self.requests if r.woke_host])
+
     def max_wake_latency(self) -> float:
         wl = [r.latency_s for r in self.wake_requests]
         return max(wl) if wl else 0.0
@@ -273,20 +307,4 @@ class RequestLog:
     def summary(self) -> dict[str, float]:
         # One materialization of the latency array for all the digest
         # stats (a week-long fleet run logs millions of requests).
-        lat = self.latencies_s
-        if lat.size:
-            p50, p99, p100 = np.percentile(lat, (50, 99, 100))
-            sla = float(np.mean(lat <= SLA_LATENCY_S))
-            mean = float(np.mean(lat))
-        else:
-            p50 = p99 = p100 = sla = mean = float("nan")
-        return {
-            "requests": float(len(self.requests)),
-            "sla_fraction": sla,
-            "mean_s": mean,
-            "p50_s": float(p50),
-            "p99_s": float(p99),
-            "max_s": float(p100),
-            "wake_requests": float(len(self.wake_requests)),
-            "max_wake_latency_s": self.max_wake_latency(),
-        }
+        return summarize_latencies(self.latencies_s, self.wake_latencies_s)

@@ -9,6 +9,8 @@ in S0 — their latency includes the resume.
 
 from __future__ import annotations
 
+import math
+
 from ..cluster.datacenter import DataCenter
 from ..cluster.events import EventSimulator
 from ..cluster.host import Host
@@ -62,7 +64,15 @@ class ReliableWolChannel:
         self.delayed = 0
         self.retries = 0
         self.abandoned = 0
-        self.backoff_wait_s = 0.0
+        #: Individual backoff waits; :attr:`backoff_wait_s` reduces them
+        #: with ``math.fsum`` (exactly rounded), so the total is a pure
+        #: function of the wait *multiset* — any per-shard partition of
+        #: the same retries sums to the bit-identical figure.
+        self.backoff_waits: list[float] = []
+
+    @property
+    def backoff_wait_s(self) -> float:
+        return math.fsum(self.backoff_waits)
 
     def send(self, packet: WoLPacket, now: float) -> None:
         if self.transport is None:
@@ -87,7 +97,7 @@ class ReliableWolChannel:
                 return
             wait = (self.params.wol_retry_timeout_s
                     * self.params.wol_retry_backoff ** attempt)
-            self.backoff_wait_s += wait
+            self.backoff_waits.append(wait)
             self._generation.setdefault(mac, 0)
             self.sim.schedule_in(
                 wait, lambda: self._attempt(packet, attempt + 1, gen))

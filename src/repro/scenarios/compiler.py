@@ -70,11 +70,22 @@ class ChurnInjector(Observer):
         self.vms_removed = 0
         self.vms_evacuated = 0
         self.arrivals_dropped = 0
-        # Backend adapters (wired by :meth:`bind`).
+        # Backend adapters (wired by :meth:`bind`).  The fleet-mutating
+        # four default to direct data-center/host calls so an unbound
+        # injector (engine-level tests) keeps working; the sharded
+        # backend needs them routed through the façade, which captures
+        # each effect for replay into the owning shard.
         self.force_awake = None       # (host, now) -> None
         self.reinstate_check = None   # (host) -> None
         self.on_vm_removed = None     # (vm_name) -> None
         self.rebind = None            # () -> None
+        self.evacuate_host = (        # (host, now, targets) -> (migrated, stranded)
+            lambda host, now, targets: self.dc.evacuate(host, now, targets))
+        self.place_vm = self.dc.place          # (vm, dest) -> None
+        self.power_off_host = (                # (host, now) -> None
+            lambda host, now: host.power_off(now))
+        self.power_on_host = (                 # (host, now) -> None
+            lambda host, now: host.power_on(now))
 
     # ------------------------------------------------------------------
     def bind(self, simulation: Simulation) -> None:
@@ -83,6 +94,10 @@ class ChurnInjector(Observer):
         self.reinstate_check = simulation.reinstate_check
         self.on_vm_removed = simulation.note_vm_departed
         self.rebind = simulation.rebind_fleet
+        self.evacuate_host = simulation.evacuate_host
+        self.place_vm = simulation.place_vm
+        self.power_off_host = simulation.power_off_host
+        self.power_on_host = simulation.power_on_host
 
     # ------------------------------------------------------------------
     def hook(self, t: int, now: float) -> None:
@@ -131,7 +146,7 @@ class ChurnInjector(Observer):
                       if h.name not in self.in_maintenance]
         targets = ([h for h in candidates if h.is_available]
                    + [h for h in candidates if not h.is_available])
-        migrated, _ = self.dc.evacuate(host, now, targets)
+        migrated, _ = self.evacuate_host(host, now, targets)
         self.vms_evacuated += len(migrated)
         if self.force_awake is not None:
             # A drowsy fallback destination must wake to run its new
@@ -142,7 +157,7 @@ class ChurnInjector(Observer):
                 if dest.state is not PowerState.ON:
                     self.force_awake(dest, now)
         if not host.vms and host.state is PowerState.ON:
-            host.power_off(now)
+            self.power_off_host(host, now)
             self._powered_off.add(host.name)
 
     def _end_maintenance(self, host: Host, now: float) -> None:
@@ -150,7 +165,7 @@ class ChurnInjector(Observer):
         if host.name in self._powered_off:
             self._powered_off.discard(host.name)
             if host.state is PowerState.OFF:
-                host.power_on(now)
+                self.power_on_host(host, now)
                 if self.reinstate_check is not None:
                     self.reinstate_check(host)
 
@@ -198,7 +213,7 @@ class ChurnInjector(Observer):
             if dest is None:
                 self.arrivals_dropped += 1
                 continue
-            self.dc.place(vm, dest)
+            self.place_vm(vm, dest)
             # The newcomer runs from this hour on: give it the hour's
             # trace activity so the scalar view agrees with the columnar
             # one after the rebind.
@@ -304,17 +319,23 @@ class ScenarioCompiler:
     # ------------------------------------------------------------------
     def compile(self, controller: str = "drowsy", simulator: str = "hourly",
                 seed: int = 0, hours: int | None = None,
-                relocate_all: bool | None = None) -> CompiledRun:
+                relocate_all: bool | None = None,
+                shards: int = 4, workers: int = 0) -> CompiledRun:
         """Build the data center, controller and simulator for one run.
 
         ``relocate_all`` defaults to the E8 convention: Drowsy runs its
         periodic full-relocation evaluation mode, reactive baselines run
-        their normal migration loop.
+        their normal migration loop.  ``simulator="sharded"`` partitions
+        the run over ``shards`` shard engines (event inner, which the
+        scenario request wiring already matches) on ``workers`` worker
+        processes (0 = in-process threads); results are bit-identical
+        to ``simulator="event"`` for every shard/worker count.
         """
         spec, params = self.spec, self.params
-        if simulator not in ("hourly", "event"):
+        if simulator not in ("hourly", "event", "sharded"):
             raise ValueError(
-                f"unknown simulator {simulator!r}; expected 'hourly' or 'event'")
+                f"unknown simulator {simulator!r}; expected 'hourly', "
+                "'event' or 'sharded'")
         hours = spec.horizon_hours if hours is None else hours
         if relocate_all is None:
             relocate_all = controller == "drowsy"
@@ -337,6 +358,12 @@ class ScenarioCompiler:
                                  request_profile=profile,
                                  seed=seed,
                                  request_streams="per-vm")
+            if simulator == "sharded":
+                from ..api.sharded import ShardedConfig
+
+                config = ShardedConfig(shards=shards, inner="event",
+                                       inner_config=config,
+                                       workers=workers)
         observers = tuple(o for o in (churn, faults) if o is not None)
         simulation = Simulation(
             dc, controller, simulator, params=params, config=config,

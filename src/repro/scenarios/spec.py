@@ -17,7 +17,9 @@ scenario's randomness is a pure function of ``(spec, seed)``.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field, replace
+import json
+from dataclasses import dataclass, field, fields as dataclass_fields, replace
+from dataclasses import is_dataclass
 
 import numpy as np
 
@@ -51,6 +53,61 @@ def stable_seed(*parts) -> int:
     text = ":".join(str(p) for p in parts)
     return int.from_bytes(
         hashlib.blake2b(text.encode(), digest_size=8).digest(), "big")
+
+
+def _to_jsonable(value):
+    """Recursively lower dataclasses to dicts and tuples to lists."""
+    if is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _to_jsonable(getattr(value, f.name))
+                for f in dataclass_fields(value)}
+    if isinstance(value, tuple):
+        return [_to_jsonable(v) for v in value]
+    return value
+
+
+def _from_dict(cls, data: dict, converters: dict | None = None):
+    """Rebuild a frozen spec dataclass from its ``_to_jsonable`` dict.
+
+    Absent keys fall back to the field defaults (specs stay loadable
+    after a field gains a default); unknown keys fail fast — a typo'd
+    key silently dropped would mean a spec that validates but does not
+    describe what its author wrote.  JSON arrays come back as tuples,
+    so the rebuilt spec compares equal to the original.
+    """
+    known = {f.name for f in dataclass_fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(
+            f"unknown {cls.__name__} fields: {', '.join(sorted(unknown))}")
+    converters = converters or {}
+    kwargs = {}
+    for name, value in data.items():
+        conv = converters.get(name)
+        if conv is not None:
+            value = conv(value)
+        elif isinstance(value, list):
+            value = tuple(value)
+        kwargs[name] = value
+    return cls(**kwargs)
+
+
+def _fault_plan_from_dict(data: dict) -> FaultPlan:
+    from ..faults.spec import (
+        HostCrashFaults,
+        PartitionWindow,
+        TransitionFaults,
+        WakingServiceFaults,
+        WolFaults,
+    )
+
+    return _from_dict(FaultPlan, data, converters={
+        "wol": lambda d: _from_dict(WolFaults, d),
+        "crashes": lambda d: _from_dict(HostCrashFaults, d),
+        "transitions": lambda d: _from_dict(TransitionFaults, d),
+        "waking": lambda d: _from_dict(WakingServiceFaults, d, converters={
+            "partitions": lambda ws: tuple(
+                _from_dict(PartitionWindow, w) for w in ws)}),
+    })
 
 
 @dataclass(frozen=True)
@@ -320,3 +377,46 @@ class ScenarioSpec:
             kept.append(replace(w, host_index=idx))
         return replace(self, hosts=hosts, vms=vms,
                        churn=replace(self.churn, maintenance=tuple(kept)))
+
+    # ------------------------------------------------------------------
+    # serialization (the wire form of a scenario)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-data form: nested dicts and lists only, ready for any
+        JSON-shaped transport."""
+        return _to_jsonable(self)
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Serialize to JSON.  Floats are emitted in shortest
+        round-trip form (``json`` uses ``repr``), so
+        :meth:`from_json` rebuilds a spec that compares equal —
+        including every float bit — to the original."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_dict` output.
+
+        Construction re-runs every ``__post_init__`` validation, so a
+        hand-edited document that describes an invalid scenario fails
+        here, not at compile time.
+        """
+        return _from_dict(cls, data, converters={
+            "hosts": lambda hs: tuple(
+                _from_dict(HostClass, h) for h in hs),
+            "vms": lambda vs: tuple(
+                _from_dict(VMClass, v, converters={
+                    "trace": lambda t: _from_dict(TraceSpec, t)})
+                for v in vs),
+            "arrivals": lambda a: _from_dict(ArrivalShape, a),
+            "churn": lambda c: _from_dict(ChurnSpec, c, converters={
+                "maintenance": lambda ws: tuple(
+                    _from_dict(MaintenanceWindow, w) for w in ws)}),
+            "faults": lambda f: (None if f is None
+                                 else _fault_plan_from_dict(f)),
+        })
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))

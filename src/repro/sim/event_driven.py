@@ -298,7 +298,9 @@ class EventDrivenSimulation:
 
         if t % self.config.consolidation_period_h == 0:
             if self.config.relocate_all_mode and hasattr(self.controller, "relocate_all"):
+                before = len(self.dc.migrations)
                 self.controller.relocate_all(t, now)
+                self._refresh_waking_after_bulk(self.dc.migrations[before:])
             else:
                 self.controller.step(t, now, executor=self._execute_migration)
             # Migrations may have moved a VM whose request is waiting.
@@ -535,7 +537,7 @@ class EventDrivenSimulation:
         host.begin_suspend(self.sim.now)
         latency = self.params.suspend_latency_s
         if self.faults is not None:
-            latency = self.faults.suspend_latency(latency)
+            latency = self.faults.suspend_latency(latency, host.name)
         self._transition_events[host.name] = self.sim.schedule_in(
             latency, self._finish_suspend, host)
 
@@ -673,6 +675,24 @@ class EventDrivenSimulation:
     # ------------------------------------------------------------------
     # migrations
     # ------------------------------------------------------------------
+    def _refresh_waking_after_bulk(self, records) -> None:
+        """Repair the waking module's VM->MAC map after a bulk move.
+
+        ``relocate_all`` relocates without wakes, so a VM leaving a
+        drowsy host kept a stale mapping: an inbound request would WoL
+        the *old* host while the request queued against the new one.
+        For each moved VM, in record order, repoint the mapping at the
+        destination's MAC when the destination is drowsy, else drop it
+        — exactly the state ``register_suspension`` would have built
+        had the VM been on the destination when it went drowsy.
+        """
+        drowsy = (PowerState.SUSPENDING, PowerState.SUSPENDED)
+        for rec in records:
+            vm, dest = self.dc.find_vm(rec.vm_name)
+            self.waking.note_vm_moved(
+                vm.ip_address,
+                dest.mac_address if dest.state in drowsy else None)
+
     def _execute_migration(self, vm: VM, dest: Host) -> None:
         """Controller-requested migration; wakes endpoints as needed."""
         src = self.dc.host_of(vm)

@@ -45,6 +45,14 @@ CONTROLLER_NAMES = SWEEP_CONTROLLERS
 _build_controller = build_controller
 
 
+def spawn_context():
+    """The package's one multiprocessing start-method choice: *spawn*
+    (every worker imports fresh — safe under pytest-xdist, identical
+    semantics on Linux and macOS).  Shared by :class:`SweepRunner` and
+    the sharded backend's process transport."""
+    return get_context("spawn")
+
+
 @dataclass(frozen=True)
 class SweepCell:
     """One independent simulation cell of the sweep grid."""
@@ -383,7 +391,8 @@ class SweepRunner:
         items = list(items)
         if self.workers == 1 or len(items) <= 1:
             return [fn(item) for item in items]
-        ctx = get_context(self.mp_context)
+        ctx = (spawn_context() if self.mp_context == "spawn"
+               else get_context(self.mp_context))
         n_procs = min(self.workers, len(items))
         with ctx.Pool(processes=n_procs) as pool:
             return pool.map(fn, items, chunksize=1)

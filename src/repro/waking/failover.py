@@ -58,6 +58,9 @@ class ReplicatedWakingService:
         self.unanswered_packets = 0
         #: State-changing calls dropped because both replicas were dead.
         self.lost_calls = 0
+        #: Heartbeat events processed — the one engine-global recurring
+        #: event; the sharded reducer subtracts duplicate chains with it.
+        self.beats = 0
         self._heartbeat_event = sim.schedule_in(
             params.heartbeat_period_s, self._heartbeat)
 
@@ -107,6 +110,17 @@ class ReplicatedWakingService:
             return False
         return self.active.analyze_packet(packet)
 
+    def note_vm_moved(self, ip: str, mac: str | None) -> None:
+        """Map update for a VM relocated without a wake (bulk moves)."""
+        if self.active.alive:
+            self.active.note_vm_moved(ip, mac)
+            self._replicate()
+        elif self.standby.alive:
+            self.standby.note_vm_moved(ip, mac)
+            self.window_journaled += 1
+        else:
+            self.lost_calls += 1
+
     def _replicate(self) -> None:
         """Synchronous state mirroring after each update."""
         standby = self.standby
@@ -116,6 +130,7 @@ class ReplicatedWakingService:
     # ------------------------------------------------------------------
     def _heartbeat(self) -> None:
         """Periodic liveness check of the primary by the mirror."""
+        self.beats += 1
         if self._mirror_active:
             return  # already failed over; single module remains
         if self.primary.alive:

@@ -72,6 +72,12 @@ class WakingModuleState:
         for ip in self.ips_of_mac.pop(mac, ()):
             self.vm_to_mac.pop(ip, None)
 
+    def drop_vm(self, ip: str) -> None:
+        """Remove one VM's mapping (it left its drowsy host)."""
+        mac = self.vm_to_mac.pop(ip, None)
+        if mac is not None:
+            self._drop_reverse(mac, ip)
+
     def _drop_reverse(self, mac: str, ip: str) -> None:
         ips = self.ips_of_mac.get(mac)
         if ips is not None:
@@ -168,6 +174,18 @@ class WakingModule:
     def _send_wol(self, mac: str, reason: str) -> None:
         self.wol_sent += 1
         self._wol_sender(WoLPacket(mac_address=mac, reason=reason), self.sim.now)
+
+    def note_vm_moved(self, ip: str, mac: str | None) -> None:
+        """A VM relocated without a wake (bulk consolidation): repoint
+        its mapping at the drowsy destination's ``mac``, or drop it when
+        the destination is awake (``None``).  Pure map update — no
+        timers, no WoL — so it doubles as its own standby journal."""
+        if not self.alive:
+            raise RuntimeError(f"waking module {self.name} is down")
+        if mac is None:
+            self.state.drop_vm(ip)
+        else:
+            self.state.map_vm(ip, mac)
 
     # ------------------------------------------------------------------
     # mirroring hooks (fault tolerance, section V)

@@ -154,7 +154,7 @@ class TestRegistries:
         assert "none" in controllers
 
     def test_backends_registered(self):
-        assert set(backends.names()) == {"hourly", "event"}
+        assert set(backends.names()) == {"hourly", "event", "sharded"}
 
     def test_unknown_names_fail_fast_with_choices(self):
         with pytest.raises(ValueError, match="unknown controller.*drowsy"):
