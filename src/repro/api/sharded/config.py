@@ -26,12 +26,29 @@ class ShardedConfig:
     ``inner_config`` its config; ``None`` means the inner backend's
     default, with the event engine forced onto per-VM request streams
     (shared-stream runs are not shardable, see ``coordinator``).
+
+    Crash safety (DESIGN.md §16): ``timeout_s`` bounds every
+    coordinator read from a worker — a hung or dead worker raises
+    :class:`~repro.resilience.ShardTimeoutError` /
+    :class:`~repro.resilience.ShardCrashError` instead of blocking
+    forever.  ``supervise`` (a
+    :class:`~repro.resilience.SupervisorPolicy`) turns those failures
+    into recovery: the worker pool is respawned from the last
+    hour-boundary shard snapshots with exponential backoff, degrading
+    to in-process threads when restarts are exhausted; results stay
+    byte-identical either way.  ``chaos`` (a
+    :class:`~repro.resilience.ShardChaos`) injects deterministic
+    worker kills/hangs for testing that very path; it needs process
+    workers to kill (``workers > 0``).
     """
 
     shards: int = 4
     inner: str = "event"
     inner_config: object | None = None
     workers: int = 0
+    supervise: object | None = None
+    timeout_s: float | None = None
+    chaos: object | None = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -41,3 +58,11 @@ class ShardedConfig:
                 f"inner engine must be 'event' or 'hourly', got {self.inner!r}")
         if self.workers < 0:
             raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(
+                f"timeout_s must be positive, got {self.timeout_s}")
+        if (self.chaos is not None and not self.chaos.is_zero
+                and self.workers < 1):
+            raise ValueError(
+                "chaos kills/hangs worker processes; it needs workers >= 1 "
+                "(threads cannot be killed)")

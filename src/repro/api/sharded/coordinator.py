@@ -40,12 +40,14 @@ depends on the global interleaving).
 from __future__ import annotations
 
 import math
+import time
 
 import numpy as np
 
 from ...cluster.power import PowerState
 from ...core.binding import FleetBinding
 from ...core.calendar import time_of_hour
+from ...resilience import ShardCrashError, ShardTimeoutError
 from ..result import RunResult
 from .config import ShardedConfig
 from .guard import WakingVerifier
@@ -88,6 +90,44 @@ class ShardedCoordinator:
         self._bulk_records: list = []
         self._verifier: WakingVerifier | None = None
         self._now = 0.0
+        # --- crash safety (DESIGN.md §16) -------------------------------
+        #: Worker count for the *next* pool launch; drops to 0 (threads)
+        #: when supervision degrades.
+        self._workers_mode = self.config.workers
+        self._supervise = self.config.supervise
+        timeout = self.config.timeout_s
+        if timeout is None and self._supervise is not None:
+            timeout = self._supervise.deadline_s
+        self._timeout_s = timeout
+        #: Per-shard message journal since the last boundary snapshot:
+        #: ``("send", msg)`` / ``("recv",)`` entries in protocol order.
+        #: ``None`` when recovery is off (no supervision or no processes
+        #: to lose) — nothing would ever replay it.
+        self._journal: list[list] | None = None
+        self._restarts = 0
+        #: Last hour-boundary shard snapshots (pickled ports) and the
+        #: hour they describe; what respawn and checkpoint resume from.
+        self._shard_states: list | None = None
+        self._state_hour: int | None = None
+        self._setups: list | None = None
+        self._next_hour = 0
+        self._migrations_before = 0
+        self._current_hour: int | None = None
+        self._ckpt_request: tuple | None = None
+
+    def __getstate__(self) -> dict:
+        # A coordinator inside a checkpoint: live transport machinery
+        # stays behind; the boundary snapshots in ``_shard_states`` are
+        # what the resumed run relaunches from, which also makes the
+        # original setup clones (only needed for a before-first-boundary
+        # respawn) dead weight.
+        state = self.__dict__.copy()
+        state["_transport"] = None
+        state["_journal"] = None
+        state["_ckpt_request"] = None
+        if state.get("_shard_states") is not None:
+            state["_setups"] = None
+        return state
 
     # ------------------------------------------------------------------
     def _resolve_inner_config(self):
@@ -166,28 +206,68 @@ class ShardedCoordinator:
             self._verifier = WakingVerifier(self.dc, self._shard_of_host,
                                             len(shard_lists))
         setups = self._build_setups(shard_lists, n_hours, start_hour)
+        self._setups = setups
         self._horizon = (start_hour, n_hours)
+        self._next_hour = start_hour
         self._bind_replica()
-        migrations_before = len(self.dc.migrations)
-        self._transport = ShardTransport(setups, self.config.workers)
+        self._migrations_before = len(self.dc.migrations)
+        self._workers_mode = self.config.workers
+        self._restarts = 0
+        self._shard_states = None
+        self._state_hour = None
+        self._journal = (
+            [[] for _ in setups]
+            if self._supervise is not None and self._workers_mode > 0
+            else None)
+        self._transport = ShardTransport(setups, self._workers_mode,
+                                         timeout_s=self._timeout_s)
+        return self._drive()
+
+    def continue_run(self) -> RunResult:
+        """Resume a checkpointed run: relaunch every shard from its
+        boundary snapshot and drive the remaining hours.  Called by the
+        façade after :meth:`Simulation.resume` unpickles the graph."""
+        if self._horizon is None or self._shard_states is None:
+            raise RuntimeError("no run in progress to continue")
+        self._workers_mode = self.config.workers
+        self._restarts = 0
+        self._journal = (
+            [[] for _ in self._shard_states]
+            if self._supervise is not None and self._workers_mode > 0
+            else None)
+        self._transport = ShardTransport(self._respawn_setups(),
+                                         self._workers_mode,
+                                         timeout_s=self._timeout_s)
+        return self._drive()
+
+    def _drive(self) -> RunResult:
+        start_hour, n_hours = self._horizon
         try:
-            for t in range(start_hour, start_hour + n_hours):
+            for t in range(self._next_hour, start_hour + n_hours):
                 self._hour(t)
             outcomes = [self._recv(k, "done")[1]
-                        for k in range(len(shard_lists))]
+                        for k in range(len(self._shard_hosts))]
             self._verify_window([o.get("waking") for o in outcomes],
                                 f"end of hour {start_hour + n_hours - 1}",
                                 check_states=False)
         except BaseException:
-            self._transport.abort()
-            self._transport.shutdown(force=True)
-            self._transport = None
+            if self._transport is not None:
+                self._transport.abort()
+                self._transport.shutdown(force=True)
+                self._transport = None
             raise
         self._transport.shutdown()
         self._transport = None
         self._outcomes = outcomes
         self.dc.sync_meters(time_of_hour(start_hour + n_hours))
-        return self._reduce(outcomes, n_hours, migrations_before)
+        return self._reduce(outcomes, n_hours, self._migrations_before)
+
+    def request_checkpoint(self, manager, t: int) -> None:
+        """Deferred checkpoint (called by the manager's hour hook, which
+        fires mid-exchange): the snapshot is taken at the end of
+        :meth:`_hour`, once the shards have shipped their boundary
+        states."""
+        self._ckpt_request = (manager, t)
 
     def _build_setups(self, shard_lists: list[list], n_hours: int,
                       start_hour: int) -> list[dict]:
@@ -222,6 +302,9 @@ class ShardedCoordinator:
                 "n_hours": n_hours,
                 "start_hour": start_hour,
                 "fault": fault,
+                "chaos": (self.config.chaos
+                          if self.config.chaos is not None
+                          and not self.config.chaos.is_zero else None),
             })
         return setups
 
@@ -241,6 +324,9 @@ class ShardedCoordinator:
         cfg = self._inner_config
         now = time_of_hour(t)
         self._now = now
+        self._current_hour = t
+        if self._transport is not None:
+            self._transport.current_hour = t
         n_shards = len(self._shard_hosts)
         drains = []
         for k in range(n_shards):
@@ -291,7 +377,26 @@ class ShardedCoordinator:
         self._begin_capture()
         for hook in self.hour_hooks:
             hook(t, now)
-        self._flush_exchange()
+        # Hour t is complete once this exchange lands: record the resume
+        # point *before* any snapshot below pickles the coordinator.
+        self._next_hour = t + 1
+        want_state = (self._journal is not None
+                      or self._ckpt_request is not None)
+        self._flush_exchange(want_state=want_state)
+        if want_state:
+            # Boundary snapshot: each shard pickles its whole graph as
+            # the last action of its hook — "hour t complete" exactly.
+            # From here on, recovery replays from these states, so the
+            # journal of the finished hour can be dropped.
+            self._shard_states = [self._recv(k, "state")[1]
+                                  for k in range(n_shards)]
+            self._state_hour = t
+            if self._journal is not None:
+                self._journal = [[] for _ in range(n_shards)]
+        if self._ckpt_request is not None:
+            manager, hour = self._ckpt_request
+            self._ckpt_request = None
+            manager.write_checkpoint(hour)
 
     def _verify_window(self, drains: list, label: str,
                        check_states: bool = True) -> None:
@@ -322,13 +427,116 @@ class ShardedCoordinator:
             host.state = state
 
     def _recv(self, k: int, expect: str):
-        msg = self._transport.endpoints[k].recv()
+        msg = self._recv_raw(k)
         if msg[0] == "error":
             raise ShardError(f"shard {k} failed:\n{msg[1]}")
         if msg[0] != expect:
             raise ShardError(f"protocol error from shard {k}: "
                              f"expected {expect!r}, got {msg[0]!r}")
         return msg
+
+    # ------------------------------------------------------------------
+    # supervised I/O: journal, recover, replay (DESIGN.md §16)
+    # ------------------------------------------------------------------
+    def _send(self, k: int, msg) -> None:
+        # Journal *before* the physical send: if it fails mid-flight the
+        # recovery replay covers this message, so the caller never
+        # re-sends.
+        if self._journal is not None:
+            self._journal[k].append(("send", msg))
+        try:
+            self._transport.endpoints[k].send(msg)
+        except (ShardCrashError, ShardTimeoutError) as exc:
+            self._recover(exc)
+
+    def _recv_raw(self, k: int):
+        while True:
+            try:
+                msg = self._transport.endpoints[k].recv()
+            except (ShardCrashError, ShardTimeoutError) as exc:
+                self._recover(exc)
+                continue
+            if self._journal is not None:
+                self._journal[k].append(("recv",))
+            return msg
+
+    def _recover(self, exc: BaseException) -> None:
+        """A worker died or hung: respawn the pool from the last
+        boundary snapshots, replay the journal, and let the caller
+        retry the failed operation — or give up per policy."""
+        policy = self._supervise
+        if policy is None or self._journal is None:
+            raise exc
+        while True:
+            self._restarts += 1
+            if self._restarts > policy.max_restarts:
+                if policy.degrade and self._workers_mode > 0:
+                    # Last resort: bring the shards home as threads of
+                    # this process.  Same snapshots, same protocol, no
+                    # processes left to lose.
+                    self._workers_mode = 0
+                else:
+                    raise ShardError(
+                        f"shard workers failed beyond max_restarts="
+                        f"{policy.max_restarts}; last failure: {exc}"
+                    ) from exc
+            else:
+                time.sleep(policy.backoff_s(self._restarts))
+            try:
+                self._relaunch()
+                return
+            except (ShardCrashError, ShardTimeoutError) as next_exc:
+                exc = next_exc
+
+    def _relaunch(self) -> None:
+        old = self._transport
+        self._transport = None
+        if old is not None:
+            old.kill()
+        transport = ShardTransport(self._respawn_setups(),
+                                   self._workers_mode,
+                                   timeout_s=self._timeout_s)
+        transport.current_hour = self._current_hour
+        self._transport = transport
+        # Replay the coordinator's half of the protocol since the last
+        # boundary: re-send every journaled send, drain every journaled
+        # recv.  Per-shard order is what correctness needs (shards only
+        # talk to the coordinator, never to each other), and sends are
+        # buffered, so shard-by-shard replay cannot deadlock.
+        for k, entries in enumerate(self._journal):
+            endpoint = transport.endpoints[k]
+            for entry in entries:
+                if entry[0] == "send":
+                    endpoint.send(entry[1])
+                else:
+                    msg = endpoint.recv()
+                    if msg[0] == "error":
+                        raise ShardError(
+                            f"shard {k} failed during recovery replay:\n"
+                            f"{msg[1]}")
+
+    def _respawn_setups(self) -> list[dict]:
+        """Fresh worker setups: boundary snapshots when we have them
+        (every shard resumes its in-progress run), the original setup
+        clones otherwise (failure before the first boundary — the
+        shards start over and the journal replays hour 0's messages).
+        Chaos entries at or before the current hour already fired and
+        are stripped, so each kill/hang fires exactly once."""
+        chaos = self.config.chaos
+        if chaos is not None and self._current_hour is not None:
+            chaos = chaos.surviving(self._current_hour)
+        if chaos is not None and chaos.is_zero:
+            chaos = None
+        if self._shard_states is not None:
+            return [{"index": k, "inner": self.config.inner,
+                     "state": blob, "chaos": chaos}
+                    for k, blob in enumerate(self._shard_states)]
+        setups = []
+        for setup in self._setups:
+            setup = dict(setup)
+            setup["chaos"] = chaos
+            setups.append(setup)
+        return setups
 
     # ------------------------------------------------------------------
     # op capture
@@ -340,18 +548,19 @@ class ShardedCoordinator:
         self._needs = [set() for _ in range(n_shards)]
         self._bulk_records = []
 
-    def _flush_exchange(self) -> None:
-        endpoints = self._transport.endpoints
-        for k, endpoint in enumerate(endpoints):
-            endpoint.send(("extract", self._extracts[k]))
+    def _flush_exchange(self, want_state: bool = False) -> None:
+        n_shards = len(self._shard_hosts)
+        for k in range(n_shards):
+            self._send(k, ("extract", self._extracts[k]))
         bundles: dict[str, dict] = {}
-        for k in range(len(endpoints)):
+        for k in range(n_shards):
             bundles.update(self._recv(k, "bundles")[1])
-        for k, endpoint in enumerate(endpoints):
+        for k in range(n_shards):
             ops = [("place", pickle_vm(op[1]), op[2]) if op[0] == "place"
                    else op for op in self._ops[k]]
-            endpoint.send(("ops", ops,
-                           {name: bundles[name] for name in self._needs[k]}))
+            self._send(k, ("ops", ops,
+                           {name: bundles[name] for name in self._needs[k]},
+                           want_state))
         self._mirror_map_surgery(bundles)
 
     def _mirror_map_surgery(self, bundles: dict[str, dict]) -> None:

@@ -146,6 +146,29 @@ class WakingProbe:
             setattr(host, kind, wrapped)
 
     # ------------------------------------------------------------------
+    # checkpoint support (DESIGN.md §16)
+    # ------------------------------------------------------------------
+    def unwrap(self) -> None:
+        """Remove every wrapper from the live graph (they are closures
+        and cannot be pickled).  The wrappers are instance attributes
+        shadowing class methods, so popping them restores the
+        originals; recorded data stays on the probe."""
+        front = self.engine.waking
+        for name in ("register_suspension", "on_host_awake",
+                     "note_vm_moved", "analyze_packet"):
+            front.__dict__.pop(name, None)
+        for host in self.engine.dc.hosts:
+            for kind in _TRANSITIONS:
+                host.__dict__.pop(kind, None)
+
+    def rewrap(self) -> None:
+        """Re-install the wrappers (after a snapshot pickle, or on a
+        respawned worker that just unpickled the graph)."""
+        self._wrap_front(self.engine.waking)
+        for host in self.engine.dc.hosts:
+            self._wrap_host(host)
+
+    # ------------------------------------------------------------------
     def drain(self) -> dict | None:
         """Hand over (and clear) everything recorded since last drain."""
         if not (self.ops or self.wols or self.transitions):

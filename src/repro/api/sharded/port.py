@@ -32,6 +32,8 @@ is result-identical to the global order.
 
 from __future__ import annotations
 
+import pickle
+
 from ...cluster.migration import MigrationRecord
 from ...core.calendar import time_of_hour
 from .guard import WakingProbe
@@ -46,7 +48,8 @@ class ShardPort:
     """Controller stand-in wired to one coordinator endpoint."""
 
     def __init__(self, endpoint, controller_name: str,
-                 uses_idleness: bool) -> None:
+                 uses_idleness: bool, shard_index: int = 0,
+                 chaos=None) -> None:
         self._ep = endpoint
         #: Mirrors the real controller so shard-native results carry
         #: the same provenance as an unsharded run.
@@ -55,12 +58,25 @@ class ShardPort:
         #: must be updated even when ``config.update_models`` is off.
         self.uses_idleness = uses_idleness
         self.engine = None
+        self._shard_index = shard_index
+        #: Deterministic process-chaos harness (DESIGN.md §16): fires
+        #: kill/hang at the hour barrier, a replayable protocol point.
+        self._chaos = chaos
         self._event = True
         self._update_models = True
         self._injector = None
         self._bundles: dict[str, dict] = {}
         self._population_changed = False
+        self._want_state = False
         self._probe: WakingProbe | None = None
+
+    def __getstate__(self) -> dict:
+        # The endpoint is a live pipe/queue — the one part of the shard
+        # graph that cannot travel in a snapshot.  The respawned worker
+        # re-wires a fresh endpoint before continuing.
+        state = self.__dict__.copy()
+        state["_ep"] = None
+        return state
 
     def attach(self, engine, inner: str, update_models: bool,
                injector=None) -> None:
@@ -80,6 +96,12 @@ class ShardPort:
     # controller protocol (called by the inner engine)
     # ------------------------------------------------------------------
     def observe_hour(self, hour_index: int) -> None:
+        if self._chaos is not None:
+            # Fire *before* the hour digest leaves: the coordinator has
+            # received nothing for this hour yet, so recovery replays
+            # from the previous boundary and the respawned shard
+            # re-sends an identical digest.
+            self._chaos.fire(self._shard_index, hour_index)
         self._ep.send(("hour", hour_index, self._digest(),
                        self.drain_probe()))
 
@@ -105,6 +127,19 @@ class ShardPort:
             # the plain hourly run fires them (observer order: churn ops
             # just applied, faults next).
             self._injector.on_hour(hour_index, now)
+        if self._want_state:
+            # Snapshot as the *last* action of the hour: churn ops and
+            # fault timers above are inside the pickled state, so the
+            # blob is exactly "hour complete" — the resume point.  The
+            # probe's method wrappers are closures over live objects;
+            # strip them around the pickle (recorded data stays).
+            self._want_state = False
+            if self._probe is not None:
+                self._probe.unwrap()
+            blob = pickle.dumps(self, pickle.HIGHEST_PROTOCOL)
+            if self._probe is not None:
+                self._probe.rewrap()
+            self._ep.send(("state", blob))
 
     def _digest(self) -> list:
         return [h.state for h in self.engine.dc.hosts]
@@ -134,8 +169,11 @@ class ShardPort:
         bundles = {name: self._extract(name, wake, now)
                    for name, wake in directives}
         self._ep.send(("bundles", bundles))
-        msg = self._recv()  # ("ops", [op, ...], {vm_name: bundle, ...})
-        _, ops, self._bundles = msg
+        msg = self._recv()  # ("ops", [op, ...], {bundles}, want_state?)
+        ops = msg[1]
+        self._bundles = msg[2]
+        if len(msg) > 3 and msg[3]:
+            self._want_state = True
         self._population_changed = bool(directives)
         inserted: list = []
         for op in ops:

@@ -13,51 +13,102 @@ Two interchangeable transports carry the same picklable messages:
 
 The transport owns lifecycle only; message semantics live in
 ``port``/``coordinator``.
+
+Crash safety (DESIGN.md §16): coordinator-side endpoints accept a
+``timeout_s`` so a read from a hung worker raises
+:class:`~repro.resilience.ShardTimeoutError` instead of blocking
+forever, and a closed pipe (worker SIGKILLed, OOM-killed, crashed
+hard) raises :class:`~repro.resilience.ShardCrashError`.  Both carry
+the shard index and the simulated hour the protocol was at; the
+coordinator's supervisor turns them into a worker-pool respawn.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
+import time
+
+from ...resilience import ShardCrashError, ShardTimeoutError
 
 
 class QueueEndpoint:
     """One side of a thread-mode duplex channel."""
 
-    def __init__(self, inbox: queue.Queue, outbox: queue.Queue) -> None:
+    def __init__(self, inbox: queue.Queue, outbox: queue.Queue,
+                 shard: int | None = None, transport=None,
+                 timeout_s: float | None = None) -> None:
         self._inbox = inbox
         self._outbox = outbox
+        self._shard = shard
+        self._transport = transport
+        self._timeout_s = timeout_s
+
+    def _hour(self):
+        return None if self._transport is None else self._transport.current_hour
 
     def send(self, msg) -> None:
         self._outbox.put(msg)
 
     def recv(self):
-        return self._inbox.get()
+        if self._timeout_s is None:
+            return self._inbox.get()
+        started = time.monotonic()
+        try:
+            return self._inbox.get(timeout=self._timeout_s)
+        except queue.Empty:
+            raise ShardTimeoutError(self._shard, self._hour(),
+                                    time.monotonic() - started,
+                                    self._timeout_s) from None
 
 
 class PipeEndpoint:
     """One side of a process-mode duplex channel."""
 
-    def __init__(self, conn) -> None:
+    def __init__(self, conn, shard: int | None = None, transport=None,
+                 timeout_s: float | None = None) -> None:
         self._conn = conn
+        self._shard = shard
+        self._transport = transport
+        self._timeout_s = timeout_s
+
+    def _hour(self):
+        return None if self._transport is None else self._transport.current_hour
 
     def send(self, msg) -> None:
-        self._conn.send(msg)
+        try:
+            self._conn.send(msg)
+        except (BrokenPipeError, OSError) as exc:
+            raise ShardCrashError(self._shard, self._hour(),
+                                  f"pipe closed on send: {exc}") from exc
 
     def recv(self):
+        started = time.monotonic()
         try:
+            if self._timeout_s is not None and not self._conn.poll(self._timeout_s):
+                raise ShardTimeoutError(self._shard, self._hour(),
+                                        time.monotonic() - started,
+                                        self._timeout_s)
             return self._conn.recv()
-        except EOFError:
-            # The peer died without a goodbye; surface it as a protocol
-            # error message so the coordinator aborts cleanly.
-            return ("error", "shard endpoint closed unexpectedly")
+        except EOFError as exc:
+            # The peer died without a goodbye (crash, SIGKILL, OOM).
+            raise ShardCrashError(self._shard, self._hour(),
+                                  "shard endpoint closed unexpectedly") from exc
+        except OSError as exc:
+            raise ShardCrashError(self._shard, self._hour(),
+                                  f"pipe error: {exc}") from exc
 
 
 class ShardTransport:
     """Launches shards and hands the coordinator its endpoints."""
 
-    def __init__(self, setups: list[dict], workers: int) -> None:
+    def __init__(self, setups: list[dict], workers: int,
+                 timeout_s: float | None = None) -> None:
         self.endpoints: list = []
+        #: Simulated hour the coordinator protocol is currently driving;
+        #: stamped onto timeout/crash errors for actionable messages.
+        self.current_hour: int | None = None
+        self._timeout_s = timeout_s
         self._threads: list[threading.Thread] = []
         self._processes: list = []
         if workers <= 0:
@@ -69,10 +120,12 @@ class ShardTransport:
     def _launch_threads(self, setups: list[dict]) -> None:
         from .worker import run_shard
 
-        for setup in setups:
+        for index, setup in enumerate(setups):
             to_shard: queue.Queue = queue.Queue()
             to_coord: queue.Queue = queue.Queue()
-            self.endpoints.append(QueueEndpoint(to_coord, to_shard))
+            self.endpoints.append(
+                QueueEndpoint(to_coord, to_shard, shard=index,
+                              transport=self, timeout_s=self._timeout_s))
             shard_end = QueueEndpoint(to_shard, to_coord)
             thread = threading.Thread(target=run_shard,
                                       args=(shard_end, setup), daemon=True)
@@ -88,7 +141,9 @@ class ShardTransport:
         per_worker: list[list] = [[] for _ in range(n_workers)]
         for index, setup in enumerate(setups):
             parent, child = ctx.Pipe()
-            self.endpoints.append(PipeEndpoint(parent))
+            self.endpoints.append(
+                PipeEndpoint(parent, shard=index, transport=self,
+                             timeout_s=self._timeout_s))
             per_worker[index % n_workers].append((setup, child))
         for assignments in per_worker:
             proc = ctx.Process(target=worker_main, args=(assignments,),
@@ -109,6 +164,28 @@ class ShardTransport:
                 endpoint.send(("abort",))
             except Exception:
                 pass
+
+    def kill(self) -> None:
+        """Tear the pool down *now* — supervision path.
+
+        Terminates worker processes without draining them (they may be
+        hung or already dead) and escalates to SIGKILL if SIGTERM does
+        not land; thread shards get an abort and a short join (threads
+        cannot be killed, but thread mode is only reached by supervised
+        runs after degradation, where a further failure is fatal anyway).
+        """
+        for proc in self._processes:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._processes:
+            proc.join(timeout=5.0)
+            if proc.exitcode is None:
+                proc.kill()
+                proc.join(timeout=5.0)
+        if self._threads:
+            self.abort()
+            for thread in self._threads:
+                thread.join(timeout=1.0)
 
     def shutdown(self, force: bool = False) -> None:
         if force:

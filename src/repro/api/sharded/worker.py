@@ -33,11 +33,15 @@ def run_shard(endpoint, setup: dict) -> None:
 
 
 def _simulate(endpoint, setup: dict) -> dict:
+    if "state" in setup:
+        return _resume(endpoint, setup)
     dc = setup["dc"]
     config = setup["config"]
     inner = setup["inner"]
     port = ShardPort(endpoint, setup["controller_name"],
-                     setup["uses_idleness"])
+                     setup["uses_idleness"],
+                     shard_index=setup["index"],
+                     chaos=setup.get("chaos"))
     injector = None
     fault = setup["fault"]
     if fault is not None:
@@ -71,6 +75,29 @@ def _simulate(endpoint, setup: dict) -> dict:
                                  crash_schedule=fault["crashes"])
     native = engine.run(setup["n_hours"], start_hour=setup["start_hour"])
     return _hourly_outcome(engine, native, injector)
+
+
+def _resume(endpoint, setup: dict) -> dict:
+    """Continue a shard from a boundary snapshot (supervision respawn
+    or checkpoint resume): unpickle the port — the whole shard graph
+    hangs off it — re-wire the fresh endpoint, and drive the engine's
+    in-progress run to its horizon."""
+    import pickle
+
+    port = pickle.loads(setup["state"])
+    port._ep = endpoint
+    # Chaos entries at-or-before the recovery hour already fired; the
+    # respawn ships a stripped spec so a kill fires exactly once.
+    port._chaos = setup.get("chaos")
+    if port._probe is not None:
+        # The snapshot was pickled with the probe's method wrappers
+        # stripped; put them back before any engine code runs.
+        port._probe.rewrap()
+    engine = port.engine
+    native = engine.continue_run()
+    if setup["inner"] == "event":
+        return _event_outcome(engine, native, port._injector, port)
+    return _hourly_outcome(engine, native, port._injector)
 
 
 def _crashed_seconds(dc) -> dict[str, float]:

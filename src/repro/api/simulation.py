@@ -84,7 +84,8 @@ class Simulation:
                  config=None,
                  backend_config=None,
                  observers: tuple = (),
-                 faults=None) -> None:
+                 faults=None,
+                 checkpoint=None) -> None:
         if backend_config is not None:
             if config is not None:
                 raise TypeError(
@@ -124,6 +125,25 @@ class Simulation:
         self.faults = next(
             (o for o in self.observers
              if getattr(o, "is_fault_injector", False)), None)
+        #: The checkpoint manager riding this run, if any.  Appended
+        #: *last* so its hour-boundary snapshot includes every mutation
+        #: the other observers (churn, faults) made that hour.
+        self.checkpointer = None
+        if checkpoint is None:
+            from ..resilience.checkpoint import take_default_policy
+
+            checkpoint = take_default_policy()
+        if checkpoint is not None:
+            from ..resilience import CheckpointManager
+
+            manager = (checkpoint
+                       if isinstance(checkpoint, CheckpointManager)
+                       else CheckpointManager(checkpoint))
+            self.checkpointer = manager
+            self.observers += (as_observer(manager),)
+        #: True only on a façade restored by :meth:`resume`; makes the
+        #: next :meth:`run` continue the interrupted horizon.
+        self._resuming = False
         self.engine = self.backend.build(
             dc, self.controller, self.params, self.config,
             tuple(o.on_hour for o in self.observers))
@@ -142,7 +162,8 @@ class Simulation:
                       hours: int | None = None, scale: float = 1.0,
                       params: DrowsyParams | None = None,
                       relocate_all: bool | None = None,
-                      shards: int = 4, workers: int = 0) -> "Simulation":
+                      shards: int = 4, workers: int = 0,
+                      checkpoint=None) -> "Simulation":
         """Compile a scenario spec (or built-in name) into a ready run.
 
         Delegates to :class:`~repro.scenarios.compiler.ScenarioCompiler`
@@ -163,7 +184,10 @@ class Simulation:
             controller=controller, simulator=backend, seed=seed,
             hours=hours, relocate_all=relocate_all,
             shards=shards, workers=workers)
-        return compiled.simulation
+        simulation = compiled.simulation
+        if checkpoint is not None:
+            simulation.attach_checkpointer(checkpoint)
+        return simulation
 
     # ------------------------------------------------------------------
     def run(self, n_hours: int | None = None,
@@ -174,7 +198,20 @@ class Simulation:
         scenario-compiled simulations; directly constructed ones must
         pass it.  Observers see ``on_run_start`` before the first hour
         and ``on_run_end`` after the unified result is built.
+
+        On a façade restored by :meth:`resume`, ``run()`` (no
+        arguments) continues the interrupted horizon from the
+        checkpointed hour boundary instead of starting over; the
+        result is byte-identical to the uninterrupted run's.
         """
+        if self._resuming:
+            if n_hours is not None and n_hours != getattr(
+                    self.engine, "_horizon", (0, n_hours))[1]:
+                raise ValueError(
+                    "a resumed run continues its original horizon; "
+                    "call run() without n_hours")
+            self._resuming = False
+            return self._finish(self.engine.continue_run())
         if n_hours is None:
             n_hours = self.hours
         if not n_hours:
@@ -183,7 +220,13 @@ class Simulation:
                 "carry a default horizon)")
         for obs in self.observers:
             obs.on_run_start(self, start_hour, n_hours)
-        native = self.engine.run(n_hours, start_hour=start_hour)
+        return self._finish(self.engine.run(n_hours,
+                                            start_hour=start_hour))
+
+    def _finish(self, native) -> RunResult:
+        """The shared run tail: unify the native result, finalize
+        faults, fire ``on_run_end``.  Pure function of engine state, so
+        a resumed run's tail is identical to the uninterrupted one's."""
         result = self.backend.to_run_result(native)
         if self.faults is not None and not self.faults.plan.is_zero:
             # Zero plans leave the field None so their results compare
@@ -193,6 +236,52 @@ class Simulation:
         for obs in self.observers:
             obs.on_run_end(result)
         return result
+
+    # ------------------------------------------------------------------
+    # crash-safe execution (DESIGN.md §16)
+    # ------------------------------------------------------------------
+    def attach_checkpointer(self, checkpoint):
+        """Attach a checkpoint policy to an already-built simulation
+        (the path scenario compilation and the CLI use).  The manager
+        joins the observers *and* the engine's hour hooks — engines
+        read ``hour_hooks`` at run time, so late attachment is safe."""
+        from ..resilience import CheckpointManager
+
+        manager = (checkpoint if isinstance(checkpoint, CheckpointManager)
+                   else CheckpointManager(checkpoint))
+        manager.bind(self)
+        self.checkpointer = manager
+        self.observers += (as_observer(manager),)
+        self.engine.hour_hooks = (tuple(self.engine.hour_hooks)
+                                  + (manager.on_hour,))
+        return manager
+
+    @classmethod
+    def resume(cls, path) -> "Simulation":
+        """Restore a simulation from a checkpoint file (or the most
+        advanced checkpoint in a directory) written by a
+        ``checkpoint=``-equipped run.  Call :meth:`run` (no arguments)
+        on the result to finish the interrupted horizon::
+
+            sim = Simulation.resume("ckpts/")   # or an exact .ckpt path
+            result = sim.run()                  # == the uninterrupted run
+        """
+        from pathlib import Path
+
+        from ..resilience import (
+            Checkpoint,
+            CheckpointError,
+            latest_checkpoint,
+        )
+
+        path = Path(path)
+        if path.is_dir():
+            path = latest_checkpoint(path)
+        sim = Checkpoint.load(path).restore()
+        if not isinstance(sim, cls):
+            raise CheckpointError(
+                f"{path} holds a {type(sim).__name__}, not a Simulation")
+        return sim
 
     # ------------------------------------------------------------------
     # administrative surface (scenario churn, maintenance tooling)

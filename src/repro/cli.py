@@ -6,6 +6,9 @@ Usage::
     python -m repro run fig2_colocation
     python -m repro run energy_totals --days 5
     python -m repro run-all --quick
+    python -m repro scenario run steady --checkpoint-dir ckpts
+    python -m repro list checkpoints --dir ckpts
+    python -m repro resume ckpts
 """
 
 from __future__ import annotations
@@ -14,6 +17,7 @@ import argparse
 import importlib
 import sys
 import time
+from contextlib import contextmanager
 
 #: Experiment name -> (module, kwargs accepted from the CLI).
 EXPERIMENTS: dict[str, dict] = {
@@ -99,6 +103,19 @@ def _print_scenarios() -> None:
         print(f"  {'':<20} {spec.description}")
 
 
+def _print_checkpoints(directory: str = ".") -> None:
+    from .resilience import list_checkpoints
+
+    infos = list_checkpoints(directory)
+    if not infos:
+        print(f"no resumable checkpoints under {directory}")
+        return
+    print(f"resumable checkpoints under {directory} "
+          f"(python -m repro resume <path>):")
+    for info in infos:
+        print(f"  {info.describe()}")
+
+
 #: ``python -m repro list <what>``: every listing goes through the
 #: registries' ``describe()`` (or the scenario registry), replacing the
 #: per-kind ad-hoc loops that used to live on separate subcommands.
@@ -111,8 +128,34 @@ _LISTINGS = {
 
 
 def cmd_list(args) -> int:
-    _LISTINGS[getattr(args, "what", None) or "experiments"]()
+    what = getattr(args, "what", None) or "experiments"
+    if what == "checkpoints":
+        _print_checkpoints(getattr(args, "dir", None) or ".")
+        return 0
+    _LISTINGS[what]()
     return 0
+
+
+@contextmanager
+def _checkpoint_default(args):
+    """Wire ``--checkpoint-dir``/``--checkpoint-every`` (DESIGN.md §16):
+    every simulation built inside the block snapshots itself at hour
+    boundaries, resumable with ``python -m repro resume <dir>``.  The
+    process default is cleared on exit so nothing leaks past the
+    command (``main`` is also called in-process by tests)."""
+    ckpt_dir = getattr(args, "checkpoint_dir", None)
+    if not ckpt_dir:
+        yield
+        return
+    from .resilience import CheckpointPolicy
+    from .resilience.checkpoint import set_default_policy
+
+    set_default_policy(CheckpointPolicy(
+        dir=ckpt_dir, every_h=getattr(args, "checkpoint_every", None) or 1))
+    try:
+        yield
+    finally:
+        set_default_policy(None)
 
 
 def cmd_run(args) -> int:
@@ -123,10 +166,39 @@ def cmd_run(args) -> int:
         if value is not None:
             kwargs[key] = caster(value)
     t0 = time.perf_counter()
-    data = module.run(**kwargs)
+    with _checkpoint_default(args):
+        data = module.run(**kwargs)
     elapsed = time.perf_counter() - t0
     print(data.render() if hasattr(data, "render") else data)
+    if getattr(args, "checkpoint_dir", None):
+        print(f"\n[checkpoints in {args.checkpoint_dir}; resume an "
+              f"interrupted run with: python -m repro resume "
+              f"{args.checkpoint_dir}]")
     print(f"\n[{args.name} finished in {elapsed:.1f} s]")
+    return 0
+
+
+def cmd_resume(args) -> int:
+    """Continue an interrupted checkpointed run to its horizon."""
+    from .api import Simulation
+    from .resilience import CheckpointError
+
+    try:
+        sim = Simulation.resume(args.path)
+    except CheckpointError as exc:
+        raise SystemExit(str(exc)) from None
+    t0 = time.perf_counter()
+    result = sim.run()
+    elapsed = time.perf_counter() - t0
+    slatah = "-" if result.slatah is None else f"{result.slatah:.4f}"
+    print(f"resumed {sim.backend_name} run -> "
+          f"{result.total_energy_kwh:.1f} kWh, SLATAH {slatah}, "
+          f"{result.migrations} migrations, "
+          f"{result.total_suspend_cycles} suspends")
+    for out in args.out or ():
+        result.save(out)
+        print(f"[result written to {out}]")
+    print(f"\n[resume finished in {elapsed:.1f} s]")
     return 0
 
 
@@ -177,6 +249,20 @@ def _check_out_targets(table_cls, outs) -> None:
             raise SystemExit(f"--out {out}: {exc}") from None
 
 
+def _sweep_journal(args):
+    """``--checkpoint-dir`` on a sweep: per-cell journal + supervised
+    respawn.  Completed cells persist as they land; rerunning the same
+    command resumes, skipping the journaled cells (DESIGN.md §16)."""
+    ckpt_dir = getattr(args, "checkpoint_dir", None)
+    if not ckpt_dir:
+        return None
+    from pathlib import Path
+
+    from .resilience import SweepJournal
+
+    return SweepJournal(Path(ckpt_dir) / "sweep.journal")
+
+
 def cmd_sweep(args) -> int:
     """Sharded (controller × fleet-size × seed) sweep (DESIGN.md §9)."""
     from .sim.sweep import SweepRunner, SweepTable, grid
@@ -187,9 +273,12 @@ def cmd_sweep(args) -> int:
                  sizes=tuple(int(s) for s in args.sizes.split(",")),
                  seeds=tuple(int(s) for s in args.seeds.split(",")),
                  hours=args.hours, llmi_fraction=args.llmi)
+    journal = _sweep_journal(args)
     t0 = time.perf_counter()
-    table = SweepRunner(workers=args.workers).run(cells)
+    table = SweepRunner(workers=args.workers, journal=journal).run(cells)
     elapsed = time.perf_counter() - t0
+    if journal is not None:
+        journal.clear()  # the sweep completed; next invocation is fresh
     print(table.render())
     if args.csv:
         with open(args.csv, "w") as fh:
@@ -228,17 +317,24 @@ def cmd_scenario_run(args) -> int:
     simulators = (("hourly", "event") if args.simulator == "both"
                   else (args.simulator,))
     t0 = time.perf_counter()
-    for simulator in simulators:
-        row = run_scenario_cell(ScenarioCell(
-            scenario=args.name, controller=args.controller, seed=args.seed,
-            simulator=simulator, scale=args.scale, hours=args.hours or 0,
-            shards=args.shards, workers=args.shard_workers))
-        print(f"[{simulator}] {row.scenario}: {row.n_vms} VMs on "
-              f"{row.n_hosts} hosts x {row.hours} h under {row.controller} "
-              f"-> {row.energy_kwh:.1f} kWh, "
-              f"{100 * row.suspended_fraction:.1f} % drowsy, "
-              f"{row.migrations} migrations, {row.suspend_cycles} suspends, "
-              f"churn +{row.vms_added}/-{row.vms_removed}")
+    with _checkpoint_default(args):
+        for simulator in simulators:
+            row = run_scenario_cell(ScenarioCell(
+                scenario=args.name, controller=args.controller,
+                seed=args.seed, simulator=simulator, scale=args.scale,
+                hours=args.hours or 0,
+                shards=args.shards, workers=args.shard_workers))
+            print(f"[{simulator}] {row.scenario}: {row.n_vms} VMs on "
+                  f"{row.n_hosts} hosts x {row.hours} h under "
+                  f"{row.controller} -> {row.energy_kwh:.1f} kWh, "
+                  f"{100 * row.suspended_fraction:.1f} % drowsy, "
+                  f"{row.migrations} migrations, "
+                  f"{row.suspend_cycles} suspends, "
+                  f"churn +{row.vms_added}/-{row.vms_removed}")
+    if getattr(args, "checkpoint_dir", None):
+        print(f"\n[checkpoints in {args.checkpoint_dir}; resume an "
+              f"interrupted run with: python -m repro resume "
+              f"{args.checkpoint_dir}]")
     print(f"\n[scenario {args.name} finished in "
           f"{time.perf_counter() - t0:.1f} s]")
     return 0
@@ -264,9 +360,13 @@ def cmd_scenario_sweep(args) -> int:
             simulator=args.simulator, scale=args.scale, hours=args.hours or 0)
     except KeyError as exc:
         raise SystemExit(exc.args[0]) from None
+    journal = _sweep_journal(args)
     t0 = time.perf_counter()
-    table = run_scenario_sweep(cells, workers=args.workers)
+    table = run_scenario_sweep(cells, workers=args.workers,
+                               journal=journal)
     elapsed = time.perf_counter() - t0
+    if journal is not None:
+        journal.clear()  # the sweep completed; next invocation is fresh
     print(table.render())
     for out in args.out or ():
         table.save(out)
@@ -284,6 +384,24 @@ def cmd_report(args) -> int:
     return 0 if report.all_hold else 1
 
 
+def _add_checkpoint_args(parser, sweep: bool = False) -> None:
+    """The crash-safety flags (DESIGN.md §16), one spelling everywhere."""
+    if sweep:
+        parser.add_argument(
+            "--checkpoint-dir", dest="checkpoint_dir",
+            help="journal finished cells under this directory and "
+                 "supervise the workers; rerunning the identical sweep "
+                 "command resumes, recomputing only the missing cells")
+        return
+    parser.add_argument(
+        "--checkpoint-dir", dest="checkpoint_dir",
+        help="snapshot every simulation at hour boundaries into this "
+             "directory (resume with: python -m repro resume <dir>)")
+    parser.add_argument(
+        "--checkpoint-every", dest="checkpoint_every", type=int,
+        help="simulated hours between snapshots (default 1)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -292,9 +410,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     lister = sub.add_parser(
         "list",
-        help="list experiments, controllers, backends or scenarios")
+        help="list experiments, controllers, backends, scenarios or "
+             "resumable checkpoints")
     lister.add_argument("what", nargs="?", default="experiments",
-                        choices=tuple(_LISTINGS))
+                        choices=tuple(_LISTINGS) + ("checkpoints",))
+    lister.add_argument("--dir", default=".",
+                        help="directory to scan (list checkpoints)")
     lister.set_defaults(fn=cmd_list)
 
     run = sub.add_parser("run", help="run one experiment")
@@ -312,7 +433,20 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seeds",
                      help="comma-separated fleet seeds (fleet_sweep: one "
                           "cell per seed, results averaged)")
+    _add_checkpoint_args(run)
     run.set_defaults(fn=cmd_run)
+
+    resume = sub.add_parser(
+        "resume",
+        help="continue an interrupted checkpointed run to its horizon")
+    resume.add_argument("path",
+                        help="a .ckpt file, or a directory (the most "
+                             "advanced checkpoint in it is used)")
+    resume.add_argument("--out", action="append",
+                        help="persist the result; format from the suffix: "
+                             ".csv, .sqlite (append) or .parquet "
+                             "(repeatable)")
+    resume.set_defaults(fn=cmd_resume)
 
     sweep = sub.add_parser(
         "sweep",
@@ -333,6 +467,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="persist the tidy table; format from the "
                             "suffix: .csv, .sqlite (append) or .parquet "
                             "(repeatable)")
+    _add_checkpoint_args(sweep, sweep=True)
     sweep.set_defaults(fn=cmd_sweep)
 
     scenario = sub.add_parser(
@@ -359,6 +494,7 @@ def build_parser() -> argparse.ArgumentParser:
                       default=0,
                       help="worker processes for --simulator sharded "
                            "(0 = in-process threads)")
+    _add_checkpoint_args(srun)
     srun.set_defaults(fn=cmd_scenario_run)
 
     ssweep = ssub.add_parser(
@@ -380,6 +516,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="persist the tidy table; format from the "
                              "suffix: .csv, .sqlite (append) or .parquet "
                              "(repeatable)")
+    _add_checkpoint_args(ssweep, sweep=True)
     ssweep.set_defaults(fn=cmd_scenario_sweep)
 
     run_all = sub.add_parser("run-all", help="run every experiment")

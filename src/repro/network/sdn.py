@@ -20,6 +20,11 @@ from .requests import Request, RequestLog
 from ..waking.packets import Packet, PacketKind, WoLPacket
 
 
+def _never_satisfied(mac: str) -> bool:
+    """Default wake-satisfied predicate: always retry (picklable)."""
+    return False
+
+
 class ReliableWolChannel:
     """Retry-with-timeout WoL delivery (DESIGN.md §14).
 
@@ -52,7 +57,9 @@ class ReliableWolChannel:
         self.params = params
         #: ``(mac) -> bool``: is the wake already satisfied (host awake,
         #: resuming, or gone)?  Retries consult it before re-sending.
-        self._wake_satisfied = wake_satisfied or (lambda mac: False)
+        #: (Module-level default, not a lambda: the channel is part of
+        #: the checkpointed object graph and must pickle.)
+        self._wake_satisfied = wake_satisfied or _never_satisfied
         #: Fault hook ``(WoLPacket) -> (verdict, delay_s)`` with verdict
         #: one of "ok" | "drop" | "delay".  ``None`` = perfect wire.
         self.transport = None
@@ -99,13 +106,14 @@ class ReliableWolChannel:
                     * self.params.wol_retry_backoff ** attempt)
             self.backoff_waits.append(wait)
             self._generation.setdefault(mac, 0)
-            self.sim.schedule_in(
-                wait, lambda: self._attempt(packet, attempt + 1, gen))
+            # Args-based scheduling (no closure): retry timers must
+            # survive a checkpoint pickle of the event heap.
+            self.sim.schedule_in(wait, self._attempt, packet,
+                                 attempt + 1, gen)
         elif verdict == "delay":
             self.delayed += 1
             self._generation.setdefault(mac, 0)
-            self.sim.schedule_in(
-                delay_s, lambda: self._deliver_late(packet, gen))
+            self.sim.schedule_in(delay_s, self._deliver_late, packet, gen)
         else:
             self._deliver(packet, self.sim.now)
 
@@ -183,11 +191,14 @@ class SDNSwitch:
                                           reason="switch-port"), self.sim.now)
 
     def _complete(self, request: Request, at: float) -> None:
-        def finish() -> None:
-            request.completion_s = self.sim.now
-            self.log.record(request)
+        # Args-based scheduling (no closure): a completion event can
+        # straddle an hour boundary (resume-delayed requests) and must
+        # survive a checkpoint pickle of the event heap.
+        self.sim.schedule_at(at, self._finish, request)
 
-        self.sim.schedule_at(at, finish)
+    def _finish(self, request: Request) -> None:
+        request.completion_s = self.sim.now
+        self.log.record(request)
 
     # ------------------------------------------------------------------
     def on_host_available(self, host: Host) -> None:

@@ -1,0 +1,52 @@
+"""Crash-safe execution: checkpoint/resume + worker supervision.
+
+The package's durable-runs layer (DESIGN.md §16).  Nothing here
+imports ``repro.api`` at module level — the façade imports *us*, and
+the sharded transport borrows the error types — so the dependency
+graph stays a DAG.
+"""
+
+from .chaos import ChaosCell, ChaosKill, ShardChaos, run_chaos_cell
+from .checkpoint import (
+    CHECKPOINT_SUFFIX,
+    CHECKPOINT_VERSION,
+    Checkpoint,
+    CheckpointError,
+    CheckpointInfo,
+    CheckpointManager,
+    CheckpointPolicy,
+    latest_checkpoint,
+    list_checkpoints,
+)
+from .io import atomic_target, atomic_write_bytes, atomic_write_text
+from .journal import SweepJournal
+from .supervisor import (
+    ShardCrashError,
+    ShardTimeoutError,
+    SupervisorPolicy,
+    supervised_map,
+)
+
+__all__ = [
+    "CHECKPOINT_SUFFIX",
+    "CHECKPOINT_VERSION",
+    "ChaosCell",
+    "ChaosKill",
+    "Checkpoint",
+    "CheckpointError",
+    "CheckpointInfo",
+    "CheckpointManager",
+    "CheckpointPolicy",
+    "ShardChaos",
+    "ShardCrashError",
+    "ShardTimeoutError",
+    "SupervisorPolicy",
+    "SweepJournal",
+    "atomic_target",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "latest_checkpoint",
+    "list_checkpoints",
+    "run_chaos_cell",
+    "supervised_map",
+]

@@ -1,0 +1,63 @@
+"""Crash-safe file writes: temp file + atomic rename.
+
+Every artifact the package persists (checkpoints, sweep tables, run
+results, journals) goes through :func:`atomic_target`: the payload is
+written to a hidden sibling temp file, fsynced, and renamed over the
+destination in one ``os.replace`` — so a crash (SIGKILL, OOM, power
+loss) mid-save can never leave a truncated or half-written file at the
+target path.  The temp file lives in the destination directory, which
+keeps the rename on one filesystem (POSIX guarantees atomicity only
+then).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from pathlib import Path
+
+
+def fsync_path(path: str | Path) -> None:
+    """Flush a fully written file to stable storage (best effort —
+    some filesystems refuse fsync on special files)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - races with removal
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+@contextmanager
+def atomic_target(path: str | Path):
+    """Yield a temp path to write; rename it over ``path`` on success.
+
+    The temp file is removed on failure, so aborted saves leave no
+    debris next to the destination.  Concurrent savers to the same
+    destination each get a distinct temp name (pid-suffixed); last
+    rename wins with both files intact.
+    """
+    path = Path(path)
+    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+    try:
+        yield tmp
+        fsync_path(tmp)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> None:
+    """Atomically replace ``path`` with ``data``."""
+    with atomic_target(path) as tmp:
+        tmp.write_bytes(data)
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Atomically replace ``path`` with ``text``."""
+    with atomic_target(path) as tmp:
+        tmp.write_text(text)

@@ -1,0 +1,50 @@
+"""Append-only result journal for resumable sweeps.
+
+A sweep over hundreds of cells should not lose completed work when the
+*driver* process dies.  :class:`SweepJournal` streams each finished
+``(index, row)`` pair to disk as a self-delimiting pickle record,
+fsynced per append; a relaunched sweep loads the journal, skips the
+cells already done, and recomputes only the rest.  A truncated tail
+record (the crash landed mid-append) is silently dropped — every
+complete record before it is still valid, which is exactly the
+guarantee an append-only log can give.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+
+
+class SweepJournal:
+    """Durable per-cell results of one sweep invocation."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def load(self) -> dict[int, object]:
+        """Completed cells recorded so far: ``{index: row}``."""
+        done: dict[int, object] = {}
+        if not self.path.exists():
+            return done
+        with open(self.path, "rb") as fh:
+            while True:
+                try:
+                    index, row = pickle.load(fh)
+                except (EOFError, pickle.UnpicklingError, ValueError,
+                        AttributeError, IndexError):
+                    break
+                done[int(index)] = row
+        return done
+
+    def append(self, index: int, row) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "ab") as fh:
+            pickle.dump((index, row), fh,
+                        protocol=pickle.HIGHEST_PROTOCOL)
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def clear(self) -> None:
+        self.path.unlink(missing_ok=True)

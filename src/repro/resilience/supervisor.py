@@ -1,0 +1,236 @@
+"""Worker supervision: deadlines, backoff respawn, graceful degrade.
+
+Two consumers share the policy object defined here:
+
+* the sharded backend's coordinator (``repro.api.sharded``) wraps every
+  transport read/write with it — a dead or hung worker process raises
+  :class:`ShardCrashError` / :class:`ShardTimeoutError`, the coordinator
+  respawns the whole worker pool from the last hour-boundary shard
+  snapshots, replays its message journal, and continues the hour
+  mid-protocol;
+* :func:`supervised_map` is the crash-safe counterpart of
+  ``multiprocessing.Pool.map`` for sweep cells — a SIGKILLed or hung
+  worker loses only its unfinished cells, which are resubmitted to a
+  fresh pool (bounded retries, exponential backoff) and finally run
+  serially in-process when respawn is exhausted.
+
+Both paths preserve the package's byte-identical determinism: every
+retried unit of work (a shard hour, a sweep cell) is a pure function of
+its inputs, so results are independent of which workers died and when —
+asserted by ``tests/test_resilience.py``.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass
+from multiprocessing.connection import wait as _conn_wait
+
+
+class ShardTimeoutError(RuntimeError):
+    """A worker missed its response deadline (hung, not provably dead).
+
+    Carries the worker (shard) id, the simulation hour the coordinator
+    was exchanging when the deadline expired, and the elapsed wait.
+    """
+
+    def __init__(self, shard: int, hour: int | None, elapsed_s: float,
+                 timeout_s: float) -> None:
+        self.shard = shard
+        self.hour = hour
+        self.elapsed_s = elapsed_s
+        self.timeout_s = timeout_s
+        at = "before the first hour" if hour is None else f"at hour {hour}"
+        super().__init__(
+            f"shard {shard} timed out {at}: no response after "
+            f"{elapsed_s:.1f} s (timeout {timeout_s:.1f} s)")
+
+
+class ShardCrashError(RuntimeError):
+    """A worker's channel closed without a goodbye (process death)."""
+
+    def __init__(self, shard: int, hour: int | None, detail: str) -> None:
+        self.shard = shard
+        self.hour = hour
+        at = "before the first hour" if hour is None else f"at hour {hour}"
+        super().__init__(f"shard {shard} crashed {at}: {detail}")
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """How hard to try before giving up on worker processes.
+
+    ``max_restarts`` bounds pool respawns per run; each respawn waits
+    ``backoff_base_s * backoff_factor**k`` first.  ``deadline_s`` is
+    the no-progress timeout: how long a read from a worker may block
+    before the worker counts as hung.  ``degrade`` falls back to
+    in-process serial execution (threads for the sharded backend,
+    inline calls for sweeps) once restarts are exhausted, instead of
+    failing the run.
+    """
+
+    max_restarts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    deadline_s: float = 300.0
+    degrade: bool = True
+
+    def backoff_s(self, restart: int) -> float:
+        """Sleep before restart number ``restart`` (1-based)."""
+        return self.backoff_base_s * self.backoff_factor ** max(
+            0, restart - 1)
+
+    def __post_init__(self) -> None:
+        if self.max_restarts < 0:
+            raise ValueError(
+                f"max_restarts must be >= 0, got {self.max_restarts}")
+        if self.deadline_s <= 0:
+            raise ValueError(
+                f"deadline_s must be positive, got {self.deadline_s}")
+
+
+# ----------------------------------------------------------------------
+# supervised map (sweep cells)
+# ----------------------------------------------------------------------
+
+class _CellError:
+    """A cell raised inside the worker: deterministic, never retried."""
+
+    def __init__(self, formatted: str) -> None:
+        self.formatted = formatted
+
+
+class _RoundFailed(Exception):
+    """A worker died or hung; the unfinished cells need a fresh pool."""
+
+
+_PENDING = object()
+
+
+def _map_worker(fn, assignments, conn) -> None:
+    """Spawned-process entry: run this worker's cells in order."""
+    try:
+        for index, item in assignments:
+            try:
+                row = fn(item)
+            except Exception:
+                conn.send((index, _CellError(traceback.format_exc())))
+                return
+            conn.send((index, row))
+    except (BrokenPipeError, OSError):  # parent died; nothing to report
+        pass
+    finally:
+        conn.close()
+
+
+def _run_round(ctx, fn, items, pending, workers, policy, results,
+               on_result) -> None:
+    """One pool incarnation: round-robin the pending cells over fresh
+    worker processes; raise :class:`_RoundFailed` on death or hang."""
+    n_procs = min(workers, len(pending))
+    per_worker: list[list] = [[] for _ in range(n_procs)]
+    for pos, index in enumerate(pending):
+        per_worker[pos % n_procs].append((index, items[index]))
+    procs = []
+    expected: dict = {}
+    try:
+        for assignments in per_worker:
+            parent, child = ctx.Pipe(duplex=False)
+            proc = ctx.Process(target=_map_worker,
+                               args=(fn, assignments, child), daemon=True)
+            procs.append(proc)
+            expected[parent] = len(assignments)
+            proc.start()
+            child.close()
+        alive = set(expected)
+        while alive:
+            ready = _conn_wait(list(alive), timeout=policy.deadline_s)
+            if not ready:
+                raise _RoundFailed(
+                    f"no cell completed within {policy.deadline_s:.1f} s")
+            for conn in ready:
+                try:
+                    index, row = conn.recv()
+                except (EOFError, OSError):
+                    if expected[conn] > 0:
+                        raise _RoundFailed(
+                            "worker died with cells outstanding") from None
+                    alive.discard(conn)
+                    continue
+                if isinstance(row, _CellError):
+                    raise RuntimeError(
+                        f"sweep cell {index} failed in worker:\n"
+                        f"{row.formatted}")
+                results[index] = row
+                expected[conn] -= 1
+                if on_result is not None:
+                    on_result(index, row)
+                if expected[conn] == 0:
+                    alive.discard(conn)
+                    conn.close()
+    finally:
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(timeout=5.0)
+        for conn in expected:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+
+def supervised_map(fn, items: list, workers: int,
+                   policy: SupervisorPolicy | None = None,
+                   mp_context=None, on_result=None,
+                   skip: dict | None = None) -> list:
+    """Crash-safe, order-preserving parallel map of independent cells.
+
+    Results land by item index, so the output (and any table built from
+    it) is byte-identical to a serial map no matter which workers were
+    killed, hung, or respawned along the way.  ``on_result(index, row)``
+    fires as each result arrives (journaling hook); ``skip`` maps
+    indices to already-known results (resume), which are *not*
+    recomputed and do *not* re-fire ``on_result``.
+    """
+    if policy is None:
+        policy = SupervisorPolicy()
+    if mp_context is None:
+        from ..sim.sweep import spawn_context
+
+        mp_context = spawn_context()
+    items = list(items)
+    results: list = [_PENDING] * len(items)
+    for index, row in (skip or {}).items():
+        if 0 <= index < len(items):
+            results[index] = row
+    pending = [i for i, r in enumerate(results) if r is _PENDING]
+    if workers <= 1 or len(pending) <= 1:
+        for index in pending:
+            results[index] = fn(items[index])
+            if on_result is not None:
+                on_result(index, results[index])
+        return results
+    restarts = 0
+    while pending:
+        try:
+            _run_round(mp_context, fn, items, pending, workers, policy,
+                       results, on_result)
+        except _RoundFailed as exc:
+            restarts += 1
+            pending = [i for i, r in enumerate(results) if r is _PENDING]
+            if restarts > policy.max_restarts:
+                if not policy.degrade:
+                    raise RuntimeError(
+                        f"sweep workers failed {restarts} times "
+                        f"(last: {exc}); degrade disabled") from exc
+                for index in pending:
+                    results[index] = fn(items[index])
+                    if on_result is not None:
+                        on_result(index, results[index])
+                return results
+            time.sleep(policy.backoff_s(restarts))
+            continue
+        pending = [i for i, r in enumerate(results) if r is _PENDING]
+    return results

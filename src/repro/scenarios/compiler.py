@@ -79,13 +79,22 @@ class ChurnInjector(Observer):
         self.reinstate_check = None   # (host) -> None
         self.on_vm_removed = None     # (vm_name) -> None
         self.rebind = None            # () -> None
-        self.evacuate_host = (        # (host, now, targets) -> (migrated, stranded)
-            lambda host, now, targets: self.dc.evacuate(host, now, targets))
-        self.place_vm = self.dc.place          # (vm, dest) -> None
-        self.power_off_host = (                # (host, now) -> None
-            lambda host, now: host.power_off(now))
-        self.power_on_host = (                 # (host, now) -> None
-            lambda host, now: host.power_on(now))
+        # Bound methods, not lambdas: the injector is part of the
+        # checkpointed observer graph and must pickle.
+        self.evacuate_host = self._evacuate_direct   # (host, now, targets)
+        self.place_vm = self.dc.place                # (vm, dest) -> None
+        self.power_off_host = self._power_off_direct  # (host, now) -> None
+        self.power_on_host = self._power_on_direct    # (host, now) -> None
+
+    # -- unbound (engine-level) defaults for the façade adapters ------
+    def _evacuate_direct(self, host, now, targets):
+        return self.dc.evacuate(host, now, targets)
+
+    def _power_off_direct(self, host, now) -> None:
+        host.power_off(now)
+
+    def _power_on_direct(self, host, now) -> None:
+        host.power_on(now)
 
     # ------------------------------------------------------------------
     def bind(self, simulation: Simulation) -> None:

@@ -190,8 +190,14 @@ class ScenarioTable(SweepTable):
         return "\n".join(lines)
 
 
-def run_scenario_sweep(cells: list[ScenarioCell],
-                       workers: int = 1) -> ScenarioTable:
-    """Shard scenario cells across cores into a :class:`ScenarioTable`."""
-    return ScenarioTable(
-        rows=SweepRunner(workers=workers).map(run_scenario_cell, cells))
+def run_scenario_sweep(cells: list[ScenarioCell], workers: int = 1,
+                       supervise=None, journal=None) -> ScenarioTable:
+    """Shard scenario cells across cores into a :class:`ScenarioTable`.
+
+    ``supervise``/``journal`` pass through to
+    :class:`~repro.sim.sweep.SweepRunner` — crashed workers respawn
+    and an interrupted sweep resumes from its journal (DESIGN.md §16).
+    """
+    runner = SweepRunner(workers=workers, supervise=supervise,
+                         journal=journal)
+    return ScenarioTable(rows=runner.map(run_scenario_cell, cells))

@@ -218,6 +218,7 @@ class EventDrivenSimulation:
             if config.use_fleet_model else None)
         self._run_start = 0
         self._horizon: tuple[int, int] | None = None
+        self._migrations_before = 0
         #: VMs removed mid-run (scenario churn): their already-scheduled
         #: request events for the current hour must fall through instead
         #: of faulting on the unknown name.
@@ -242,16 +243,28 @@ class EventDrivenSimulation:
             self._binding.ensure_horizon(start_hour, n_hours)
         self._run_start = start_hour
         self._horizon = (start_hour, n_hours)
-        migrations_before = len(self.dc.migrations)
+        self._migrations_before = len(self.dc.migrations)
         for t in range(start_hour, start_hour + n_hours):
             self.sim.schedule_at(time_of_hour(t), self._hour_tick, t)
         if self.config.suspend_enabled:
             for host in self.dc.hosts:
                 self._schedule_check(host, delay=self.params.suspend_check_period_s)
+        return self.continue_run()
+
+    def continue_run(self) -> EventResult:
+        """Run (or finish) the scheduled horizon.  The event heap holds
+        every piece of in-flight state — hour ticks, suspend checks,
+        request arrivals, transitions — so a run restored from a
+        checkpoint resumes by simply draining the clock to the end of
+        the horizon, exactly as the uninterrupted run would
+        (DESIGN.md §16)."""
+        if self._horizon is None:
+            raise RuntimeError("no run in progress to continue")
+        start_hour, n_hours = self._horizon
         end = time_of_hour(start_hour + n_hours)
         self.sim.run_until(end)
         self.dc.sync_meters(end)
-        return self._result(n_hours, migrations_before)
+        return self._result(n_hours, self._migrations_before)
 
     # ------------------------------------------------------------------
     def rebind_fleet(self) -> None:

@@ -155,6 +155,11 @@ class HourlySimulator:
         self._can_sleep = getattr(controller, "host_can_sleep", None)
         self._run_start = 0
         self._horizon: tuple[int, int] | None = None
+        #: The next hour the main loop will process — advanced *before*
+        #: the hour hooks fire, so a checkpoint taken by a hook resumes
+        #: at exactly the right boundary (DESIGN.md §16).
+        self._next_hour = 0
+        self._migrations_before = 0
 
     # ------------------------------------------------------------------
     def run(self, n_hours: int, start_hour: int = 0) -> HourlyResult:
@@ -171,12 +176,26 @@ class HourlySimulator:
             self._binding.ensure_horizon(start_hour, n_hours)
         self._run_start = start_hour
         self._horizon = (start_hour, n_hours)
-        migrations_before = len(self.dc.migrations)
-        for t in range(start_hour, start_hour + n_hours):
+        self._next_hour = start_hour
+        self._migrations_before = len(self.dc.migrations)
+        return self._drive()
+
+    def continue_run(self) -> HourlyResult:
+        """Finish a run restored from a checkpoint: re-enter the hour
+        loop at the recorded boundary.  All loop state lives on the
+        engine, so the remaining hours execute exactly as the
+        uninterrupted run would have."""
+        if self._horizon is None:
+            raise RuntimeError("no run in progress to continue")
+        return self._drive()
+
+    def _drive(self) -> HourlyResult:
+        start_hour, n_hours = self._horizon
+        for t in range(self._next_hour, start_hour + n_hours):
             self._hour(t)
         end = time_of_hour(start_hour + n_hours)
         self.dc.sync_meters(end)
-        return self._result(n_hours, migrations_before)
+        return self._result(n_hours, self._migrations_before)
 
     # ------------------------------------------------------------------
     def rebind_fleet(self) -> None:
@@ -274,6 +293,7 @@ class HourlySimulator:
                     if demand >= host.capacity.cpus * 0.999:
                         self._overload_host_hours += 1
 
+        self._next_hour = t + 1
         for hook in self.hour_hooks:
             hook(t, now)
 

@@ -33,6 +33,7 @@ from pathlib import Path
 
 from ..api.controllers import SWEEP_CONTROLLERS, build_controller
 from ..core.params import DEFAULT_PARAMS, DrowsyParams
+from ..resilience.io import atomic_target, atomic_write_text
 from .hourly import HourlyConfig
 
 #: The controllers the standard sweep grids cycle through.  Name
@@ -260,10 +261,15 @@ class SweepTable:
         (stdlib; *appends* one run per call) or ``.parquet`` (columnar;
         needs pyarrow).  Every format stores rows exactly — REAL/float64
         preserves every bit of the measured floats — so ``load`` after
-        ``save`` round-trips (for SQLite: the freshly appended run)."""
+        ``save`` round-trips (for SQLite: the freshly appended run).
+
+        All three formats write crash-safely (DESIGN.md §16): the
+        bytes land in a sibling temp file that is atomically renamed
+        over ``path``, so a SIGKILL mid-save leaves either the old
+        file or the new one — never a truncated table."""
         kind = self._kind(path)
         if kind == "csv":
-            Path(path).write_text(self.to_csv())
+            atomic_write_text(path, self.to_csv())
         elif kind == "sqlite":
             self.to_sqlite(path)
         else:
@@ -301,22 +307,37 @@ class SweepTable:
         monotonically increasing ``run`` column (0, 1, 2, … — assigned
         here, deterministic, no wall-clock); row order within a run is
         task order (``rowid``).  Returns the run id just written.
+
+        The append is atomic at the file level: the existing database
+        is copied to a sibling temp file, the new run lands in the
+        copy, and the copy is renamed over the original — a crash
+        mid-append leaves the prior runs untouched.
         """
         table = self._TABLE
         names = [f.name for f in fields(self.row_type)]
         cols = ", ".join(
             f"{f.name} {'REAL' if f.type == 'float' else 'INTEGER' if f.type == 'int' else 'TEXT'}"
             for f in fields(self.row_type))
-        with sqlite3.connect(path) as conn:
-            conn.execute(
-                f"CREATE TABLE IF NOT EXISTS {table} (run INTEGER, {cols})")
-            run_id = conn.execute(
-                f"SELECT COALESCE(MAX(run), -1) + 1 FROM {table}").fetchone()[0]
-            conn.executemany(
-                f"INSERT INTO {table} (run, {', '.join(names)}) "
-                f"VALUES ({', '.join('?' * (len(names) + 1))})",
-                [(run_id, *(getattr(row, n) for n in names))
-                 for row in self.rows])
+        path = Path(path)
+        with atomic_target(path) as tmp:
+            if path.exists():
+                tmp.write_bytes(path.read_bytes())
+            conn = sqlite3.connect(tmp)
+            try:
+                with conn:
+                    conn.execute(
+                        f"CREATE TABLE IF NOT EXISTS {table} "
+                        f"(run INTEGER, {cols})")
+                    run_id = conn.execute(
+                        f"SELECT COALESCE(MAX(run), -1) + 1 "
+                        f"FROM {table}").fetchone()[0]
+                    conn.executemany(
+                        f"INSERT INTO {table} (run, {', '.join(names)}) "
+                        f"VALUES ({', '.join('?' * (len(names) + 1))})",
+                        [(run_id, *(getattr(row, n) for n in names))
+                         for row in self.rows])
+            finally:
+                conn.close()
         return run_id
 
     @classmethod
@@ -342,7 +363,8 @@ class SweepTable:
         names = [f.name for f in fields(self.row_type)]
         table = pa.table({n: [getattr(row, n) for row in self.rows]
                           for n in names})
-        pq.write_table(table, str(path))
+        with atomic_target(path) as tmp:
+            pq.write_table(table, str(tmp))
 
     @classmethod
     def from_parquet(cls, path: str | Path) -> "SweepTable":
@@ -378,17 +400,49 @@ class SweepRunner:
     fresh, builds each cell's fleet (and its own fleet binding) locally
     and sends back only the reduced row, so no simulator state crosses
     process boundaries.  ``map`` preserves task order either way.
+
+    Crash safety (DESIGN.md §16): ``supervise`` swaps the plain pool
+    for :func:`repro.resilience.supervised_map` — crashed or hung
+    workers are respawned with exponential backoff and only the
+    still-missing cells re-run, so the table stays byte-identical to
+    the serial run no matter which workers died.  ``journal`` names a
+    :class:`repro.resilience.SweepJournal` file (or a path to one):
+    every finished row is appended there as it lands, and a rerun with
+    the same journal skips the already-journaled cells — an
+    interrupted sweep resumes instead of starting over.  Either option
+    alone activates the supervised path.
     """
 
-    def __init__(self, workers: int = 1, mp_context: str = "spawn") -> None:
+    def __init__(self, workers: int = 1, mp_context: str = "spawn",
+                 supervise=None, journal=None) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = int(workers)
         self.mp_context = mp_context
+        self.supervise = supervise
+        self.journal = journal
+
+    def _journal(self):
+        if self.journal is None or hasattr(self.journal, "append"):
+            return self.journal
+        from ..resilience import SweepJournal
+
+        return SweepJournal(self.journal)
 
     def map(self, fn, items: list) -> list:
         """Order-preserving map of a picklable top-level ``fn``."""
         items = list(items)
+        journal = self._journal()
+        if self.supervise is not None or journal is not None:
+            from ..resilience import supervised_map
+
+            ctx = (spawn_context() if self.mp_context == "spawn"
+                   else get_context(self.mp_context))
+            return supervised_map(
+                fn, items, self.workers, policy=self.supervise,
+                mp_context=ctx,
+                on_result=journal.append if journal is not None else None,
+                skip=journal.load() if journal is not None else None)
         if self.workers == 1 or len(items) <= 1:
             return [fn(item) for item in items]
         ctx = (spawn_context() if self.mp_context == "spawn"

@@ -37,6 +37,23 @@ from .module import WakingModule, WolSender
 from .packets import Packet
 
 
+class _GuardedWolSender:
+    """The mirror's WoL sender: silent until promotion.
+
+    A module-level class (not a closure) so the service — part of the
+    checkpointed simulation graph — pickles.
+    """
+
+    def __init__(self, service: "ReplicatedWakingService",
+                 sender: WolSender) -> None:
+        self._service = service
+        self._sender = sender
+
+    def __call__(self, packet, now) -> None:
+        if self._service._mirror_active:
+            self._sender(packet, now)
+
+
 class ReplicatedWakingService:
     """Primary/mirror pair of waking modules with heartbeat failover."""
 
@@ -46,7 +63,9 @@ class ReplicatedWakingService:
         self.sim = sim
         self.params = params
         self.primary = WakingModule(f"{name}-primary", sim, wol_sender, params)
-        self.mirror = WakingModule(f"{name}-mirror", sim, self._mirror_wol_guard(wol_sender), params)
+        self.mirror = WakingModule(f"{name}-mirror", sim,
+                                   _GuardedWolSender(self, wol_sender),
+                                   params)
         # The mirror holds state but must not emit WoL until promoted.
         self._mirror_active = False
         self._missed_beats = 0
@@ -63,12 +82,6 @@ class ReplicatedWakingService:
         self.beats = 0
         self._heartbeat_event = sim.schedule_in(
             params.heartbeat_period_s, self._heartbeat)
-
-    def _mirror_wol_guard(self, sender: WolSender) -> WolSender:
-        def guarded(packet, now):
-            if self._mirror_active:
-                sender(packet, now)
-        return guarded
 
     # ------------------------------------------------------------------
     @property
