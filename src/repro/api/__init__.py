@@ -17,6 +17,7 @@ string-keyed extension registries and typed lifecycle observers:
   engines used to take as bare callables.
 """
 
+from ..obs import Telemetry, TelemetryConfig
 from .backends import EventBackend, HourlyBackend, ShardedBackend, backends
 from .controllers import SWEEP_CONTROLLERS, build_controller, controllers
 from .observers import CallableObserver, Observer, as_observer
@@ -36,6 +37,8 @@ __all__ = [
     "ShardedBackend",
     "ShardedConfig",
     "Simulation",
+    "Telemetry",
+    "TelemetryConfig",
     "as_observer",
     "backends",
     "build_controller",

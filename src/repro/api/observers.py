@@ -16,9 +16,23 @@ scenario engine's :class:`~repro.scenarios.compiler.ChurnInjector` is
 an observer, and plain ``(t, now)`` callables are adapted on the fly by
 :func:`as_observer`, so existing hooks keep working unchanged.
 Multiple observers fire in registration order at every moment.
+
+**Which clock is ``now``?**  The engines' raw ``hour_hooks`` receive
+the *simulated* clock (seconds since simulation start — the value
+admin operations like ``evacuate_host(host, now)`` expect).  Observer
+``on_hour`` receives the *wall* clock, ``time.time()`` read at the
+hour boundary, uniformly across all three backends: the façade wraps
+each observer's hook in a :class:`WallClockHour` adapter.  Observers
+that legitimately feed ``now`` into simulated state (churn/fault
+injection, legacy hooks) declare ``wants_sim_time = True`` and keep
+the simulated clock — everything else must treat ``now`` as
+read-only telemetry, never pass it back into the simulation, or
+determinism (and the obs bit-parity oracle) breaks.
 """
 
 from __future__ import annotations
+
+import time
 
 
 class Observer:
@@ -28,18 +42,37 @@ class Observer:
     subclassing just inherits the no-ops.
     """
 
+    #: Set ``True`` on observers whose ``on_hour`` feeds ``now`` back
+    #: into simulated state (admin/churn/fault injection): they receive
+    #: the simulated clock instead of ``time.time()``.
+    wants_sim_time = False
+
     def on_run_start(self, sim, start_hour: int, n_hours: int) -> None:
         """The run is about to start; ``sim`` is the façade."""
 
     def on_hour(self, t: int, now: float) -> None:
-        """Hour ``t`` just completed (``now`` = seconds since epoch)."""
+        """Hour ``t`` just completed.
+
+        ``now`` is ``time.time()`` read at the hour boundary (wall
+        clock, seconds since epoch) — identical semantics on the
+        hourly, event and sharded backends.  It is telemetry only:
+        feeding it into simulated state (placement, power, meters)
+        would make runs clock-dependent; observers that need the
+        simulated clock set :attr:`wants_sim_time` instead.
+        """
 
     def on_run_end(self, result) -> None:
         """The run finished; ``result`` is the unified RunResult."""
 
 
 class CallableObserver(Observer):
-    """Adapter: a plain ``(t, now)`` hour hook as an observer."""
+    """Adapter: a plain ``(t, now)`` hour hook as an observer.
+
+    Legacy hooks predate the wall-clock boundary and were written
+    against the engines' simulated clock, so they keep receiving it.
+    """
+
+    wants_sim_time = True
 
     def __init__(self, fn) -> None:
         self._fn = fn
@@ -56,10 +89,38 @@ class _DuckObserver(Observer):
 
     def __init__(self, obj) -> None:
         self._obj = obj
+        self.wants_sim_time = bool(getattr(obj, "wants_sim_time", False))
         for name in ("on_run_start", "on_hour", "on_run_end"):
             method = getattr(obj, name, None)
             if method is not None:
                 setattr(self, name, method)
+
+
+class WallClockHour:
+    """Hour-hook adapter substituting the wall clock for observers.
+
+    Engines pass their simulated clock to raw ``hour_hooks`` (admin
+    operations consume it); this adapter discards it and hands the
+    observer ``time.time()`` instead.  A class (not a closure) so the
+    hook tuple pickles with checkpoints.
+    """
+
+    __slots__ = ("observer",)
+
+    def __init__(self, observer: Observer) -> None:
+        self.observer = observer
+
+    def __call__(self, t: int, sim_now: float) -> None:
+        self.observer.on_hour(t, time.time())
+
+
+def hour_hook(observer: Observer):
+    """The engine-facing hour hook for ``observer`` (its bound
+    ``on_hour`` when it wants the simulated clock, a wall-clock
+    adapter otherwise)."""
+    if getattr(observer, "wants_sim_time", False):
+        return observer.on_hour
+    return WallClockHour(observer)
 
 
 def as_observer(obj) -> Observer:

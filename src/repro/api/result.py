@@ -26,7 +26,7 @@ golden parity suite (``tests/test_api.py``) holds bit-identically.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields, is_dataclass
+from dataclasses import dataclass, field, fields, is_dataclass
 from pathlib import Path
 
 
@@ -111,6 +111,13 @@ class RunResult:
     #: on fault-free runs, so fault-free results compare bit-identically
     #: with and without the field ever being considered.
     fault_summary: object | None = None
+    # -- observability (either backend) ---------------------------------
+    #: Frozen :class:`~repro.obs.Telemetry` (per-hour metric series +
+    #: run totals) attached when the run carried a metrics-enabled
+    #: :class:`~repro.obs.TelemetryConfig`.  Excluded from equality:
+    #: telemetry describes the *runner* (wall clocks included), not the
+    #: simulated outcome, so obs-on results still ``==`` obs-off ones.
+    telemetry: object | None = field(default=None, compare=False)
 
     # ------------------------------------------------------------------
     # derived metrics (identical for every backend)
@@ -213,6 +220,12 @@ class RunResult:
         rows: list[ResultRow] = []
         for f in fields(self):
             value = getattr(self, f.name)
+            if f.name == "telemetry":
+                # Runner telemetry (wall clocks, trace paths) is not
+                # part of the simulated outcome and does not persist;
+                # a reloaded result carries None there — still equal,
+                # the field is excluded from comparisons.
+                continue
             if value is None:
                 rows.append(ResultRow(f.name, "", "none", ""))
             elif isinstance(value, dict):

@@ -114,6 +114,15 @@ class ShardedCoordinator:
         self._migrations_before = 0
         self._current_hour: int | None = None
         self._ckpt_request: tuple | None = None
+        # --- observability (DESIGN.md §17) ------------------------------
+        #: Telemetry endpoint installed by a metrics/trace-enabled run;
+        #: stays ``None`` — zero hooks, zero clock reads — otherwise.
+        self._obs = None
+        #: Exchange-cost accumulators, populated only when the runtime
+        #: asks for metrics (pickling the bundle dict a second time has
+        #: a real cost — the off path never pays it).
+        self._obs_bundle_bytes = 0
+        self._obs_recv_wall: dict[int, float] = {}
 
     def __getstate__(self) -> dict:
         # A coordinator inside a checkpoint: live transport machinery
@@ -305,6 +314,12 @@ class ShardedCoordinator:
                 "chaos": (self.config.chaos
                           if self.config.chaos is not None
                           and not self.config.chaos.is_zero else None),
+                # Telemetry flags (DESIGN.md §17): workers build their
+                # own ShardTelemetry endpoint and ship spans/counters
+                # home on the ("done", outcome) message.
+                "obs_trace": self._obs is not None and self._obs.tracing,
+                "obs_metrics": (self._obs is not None
+                                and self._obs.metrics is not None),
             })
         return setups
 
@@ -328,11 +343,24 @@ class ShardedCoordinator:
         if self._transport is not None:
             self._transport.current_hour = t
         n_shards = len(self._shard_hosts)
+        obs = self._obs
+        metrics_on = obs is not None and obs.metrics is not None
         drains = []
+        if obs is not None:
+            obs.phase_begin("shard-digests")
         for k in range(n_shards):
+            if metrics_on:
+                t0 = time.perf_counter()
             msg = self._recv(k, "hour")
+            if metrics_on:
+                # Per-shard hour wall: how long the coordinator waited
+                # on each shard's hour boundary (the straggler signal).
+                self._obs_recv_wall[k] = (self._obs_recv_wall.get(k, 0.0)
+                                          + time.perf_counter() - t0)
             self._apply_digest(k, msg[2])
             drains.append(msg[3])
+        if obs is not None:
+            obs.phase_end()
         self._verify_window(drains, f"hour {t}")
         # Replica prologue — mirror of the engines' hour prologue, so
         # the real controller reads the same activities and models an
@@ -348,6 +376,8 @@ class ShardedCoordinator:
             self.dc.set_hour_activities(t, now)
         self.controller.observe_hour(t)
         if t % cfg.consolidation_period_h == 0:
+            if obs is not None:
+                obs.phase_begin("consolidate")
             self._begin_capture()
             if cfg.relocate_all_mode and hasattr(self.controller,
                                                  "relocate_all"):
@@ -362,6 +392,8 @@ class ShardedCoordinator:
                 self.controller.step(t, now)
                 self._route_records(self.dc.migrations[before:])
             self._flush_exchange()
+            if obs is not None:
+                obs.phase_end()
         if cfg.update_models or getattr(self.controller, "uses_idleness",
                                         False):
             if activities is not None:
@@ -382,7 +414,12 @@ class ShardedCoordinator:
         self._next_hour = t + 1
         want_state = (self._journal is not None
                       or self._ckpt_request is not None)
+        if obs is not None:
+            obs.phase_begin("observer-exchange")
         self._flush_exchange(want_state=want_state)
+        if obs is not None:
+            obs.phase_end()
+            obs.hour_mark(t)
         if want_state:
             # Boundary snapshot: each shard pickles its whole graph as
             # the last action of its hook — "hour t complete" exactly.
@@ -397,6 +434,39 @@ class ShardedCoordinator:
             manager, hour = self._ckpt_request
             self._ckpt_request = None
             manager.write_checkpoint(hour)
+
+    # ------------------------------------------------------------------
+    # telemetry (DESIGN.md §17)
+    # ------------------------------------------------------------------
+    def telemetry_sample(self) -> dict:
+        """Coordinator-side counters for the telemetry runtime: worker
+        respawns, exchange bundle bytes, per-shard hour wall."""
+        sample = {
+            "worker_restarts": self._restarts,
+            "exchange_bundle_bytes": self._obs_bundle_bytes,
+            "migrations": len(self.dc.migrations),
+            "migrations_blocked": self.migrations_blocked,
+        }
+        for k, wall in sorted(self._obs_recv_wall.items()):
+            sample[f"shard{k}_hour_wall_s"] = wall
+        return sample
+
+    def collect_shard_spans(self) -> list[dict]:
+        """Spans shipped home by the shard workers (pid ``k + 1``),
+        merged by the runtime into the coordinator's timeline."""
+        events: list[dict] = []
+        for outcome in self._outcomes or []:
+            events.extend(outcome.get("spans") or ())
+        return events
+
+    def collect_shard_telemetry(self) -> dict:
+        """Sum the shards' final counter samples (run totals only —
+        per-hour shard series stay shard-side)."""
+        totals: dict[str, float] = {}
+        for outcome in self._outcomes or []:
+            for name, value in (outcome.get("telemetry") or {}).items():
+                totals[name] = totals.get(name, 0) + value
+        return totals
 
     def _verify_window(self, drains: list, label: str,
                        check_states: bool = True) -> None:
@@ -467,8 +537,16 @@ class ShardedCoordinator:
         policy = self._supervise
         if policy is None or self._journal is None:
             raise exc
+        from ...obs.log import get_logger
+
+        log = get_logger("sharded")
         while True:
             self._restarts += 1
+            log.warning(
+                "shard worker lost (%s); respawning pool (restart %d)",
+                exc, self._restarts)
+            if self._obs is not None:
+                self._obs.instant("worker-respawn")
             if self._restarts > policy.max_restarts:
                 if policy.degrade and self._workers_mode > 0:
                     # Last resort: bring the shards home as threads of
@@ -555,6 +633,12 @@ class ShardedCoordinator:
         bundles: dict[str, dict] = {}
         for k in range(n_shards):
             bundles.update(self._recv(k, "bundles")[1])
+        if (bundles and self._obs is not None
+                and self._obs.metrics is not None):
+            import pickle
+
+            self._obs_bundle_bytes += len(
+                pickle.dumps(bundles, protocol=pickle.HIGHEST_PROTOCOL))
         for k in range(n_shards):
             ops = [("place", pickle_vm(op[1]), op[2]) if op[0] == "place"
                    else op for op in self._ops[k]]

@@ -19,17 +19,43 @@ from .port import ShardAborted, ShardPort
 
 def run_shard(endpoint, setup: dict) -> None:
     """Run one shard to completion; never raises into the caller."""
-    try:
-        outcome = _simulate(endpoint, setup)
-    except ShardAborted:
-        return
-    except BaseException:
+    from ...obs.log import log_context
+
+    # Every record this shard logs is tagged shard=K (spawned workers
+    # configure their own handlers; by default the NullHandler eats it).
+    with log_context(shard=setup.get("index", "?")):
         try:
-            endpoint.send(("error", traceback.format_exc()))
-        except Exception:
-            pass
-        return
-    endpoint.send(("done", outcome))
+            outcome = _simulate(endpoint, setup)
+        except ShardAborted:
+            return
+        except BaseException:
+            try:
+                endpoint.send(("error", traceback.format_exc()))
+            except Exception:
+                pass
+            return
+        endpoint.send(("done", outcome))
+
+
+def _install_obs(engine, setup: dict):
+    """Build the shard's telemetry endpoint when the coordinator asked
+    for tracing/metrics (DESIGN.md §17); ``None`` — zero hooks — when
+    it didn't.  The endpoint pickles with the shard state blob, so
+    supervised respawns and checkpoint resumes keep their telemetry."""
+    if not (setup.get("obs_trace") or setup.get("obs_metrics")):
+        return None
+    from ...obs.runtime import ShardTelemetry
+
+    obs = ShardTelemetry(setup["index"],
+                         trace=bool(setup.get("obs_trace")),
+                         metrics=bool(setup.get("obs_metrics")))
+    engine._obs = obs
+    return obs
+
+
+def _obs_extras(engine) -> dict:
+    obs = getattr(engine, "_obs", None)
+    return obs.outcome_extras(engine) if obs is not None else {}
 
 
 def _simulate(endpoint, setup: dict) -> dict:
@@ -54,6 +80,7 @@ def _simulate(endpoint, setup: dict) -> dict:
 
         engine = EventDrivenSimulation(dc, port, setup["params"], config,
                                        hour_hooks=(port.hook,))
+        _install_obs(engine, setup)
         port.attach(engine, "event", update_models, injector)
         if injector is not None:
             # Same install order as an unsharded run: fault events enter
@@ -68,6 +95,7 @@ def _simulate(endpoint, setup: dict) -> dict:
 
     engine = HourlySimulator(dc, port, setup["params"], config,
                              hour_hooks=(port.hook,))
+    _install_obs(engine, setup)
     port.attach(engine, "hourly", update_models, injector)
     if injector is not None:
         injector._install_hourly(engine, setup["start_hour"],
@@ -111,6 +139,7 @@ def _event_outcome(engine, native, injector, port) -> dict:
     channel = engine.wol_channel
     waking = engine.waking
     return {
+        **_obs_extras(engine),
         "native": native,
         "latencies": engine.switch.log.latencies_s,
         "wake_latencies": engine.switch.log.wake_latencies_s,
@@ -144,6 +173,7 @@ def _event_outcome(engine, native, injector, port) -> dict:
 
 def _hourly_outcome(engine, native, injector) -> dict:
     return {
+        **_obs_extras(engine),
         "native": native,
         "fault": {
             "host_crashes": injector._hourly_crash_count if injector else 0,

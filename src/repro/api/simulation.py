@@ -33,7 +33,7 @@ from ..cluster.datacenter import DataCenter
 from ..core.params import DrowsyParams
 from .backends import backends
 from .controllers import build_controller
-from .observers import Observer, as_observer
+from .observers import Observer, as_observer, hour_hook
 from .result import RunResult
 
 
@@ -75,6 +75,13 @@ class Simulation:
         :class:`~repro.faults.FaultSummary` lands on
         ``result.fault_summary``.  An all-zero plan installs nothing —
         the run is bit-identical to a fault-free one.
+    telemetry:
+        A :class:`~repro.obs.TelemetryConfig` enabling metrics
+        sampling, span tracing, profiling and/or live progress
+        (DESIGN.md §17).  Telemetry never changes results: an enabled
+        run's ``RunResult`` equals the telemetry-off run's.  ``None``
+        picks up a staged process default (the CLI path) or installs
+        nothing at all.
     """
 
     def __init__(self, fleet_or_dc, controller="drowsy",
@@ -85,7 +92,8 @@ class Simulation:
                  backend_config=None,
                  observers: tuple = (),
                  faults=None,
-                 checkpoint=None) -> None:
+                 checkpoint=None,
+                 telemetry=None) -> None:
         if backend_config is not None:
             if config is not None:
                 raise TypeError(
@@ -125,6 +133,22 @@ class Simulation:
         self.faults = next(
             (o for o in self.observers
              if getattr(o, "is_fault_injector", False)), None)
+        #: The telemetry runtime riding this run, if any (DESIGN.md
+        #: §17).  Joins the observers *before* the checkpointer so
+        #: snapshots carry the hour's metric samples; a disabled (or
+        #: absent) config installs nothing at all.
+        self.telemetry = None
+        if telemetry is None:
+            from ..obs import take_default_telemetry
+
+            telemetry = take_default_telemetry()
+        if telemetry is not None and telemetry.enabled:
+            from ..obs import ProgressObserver, TelemetryRuntime
+
+            self.telemetry = TelemetryRuntime(telemetry)
+            self.observers += (self.telemetry,)
+            if telemetry.progress:
+                self.observers += (ProgressObserver(),)
         #: The checkpoint manager riding this run, if any.  Appended
         #: *last* so its hour-boundary snapshot includes every mutation
         #: the other observers (churn, faults) made that hour.
@@ -144,9 +168,12 @@ class Simulation:
         #: True only on a façade restored by :meth:`resume`; makes the
         #: next :meth:`run` continue the interrupted horizon.
         self._resuming = False
+        # Engines hand their *simulated* clock to raw hour hooks;
+        # hour_hook substitutes the wall clock for observers that
+        # don't opt into it (see repro.api.observers).
         self.engine = self.backend.build(
             dc, self.controller, self.params, self.config,
-            tuple(o.on_hour for o in self.observers))
+            tuple(hour_hook(o) for o in self.observers))
         #: Horizon hint (hours) for scenario-compiled simulations; 0
         #: for directly constructed ones (pass ``n_hours`` to ``run``).
         self.hours = 0
@@ -204,6 +231,12 @@ class Simulation:
         checkpointed hour boundary instead of starting over; the
         result is byte-identical to the uninterrupted run's.
         """
+        if self.telemetry is not None and self.telemetry.config.profile:
+            with self.telemetry.profiled():
+                return self._run(n_hours, start_hour)
+        return self._run(n_hours, start_hour)
+
+    def _run(self, n_hours: int | None, start_hour: int) -> RunResult:
         if self._resuming:
             if n_hours is not None and n_hours != getattr(
                     self.engine, "_horizon", (0, n_hours))[1]:
@@ -251,9 +284,10 @@ class Simulation:
                    else CheckpointManager(checkpoint))
         manager.bind(self)
         self.checkpointer = manager
-        self.observers += (as_observer(manager),)
+        obs = as_observer(manager)
+        self.observers += (obs,)
         self.engine.hour_hooks = (tuple(self.engine.hour_hooks)
-                                  + (manager.on_hour,))
+                                  + (hour_hook(obs),))
         return manager
 
     @classmethod

@@ -158,6 +158,44 @@ def _checkpoint_default(args):
         set_default_policy(None)
 
 
+@contextmanager
+def _telemetry_default(args):
+    """Wire the observability flags (DESIGN.md §17): every simulation
+    built inside the block records metrics / writes a Chrome trace /
+    profiles itself, without the experiment modules knowing.  Like the
+    checkpoint default, the process default is cleared on exit so
+    nothing leaks past the command."""
+    trace = getattr(args, "trace", None)
+    profile = getattr(args, "profile", None)
+    metrics = getattr(args, "metrics", False)
+    progress = getattr(args, "progress", False)
+    if not (trace or profile or metrics or progress):
+        yield
+        return
+    from .obs import TelemetryConfig, set_default_telemetry
+
+    set_default_telemetry(TelemetryConfig(
+        metrics=bool(metrics), trace=trace,
+        profile="cprofile" if profile else None,
+        profile_out=profile or "repro-profile.pstats",
+        progress=bool(progress)))
+    try:
+        yield
+    finally:
+        set_default_telemetry(None)
+
+
+def _telemetry_note(args) -> None:
+    """Tell the user where the artifacts landed (paths are uniquified
+    per simulation, so multi-run experiments number them)."""
+    if getattr(args, "trace", None):
+        print(f"\n[trace in {args.trace} — open with Perfetto: "
+              f"https://ui.perfetto.dev]")
+    if getattr(args, "profile", None):
+        print(f"[profile in {args.profile} — inspect with "
+              f"python -m pstats {args.profile}]")
+
+
 def cmd_run(args) -> int:
     module = _load(args.name)
     kwargs = {}
@@ -166,7 +204,7 @@ def cmd_run(args) -> int:
         if value is not None:
             kwargs[key] = caster(value)
     t0 = time.perf_counter()
-    with _checkpoint_default(args):
+    with _checkpoint_default(args), _telemetry_default(args):
         data = module.run(**kwargs)
     elapsed = time.perf_counter() - t0
     print(data.render() if hasattr(data, "render") else data)
@@ -174,6 +212,7 @@ def cmd_run(args) -> int:
         print(f"\n[checkpoints in {args.checkpoint_dir}; resume an "
               f"interrupted run with: python -m repro resume "
               f"{args.checkpoint_dir}]")
+    _telemetry_note(args)
     print(f"\n[{args.name} finished in {elapsed:.1f} s]")
     return 0
 
@@ -275,7 +314,8 @@ def cmd_sweep(args) -> int:
                  hours=args.hours, llmi_fraction=args.llmi)
     journal = _sweep_journal(args)
     t0 = time.perf_counter()
-    table = SweepRunner(workers=args.workers, journal=journal).run(cells)
+    table = SweepRunner(workers=args.workers, journal=journal,
+                        progress=getattr(args, "progress", False)).run(cells)
     elapsed = time.perf_counter() - t0
     if journal is not None:
         journal.clear()  # the sweep completed; next invocation is fresh
@@ -317,7 +357,7 @@ def cmd_scenario_run(args) -> int:
     simulators = (("hourly", "event") if args.simulator == "both"
                   else (args.simulator,))
     t0 = time.perf_counter()
-    with _checkpoint_default(args):
+    with _checkpoint_default(args), _telemetry_default(args):
         for simulator in simulators:
             row = run_scenario_cell(ScenarioCell(
                 scenario=args.name, controller=args.controller,
@@ -335,6 +375,7 @@ def cmd_scenario_run(args) -> int:
         print(f"\n[checkpoints in {args.checkpoint_dir}; resume an "
               f"interrupted run with: python -m repro resume "
               f"{args.checkpoint_dir}]")
+    _telemetry_note(args)
     print(f"\n[scenario {args.name} finished in "
           f"{time.perf_counter() - t0:.1f} s]")
     return 0
@@ -363,7 +404,8 @@ def cmd_scenario_sweep(args) -> int:
     journal = _sweep_journal(args)
     t0 = time.perf_counter()
     table = run_scenario_sweep(cells, workers=args.workers,
-                               journal=journal)
+                               journal=journal,
+                               progress=getattr(args, "progress", False))
     elapsed = time.perf_counter() - t0
     if journal is not None:
         journal.clear()  # the sweep completed; next invocation is fresh
@@ -382,6 +424,31 @@ def cmd_report(args) -> int:
     report = generate_report(days=args.days, years=args.years)
     print(report.render())
     return 0 if report.all_hold else 1
+
+
+def _add_obs_args(parser, sweep: bool = False) -> None:
+    """The observability flags (DESIGN.md §17), one spelling everywhere.
+
+    Sweeps get only ``--progress`` (a cells-done line); single runs get
+    the full set — none of them changes a single result byte.
+    """
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="live progress on stderr (TTY only; results unchanged)")
+    if sweep:
+        return
+    parser.add_argument(
+        "--trace", metavar="PATH",
+        help="write a Chrome trace-event JSON of the run (open with "
+             "https://ui.perfetto.dev; results unchanged)")
+    parser.add_argument(
+        "--profile", metavar="PATH",
+        help="cProfile the run and dump pstats to PATH "
+             "(inspect with python -m pstats PATH)")
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="record per-hour metrics on every simulation "
+             "(surfaced as RunResult.telemetry; results unchanged)")
 
 
 def _add_checkpoint_args(parser, sweep: bool = False) -> None:
@@ -406,6 +473,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Drowsy-DC reproduction experiment runner")
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="repro.* logging on stderr (-v INFO, -vv DEBUG)")
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="only errors on stderr (overrides -v)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     lister = sub.add_parser(
@@ -434,6 +507,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="comma-separated fleet seeds (fleet_sweep: one "
                           "cell per seed, results averaged)")
     _add_checkpoint_args(run)
+    _add_obs_args(run)
     run.set_defaults(fn=cmd_run)
 
     resume = sub.add_parser(
@@ -468,6 +542,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "suffix: .csv, .sqlite (append) or .parquet "
                             "(repeatable)")
     _add_checkpoint_args(sweep, sweep=True)
+    _add_obs_args(sweep, sweep=True)
     sweep.set_defaults(fn=cmd_sweep)
 
     scenario = sub.add_parser(
@@ -495,6 +570,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="worker processes for --simulator sharded "
                            "(0 = in-process threads)")
     _add_checkpoint_args(srun)
+    _add_obs_args(srun)
     srun.set_defaults(fn=cmd_scenario_run)
 
     ssweep = ssub.add_parser(
@@ -517,6 +593,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "suffix: .csv, .sqlite (append) or .parquet "
                              "(repeatable)")
     _add_checkpoint_args(ssweep, sweep=True)
+    _add_obs_args(ssweep, sweep=True)
     ssweep.set_defaults(fn=cmd_scenario_sweep)
 
     run_all = sub.add_parser("run-all", help="run every experiment")
@@ -534,6 +611,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.verbose or args.quiet:
+        from .obs.log import configure
+
+        configure(verbose=args.verbose, quiet=args.quiet)
     return args.fn(args)
 
 

@@ -84,6 +84,8 @@ def run(days: int = 3, params: DrowsyParams = DEFAULT_PARAMS,
 
 
 if __name__ == "__main__":
-    print(run().render())
-    print()
-    print(run(params=DEFAULT_PARAMS.replace(ahead_of_time_wake=False)).render())
+    from ..obs.log import console
+
+    console(run().render())
+    console("")
+    console(run(params=DEFAULT_PARAMS.replace(ahead_of_time_wake=False)).render())

@@ -132,4 +132,6 @@ def run(n_hosts: int = 8, n_vms: int = 24, days: int = 3,
 
 
 if __name__ == "__main__":
-    print(run().render())
+    from ..obs.log import console
+
+    console(run().render())

@@ -151,4 +151,6 @@ def run(days: int = 2, seed: int = 42,
 
 
 if __name__ == "__main__":
-    print(run().render())
+    from ..obs.log import console
+
+    console(run().render())

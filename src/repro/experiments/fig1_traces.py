@@ -50,4 +50,6 @@ def render(data: Fig1Data) -> str:
 
 
 if __name__ == "__main__":
-    print(render(run()))
+    from ..obs.log import console
+
+    console(render(run()))

@@ -79,4 +79,6 @@ def run(years: int = 3, params: DrowsyParams = DEFAULT_PARAMS,
 
 
 if __name__ == "__main__":
-    print(run().render())
+    from ..obs.log import console
+
+    console(run().render())

@@ -182,4 +182,6 @@ def run(llmi_fractions: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0),
 
 
 if __name__ == "__main__":
-    print(run().render())
+    from ..obs.log import console
+
+    console(run().render())

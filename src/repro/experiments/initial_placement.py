@@ -181,4 +181,6 @@ def run(days: int = 5, train_days: int = 14,
 
 
 if __name__ == "__main__":
-    print(run().render())
+    from ..obs.log import console
+
+    console(run().render())

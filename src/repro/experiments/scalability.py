@@ -123,4 +123,6 @@ def _time(fn, vms, hosts, hour_index: int) -> float:
 
 
 if __name__ == "__main__":
-    print(run().render())
+    from ..obs.log import console
+
+    console(run().render())

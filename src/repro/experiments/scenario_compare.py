@@ -54,4 +54,6 @@ def run(scenarios: tuple[str, ...] | None = None,
 
 
 if __name__ == "__main__":
-    print(run(scale=0.5, hours=72).render())
+    from ..obs.log import console
+
+    console(run(scale=0.5, hours=72).render())

@@ -63,4 +63,6 @@ def run(days: int = 3, params: DrowsyParams = DEFAULT_PARAMS,
 
 
 if __name__ == "__main__":
-    print(run().render())
+    from ..obs.log import console
+
+    console(run().render())

@@ -203,4 +203,6 @@ def run(params: DrowsyParams = DEFAULT_PARAMS) -> SuspendingEvalData:
 
 
 if __name__ == "__main__":
-    print(run().render())
+    from ..obs.log import console
+
+    console(run().render())

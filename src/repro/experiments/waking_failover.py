@@ -81,4 +81,6 @@ def run(days: int = 2, params: DrowsyParams = DEFAULT_PARAMS,
 
 
 if __name__ == "__main__":
-    print(run().render())
+    from ..obs.log import console
+
+    console(run().render())

@@ -46,6 +46,10 @@ class FaultInjector(Observer):
     #: observers without importing this module (import-cycle firewall).
     is_fault_injector = True
 
+    #: The hourly path schedules crash/recovery times off ``now``, so
+    #: the injector needs the simulated clock (repro.api.observers).
+    wants_sim_time = True
+
     def __init__(self, plan: FaultPlan, seed: int) -> None:
         self.plan = plan
         self.seed = seed

@@ -1,0 +1,51 @@
+"""``repro.obs`` — observability: metrics, tracing, profiling, logging
+(DESIGN.md §17).
+
+The contract is *provably inert when off, bit-identical when on*:
+
+* off (the default) installs zero hooks — engines carry one ``_obs``
+  attribute that stays ``None`` and no observer is registered;
+* on, every clock read happens outside simulated state, so a run with
+  full telemetry produces a ``RunResult`` equal to the bare run on all
+  three backends (``tests/test_obs.py`` proves it per backend).
+
+Entry points::
+
+    from repro.api import Simulation
+    from repro.obs import TelemetryConfig
+
+    result = Simulation(dc, "drowsy", "event", seed=7,
+                        telemetry=TelemetryConfig(
+                            metrics=True,
+                            trace="run.trace.json")).run(72)
+    print(result.telemetry.render())   # per-hour series + run totals
+    # run.trace.json opens in Perfetto / chrome://tracing
+"""
+
+from .config import (
+    TelemetryConfig,
+    set_default_telemetry,
+    take_default_telemetry,
+)
+from .log import configure, get_logger, log_context, set_context
+from .metrics import MetricsRecorder, Telemetry
+from .progress import ProgressObserver
+from .runtime import ShardTelemetry, TelemetryRuntime
+from .trace import SpanRecorder, write_trace
+
+__all__ = [
+    "TelemetryConfig",
+    "set_default_telemetry",
+    "take_default_telemetry",
+    "MetricsRecorder",
+    "Telemetry",
+    "SpanRecorder",
+    "write_trace",
+    "TelemetryRuntime",
+    "ShardTelemetry",
+    "ProgressObserver",
+    "configure",
+    "get_logger",
+    "log_context",
+    "set_context",
+]

@@ -1,0 +1,120 @@
+"""Telemetry configuration (DESIGN.md §17).
+
+:class:`TelemetryConfig` is the one switchboard for the observability
+layer: metrics sampling, span tracing, profiling and live progress.
+The default config is fully off and installs *nothing* — a
+``Simulation`` built without telemetry carries no observer, no engine
+hook and no clock read (the bench floor in
+``benchmarks/test_bench_obs.py`` enforces it).
+
+Like checkpoint policies, a process default can be staged for code
+paths that build their simulations internally (the CLI)::
+
+    set_default_telemetry(TelemetryConfig(trace="run.trace.json"))
+    ...  # every Simulation built next picks it up (and uniquifies
+    ...  # output paths so two runs in one command don't collide)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+_PROFILERS = ("cprofile",)
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """What to observe during a run.
+
+    Parameters
+    ----------
+    metrics:
+        Sample engine counters at every hour boundary into a frozen
+        :class:`~repro.obs.Telemetry` on ``result.telemetry``.
+    trace:
+        Path for a Chrome trace-event JSON file (hour/phase spans,
+        cross-process for the sharded backend); ``None`` disables
+        tracing.  Open the file in Perfetto (ui.perfetto.dev) or
+        ``chrome://tracing``.
+    profile:
+        ``"cprofile"`` wraps the run in :mod:`cProfile` and dumps
+        binary pstats to :attr:`profile_out` atomically; ``None``
+        disables profiling.
+    profile_out:
+        Destination for the pstats dump (``profile="cprofile"``).
+    progress:
+        Attach a :class:`~repro.obs.ProgressObserver` (one rewritten
+        stderr line; auto-disabled when stderr is not a TTY).
+
+    Telemetry never changes results: a run with any combination of
+    these enabled produces a ``RunResult`` equal to the same run with
+    telemetry off (the bit-parity grid in ``tests/test_obs.py``).
+    """
+
+    metrics: bool = False
+    trace: str | None = None
+    profile: str | None = None
+    profile_out: str = "repro-profile.pstats"
+    progress: bool = False
+
+    def __post_init__(self) -> None:
+        if self.profile is not None and self.profile not in _PROFILERS:
+            raise ValueError(
+                f"profile={self.profile!r}: expected one of "
+                f"{_PROFILERS} (or None)")
+
+    @property
+    def enabled(self) -> bool:
+        """True if any telemetry facility is on (otherwise the façade
+        installs nothing at all)."""
+        return bool(self.metrics or self.trace or self.profile
+                    or self.progress)
+
+
+# ----------------------------------------------------------------------
+# process-default config (the CLI path), mirroring
+# repro.resilience.checkpoint.set_default_policy
+# ----------------------------------------------------------------------
+_default_config: TelemetryConfig | None = None
+_default_takes = 0
+
+
+def set_default_telemetry(config: TelemetryConfig | None) -> None:
+    """Stage ``config`` as the process-default telemetry for
+    simulations built without an explicit ``telemetry=``.  Pass
+    ``None`` to clear.  Spawn workers import fresh interpreters and
+    never inherit the default (same caveat as checkpoint policies)."""
+    global _default_config, _default_takes
+    _default_config = config
+    _default_takes = 0
+
+
+def _uniquify(path: str, n: int) -> str:
+    """``run.trace.json`` -> ``run-2.trace.json`` for the n-th taker."""
+    if n <= 1:
+        return path
+    p = Path(path)
+    suffixes = "".join(p.suffixes)
+    stem = p.name[:len(p.name) - len(suffixes)] if suffixes else p.name
+    return str(p.with_name(f"{stem}-{n}{suffixes}"))
+
+
+def take_default_telemetry() -> TelemetryConfig | None:
+    """Claim the staged default (or ``None``).  Unlike checkpoint
+    policies the default stays staged — every simulation in the
+    command observes — but file outputs (trace, pstats) are uniquified
+    per taker so runs don't overwrite each other."""
+    global _default_takes
+    cfg = _default_config
+    if cfg is None:
+        return None
+    _default_takes += 1
+    n = _default_takes
+    if n > 1 and (cfg.trace or cfg.profile):
+        cfg = replace(
+            cfg,
+            trace=_uniquify(cfg.trace, n) if cfg.trace else None,
+            profile_out=(_uniquify(cfg.profile_out, n)
+                         if cfg.profile else cfg.profile_out))
+    return cfg

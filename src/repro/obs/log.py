@@ -1,0 +1,113 @@
+"""Structured logging for the package: ``repro.*`` namespaced loggers.
+
+Pure stdlib :mod:`logging`.  The ``repro`` root logger carries a
+:class:`logging.NullHandler` so importing the package never prints —
+consumers opt in:
+
+* library/experiment code calls :func:`get_logger` and logs normally;
+* the CLI's ``-v/--verbose`` and ``--quiet`` call :func:`configure`
+  to attach one stderr handler whose formatter appends the active
+  run/shard context (set via :func:`log_context` — e.g. shard workers
+  tag every record with ``shard=K``);
+* experiment ``__main__`` blocks route their rendered tables through
+  :func:`console` (a bare-message stdout handler at INFO), replacing
+  the bare ``print``\\ s they used to carry — same output text, but now
+  filterable and redirectable like every other record.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import logging
+import sys
+from contextlib import contextmanager
+
+ROOT = "repro"
+
+logging.getLogger(ROOT).addHandler(logging.NullHandler())
+
+#: Ambient key=value pairs appended to every formatted record
+#: (run/shard context; survives across threads via contextvars).
+_context: contextvars.ContextVar[tuple] = contextvars.ContextVar(
+    "repro_log_context", default=())
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` namespace (``get_logger("sim")``
+    -> ``repro.sim``; already-qualified names pass through)."""
+    if not name:
+        return logging.getLogger(ROOT)
+    if name == ROOT or name.startswith(ROOT + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT}.{name}")
+
+
+def set_context(**pairs) -> None:
+    """Append ``key=value`` pairs to the ambient log context (shard
+    workers call this once at startup)."""
+    _context.set(_context.get() + tuple(pairs.items()))
+
+
+@contextmanager
+def log_context(**pairs):
+    """Scoped variant of :func:`set_context`."""
+    token = _context.set(_context.get() + tuple(pairs.items()))
+    try:
+        yield
+    finally:
+        _context.reset(token)
+
+
+class ContextFormatter(logging.Formatter):
+    """Formatter exposing the ambient context as ``%(context)s``."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        pairs = _context.get()
+        record.context = (
+            " [" + " ".join(f"{k}={v}" for k, v in pairs) + "]"
+            if pairs else "")
+        return super().format(record)
+
+
+_CLI_FORMAT = "%(levelname)s %(name)s%(context)s: %(message)s"
+
+
+def configure(verbose: int = 0, quiet: bool = False,
+              stream=None) -> logging.Handler:
+    """Attach (or replace) the one console handler on the ``repro``
+    root: ``--quiet`` -> ERROR, default -> WARNING, ``-v`` -> INFO,
+    ``-vv`` -> DEBUG."""
+    level = (logging.ERROR if quiet
+             else [logging.WARNING, logging.INFO,
+                   logging.DEBUG][min(verbose, 2)])
+    root = logging.getLogger(ROOT)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_console", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None
+                                    else sys.stderr)
+    handler._repro_console = True
+    handler.setFormatter(ContextFormatter(_CLI_FORMAT))
+    root.addHandler(handler)
+    root.setLevel(level)
+    return handler
+
+
+_console_ready = False
+
+
+def console(*lines) -> None:
+    """Emit ``lines`` on stdout through the logging tree (INFO, bare
+    text — byte-for-byte what ``print`` produced).  The sink for
+    experiment entrypoints."""
+    global _console_ready
+    log = logging.getLogger(f"{ROOT}.experiments.console")
+    if not _console_ready:
+        handler = logging.StreamHandler(sys.stdout)
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        log.addHandler(handler)
+        log.setLevel(logging.INFO)
+        log.propagate = False  # stdout only, never the CLI handler
+        _console_ready = True
+    for line in lines:
+        log.info("%s", line)

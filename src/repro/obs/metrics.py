@@ -1,0 +1,97 @@
+"""Deterministic metrics: recorder + frozen result (DESIGN.md §17).
+
+:class:`MetricsRecorder` is a plain-dict registry — counters, gauges
+and histogram samples, no third-party deps, ``__slots__`` so a hot
+path that *does* hold one pays for nothing it doesn't use.  Engines
+are never instrumented inline: the telemetry runtime *pulls* each
+engine's existing cumulative counters once per hour boundary
+(``engine.telemetry_sample()``), so the metrics-off path has literally
+zero instructions added and the metrics-on path costs one dict per
+hour.
+
+All values are either simulated-state counters (deterministic: equal
+for equal runs) or wall-clock measurements whose keys end in
+``_wall_s`` — wall time may appear *in* telemetry but never flows back
+into simulated state, which is what keeps obs-on runs bit-identical
+to obs-off runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class MetricsRecorder:
+    """Counters / gauges / histograms plus an hour-indexed series log.
+
+    ``sample_hour(t, sample)`` appends one row of named values for
+    hour ``t``; keys joining mid-run are backfilled with zeros so
+    every series has one value per sampled hour.
+    """
+
+    __slots__ = ("counters", "gauges", "histograms", "hours", "series")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, list] = {}
+        self.hours: list[int] = []
+        self.series: dict[str, list] = {}
+
+    def count(self, name: str, n: float = 1) -> None:
+        """Increment counter ``name`` by ``n``."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to its latest ``value``."""
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Append one sample to histogram ``name``."""
+        self.histograms.setdefault(name, []).append(value)
+
+    def sample_hour(self, t: int, sample: dict) -> None:
+        """Record one hour-boundary row of named values."""
+        n_prior = len(self.hours)
+        self.hours.append(t)
+        for name, value in sample.items():
+            col = self.series.get(name)
+            if col is None:
+                col = self.series[name] = [0] * n_prior
+            col.append(value)
+        for name, col in self.series.items():
+            if len(col) <= n_prior:  # key absent this hour
+                col.append(col[-1] if col else 0)
+
+
+@dataclass(frozen=True)
+class Telemetry:
+    """Frozen metrics summary attached to ``RunResult.telemetry``.
+
+    ``series`` maps metric name -> one value per entry of ``hours``
+    (cumulative engine counters sampled at each hour boundary);
+    ``totals`` are end-of-run values (final samples, checkpoint and
+    exchange totals, histogram summaries).  The field is excluded from
+    ``RunResult`` equality, so telemetry-on results still compare
+    equal to telemetry-off ones.
+    """
+
+    backend: str
+    hours: tuple[int, ...]
+    series: dict[str, tuple]
+    totals: dict[str, object]
+    histograms: dict[str, tuple] = field(default_factory=dict)
+    trace_path: str | None = None
+    profile_path: str | None = None
+    spans: int = 0
+
+    def render(self) -> str:
+        """One aligned ``name  value`` line per run total."""
+        lines = [f"telemetry ({self.backend}, {len(self.hours)} hours"
+                 f"{', ' + str(self.spans) + ' spans' if self.spans else ''})"]
+        width = max((len(k) for k in self.totals), default=0)
+        for name in sorted(self.totals):
+            value = self.totals[name]
+            shown = f"{value:.4f}" if isinstance(value, float) else value
+            lines.append(f"  {name:<{width}}  {shown}")
+        return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""Live progress: one rewritten stderr line per simulated hour.
+
+Opt-in (``TelemetryConfig(progress=True)``, ``--progress``, or passing
+the observer directly) and auto-disabled when the stream is not a TTY,
+so batch logs and CI output never fill with carriage returns.  The
+observer only *reads*: the wall clock it shows (rate, ETA) is the
+``now`` handed to ``on_hour`` at the boundary and nothing flows back
+into simulated state — progress-on runs stay bit-identical.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from ..api.observers import Observer
+
+
+class ProgressObserver(Observer):
+    """``hour 42/168  431k ev/s  ETA 0:12`` on one stderr line."""
+
+    def __init__(self, stream=None, min_interval_s: float = 0.1) -> None:
+        self._stream = stream
+        self._min_interval_s = min_interval_s
+        self._enabled = False
+        self._sim = None
+        self._n = 0
+        self._start_hour = 0
+        self._t0 = 0.0
+        self._last_write = 0.0
+        self._width = 0
+
+    # The default stream is looked up per call (and dropped from
+    # pickles) so checkpointed runs restore cleanly in new processes.
+    def _out(self):
+        return self._stream if self._stream is not None else sys.stderr
+
+    def _events_processed(self) -> int | None:
+        engine = self._sim.engine if self._sim is not None else None
+        return getattr(getattr(engine, "sim", None),
+                       "events_processed", None)
+
+    def on_run_start(self, sim, start_hour: int, n_hours: int) -> None:
+        self._sim = sim
+        self._n = n_hours
+        self._start_hour = start_hour
+        self._t0 = time.time()
+        self._last_write = 0.0
+        out = self._out()
+        self._enabled = bool(getattr(out, "isatty", lambda: False)())
+
+    def on_hour(self, t: int, now: float) -> None:
+        if not self._enabled:
+            return
+        done = t - self._start_hour + 1
+        last = done >= self._n
+        if now - self._last_write < self._min_interval_s and not last:
+            return
+        self._last_write = now
+        elapsed = max(now - self._t0, 1e-9)
+        parts = [f"hour {done}/{self._n}"]
+        events = self._events_processed()
+        if events:
+            rate = events / elapsed
+            parts.append(f"{rate / 1000:.0f}k ev/s" if rate >= 1000
+                         else f"{rate:.0f} ev/s")
+        remaining = (self._n - done) * elapsed / done
+        parts.append(f"ETA {int(remaining // 60)}:{int(remaining % 60):02d}")
+        self._write("  ".join(parts))
+
+    def on_run_end(self, result) -> None:
+        if self._enabled:
+            self._write("")
+            out = self._out()
+            out.write("\r")
+            out.flush()
+            self._enabled = False
+
+    def _write(self, line: str) -> None:
+        out = self._out()
+        pad = max(self._width - len(line), 0)
+        out.write("\r" + line + " " * pad)
+        out.flush()
+        self._width = len(line)
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_stream"] = None  # streams don't pickle; re-resolve
+        return state
+
+
+def progress_line(done: int, total: int, t0: float,
+                  stream=None, label: str = "cells") -> None:
+    """Sweep-runner helper: rewrite one ``label done/total  ETA`` line
+    (no-op when the stream is not a TTY)."""
+    out = stream if stream is not None else sys.stderr
+    if not getattr(out, "isatty", lambda: False)():
+        return
+    elapsed = max(time.time() - t0, 1e-9)
+    line = f"{label} {done}/{total}"
+    if done:
+        remaining = (total - done) * elapsed / done
+        line += f"  ETA {int(remaining // 60)}:{int(remaining % 60):02d}"
+    out.write("\r" + line + " " * 12)
+    if done >= total:
+        out.write("\n")
+    out.flush()

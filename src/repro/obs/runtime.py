@@ -1,0 +1,218 @@
+"""The telemetry runtime: one observer that owns metrics + tracing.
+
+Wiring (DESIGN.md §17): ``Simulation(..., telemetry=TelemetryConfig(...))``
+appends a :class:`TelemetryRuntime` to the observers (before the
+checkpointer, so snapshots carry the hour's samples).  On
+``on_run_start`` it installs itself as ``engine._obs`` — the *only*
+coupling engines have to this package is an ``_obs`` attribute that
+defaults to ``None`` and a handful of ``if obs is not None`` guards,
+so the off path adds no hooks and (measurably, see
+``benchmarks/test_bench_obs.py``) no cost.
+
+* **Metrics** are pulled, never pushed: at each hour boundary the
+  runtime calls ``engine.telemetry_sample()`` (a dict of the engine's
+  *existing* cumulative counters) and logs it as one series row.
+* **Tracing** marks hour spans at the same boundary and exposes
+  ``phase_begin``/``phase_end`` for the engines' coarse phases.
+* **Sharded runs** get a :class:`ShardTelemetry` per worker (flags
+  travel in the shard setup dicts); its spans and final counter
+  sample ride home on the existing ``("done", outcome)`` message and
+  the coordinator-side runtime merges them into one timeline.
+
+Everything here pickles (checkpoints snapshot the observers tuple):
+recorders re-base their clock after restore, the profiler itself is
+never stored on the runtime.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from ..api.observers import Observer
+from .config import TelemetryConfig
+from .metrics import MetricsRecorder, Telemetry
+from .trace import DRIVER_PID, SpanRecorder, write_trace
+
+
+class _EngineObs:
+    """The span surface engines call (shared by the in-process runtime
+    and the worker-side shard endpoint).  Every method is a cheap no-op
+    when tracing is off — and engines only call them at hour
+    granularity behind an ``_obs is not None`` guard anyway."""
+
+    rec: SpanRecorder | None = None
+
+    def hour_mark(self, t: int) -> None:
+        if self.rec is not None:
+            self.rec.hour_mark(t)
+
+    def phase_begin(self, name: str) -> None:
+        if self.rec is not None:
+            self.rec.begin(name)
+
+    def phase_end(self) -> None:
+        if self.rec is not None:
+            self.rec.end()
+
+    def instant(self, name: str) -> None:
+        if self.rec is not None:
+            self.rec.instant(name)
+
+
+class TelemetryRuntime(_EngineObs, Observer):
+    """Observer driving metrics/tracing/profiling for one simulation."""
+
+    #: Ignores ``now`` entirely — reads its own clocks, feeds nothing
+    #: back into simulated state.
+    wants_sim_time = True
+
+    def __init__(self, config: TelemetryConfig) -> None:
+        self.config = config
+        self.metrics = MetricsRecorder() if config.metrics else None
+        self.rec = (SpanRecorder(pid=DRIVER_PID, label="driver")
+                    if config.trace else None)
+        self._sim = None
+        self.profile_path: str | None = None
+
+    @property
+    def tracing(self) -> bool:
+        return self.rec is not None
+
+    # -- observer lifecycle -------------------------------------------
+    def on_run_start(self, sim, start_hour: int, n_hours: int) -> None:
+        self._sim = sim
+        engine = sim.engine
+        if hasattr(engine, "_obs"):
+            engine._obs = self
+        if self.rec is not None:
+            self.rec.start()
+
+    # Hour spans are marked by the *engine* (uniform with the
+    # worker-side ShardTelemetry endpoint); this hook only samples.
+    def on_hour(self, t: int, now: float) -> None:
+        if self.metrics is not None:
+            self.metrics.sample_hour(t, self._sample())
+
+    def on_run_end(self, result) -> None:
+        result.telemetry = self._finalize(result)
+
+    # -- sampling ------------------------------------------------------
+    def _sample(self) -> dict:
+        engine = self._sim.engine
+        sample = (engine.telemetry_sample()
+                  if hasattr(engine, "telemetry_sample") else {})
+        ck = self._sim.checkpointer
+        if ck is not None:
+            sample["checkpoint_writes"] = ck.written
+            sample["checkpoint_bytes"] = ck.bytes_written
+            sample["checkpoint_wall_s"] = ck.write_wall_s
+        return sample
+
+    def _finalize(self, result) -> Telemetry:
+        engine = self._sim.engine
+        if self.rec is not None:
+            self.rec.close()
+        events = list(self.rec.events) if self.rec is not None else []
+        if hasattr(engine, "collect_shard_spans"):
+            events.extend(engine.collect_shard_spans())
+        n_spans = sum(1 for e in events if e.get("ph") == "X")
+        if self.config.trace:
+            write_trace(self.config.trace, events)
+
+        totals: dict[str, object] = {}
+        histograms: dict[str, tuple] = {}
+        metrics = self.metrics
+        if metrics is not None:
+            final = self._sample()
+            if hasattr(engine, "collect_shard_telemetry"):
+                for name, value in engine.collect_shard_telemetry().items():
+                    final[f"shards.{name}"] = value
+            totals.update(final)
+            totals.update(metrics.counters)
+            totals.update(metrics.gauges)
+            histograms = {name: tuple(vals)
+                          for name, vals in metrics.histograms.items()}
+        return Telemetry(
+            backend=result.backend,
+            hours=tuple(metrics.hours) if metrics is not None else (),
+            series=({name: tuple(col)
+                     for name, col in metrics.series.items()}
+                    if metrics is not None else {}),
+            totals=totals,
+            histograms=histograms,
+            trace_path=self.config.trace,
+            # The pstats dump lands when ``profiled()`` unwinds —
+            # after this finalize but before run() returns.
+            profile_path=(self.config.profile_out
+                          if self.config.profile else None),
+            spans=n_spans,
+        )
+
+    # -- profiling -----------------------------------------------------
+    @contextmanager
+    def profiled(self):
+        """Wrap a run in cProfile when configured (else a no-op).  The
+        profiler lives only on this frame — never on the runtime — so
+        mid-run checkpoints still pickle the observer graph."""
+        if self.config.profile != "cprofile":
+            yield
+            return
+        import cProfile
+
+        prof = cProfile.Profile()
+        prof.enable()
+        try:
+            yield
+        finally:
+            prof.disable()
+            prof.create_stats()
+            self._dump_pstats(prof)
+
+    def _dump_pstats(self, prof) -> None:
+        from ..resilience.io import atomic_target
+
+        out = self.config.profile_out
+        with atomic_target(out) as tmp:
+            prof.dump_stats(tmp)
+        self.profile_path = out
+
+
+class ShardTelemetry(_EngineObs):
+    """Worker-side telemetry endpoint for one shard.
+
+    Built by ``run_shard`` from the ``obs_trace``/``obs_metrics`` keys
+    of the shard setup and installed as the shard engine's ``_obs``.
+    Pickles with the shard state blob (supervised respawns, resumes),
+    re-basing its clock in the new process.
+    """
+
+    __slots__ = ("index", "rec", "metrics")
+
+    def __init__(self, index: int, trace: bool = False,
+                 metrics: bool = False) -> None:
+        self.index = index
+        self.rec = (SpanRecorder(pid=index + 1, tid=0,
+                                 label=f"shard {index}")
+                    if trace else None)
+        if self.rec is not None:
+            self.rec.start()
+        self.metrics = metrics
+
+    def outcome_extras(self, engine) -> dict:
+        """Telemetry payload for the shard's ``("done", outcome)``."""
+        extras: dict = {}
+        if self.rec is not None:
+            self.rec.close()
+            extras["spans"] = self.rec.events
+        if self.metrics and hasattr(engine, "telemetry_sample"):
+            extras["telemetry"] = engine.telemetry_sample()
+        return extras
+
+    def __getstate__(self) -> dict:
+        return {"index": self.index, "rec": self.rec,
+                "metrics": self.metrics}
+
+    def __setstate__(self, state: dict) -> None:
+        self.index = state["index"]
+        self.rec = state["rec"]
+        self.metrics = state["metrics"]

@@ -1,0 +1,131 @@
+"""Span tracing: hour/phase spans as Chrome trace-event JSON.
+
+:class:`SpanRecorder` collects complete (``"ph": "X"``) spans on a
+process-local :func:`time.perf_counter` timebase; :func:`write_trace`
+assembles recorders' events (coordinator + shipped shard spans) into
+one ``{"traceEvents": [...]}`` document and writes it atomically.
+Open the file at https://ui.perfetto.dev or ``chrome://tracing``.
+
+Shard workers may be threads inside one OS process (``workers=0``), so
+the ``pid`` tag is *synthetic and deterministic*: 0 is the
+coordinator/driver, shard ``k`` is ``k + 1``.  Each recorder emits a
+``process_name`` metadata event so the viewer labels its lane.
+
+Wall clocks here never touch simulated state: spans measure the
+*runner*, results stay bit-identical with tracing on (DESIGN.md §17).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from ..resilience.io import atomic_target
+
+#: Synthetic pid of the driving process (coordinator for sharded runs).
+DRIVER_PID = 0
+
+
+class SpanRecorder:
+    """Per-process span collector on a lazy ``perf_counter`` timebase.
+
+    * ``hour_mark(t)`` — call where the hour hooks fire: closes the
+      open hour span, labels it ``t``, and opens the next one.  Hour
+      spans therefore tile the run with no gaps or overlaps.
+    * ``begin(name)`` / ``end()`` — nested phase spans inside the
+      current hour (consolidation, exchange, request generation).
+    * ``instant(name)`` — zero-duration marker (checkpoint writes,
+      worker respawns).
+
+    The timebase (``_t0``) is process-local and reset by pickling, so
+    a recorder checkpointed mid-run resumes with timestamps restarting
+    near zero — the trace stays valid, only the resumed spans re-base.
+    """
+
+    __slots__ = ("pid", "tid", "label", "events", "_t0", "_stack",
+                 "_open_ts")
+
+    def __init__(self, pid: int = DRIVER_PID, tid: int = 0,
+                 label: str = "driver") -> None:
+        self.pid = pid
+        self.tid = tid
+        self.label = label
+        self.events: list[dict] = [{
+            "name": "process_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": label},
+        }]
+        self._t0: float | None = None
+        self._stack: list[tuple[str, float]] = []
+        self._open_ts: float | None = None
+
+    # -- timebase ------------------------------------------------------
+    def _now_us(self) -> float:
+        if self._t0 is None:
+            self._t0 = time.perf_counter()
+        return (time.perf_counter() - self._t0) * 1e6
+
+    def start(self) -> None:
+        """Pin the timebase at run start (the first hour span then
+        covers the whole first hour, not just its tail)."""
+        self._now_us()
+        self._open_ts = 0.0
+
+    # -- spans ---------------------------------------------------------
+    def hour_mark(self, t: int) -> None:
+        """Hour ``t`` just completed: close its span, open the next."""
+        now = self._now_us()
+        start = self._open_ts if self._open_ts is not None else now
+        self.events.append({
+            "name": "hour", "cat": "hour", "ph": "X",
+            "ts": start, "dur": now - start,
+            "pid": self.pid, "tid": self.tid, "args": {"t": t},
+        })
+        self._open_ts = now
+
+    def begin(self, name: str) -> None:
+        self._stack.append((name, self._now_us()))
+
+    def end(self) -> None:
+        name, start = self._stack.pop()
+        now = self._now_us()
+        self.events.append({
+            "name": name, "cat": "phase", "ph": "X",
+            "ts": start, "dur": now - start,
+            "pid": self.pid, "tid": self.tid,
+        })
+
+    def instant(self, name: str) -> None:
+        self.events.append({
+            "name": name, "cat": "mark", "ph": "i", "s": "t",
+            "ts": self._now_us(), "pid": self.pid, "tid": self.tid,
+        })
+
+    def close(self) -> None:
+        """Close any open phase/hour spans (run end / outcome ship)."""
+        while self._stack:
+            self.end()
+        self._open_ts = None
+
+    # -- pickling (checkpoints, shard state blobs) ---------------------
+    def __getstate__(self) -> dict:
+        return {"pid": self.pid, "tid": self.tid, "label": self.label,
+                "events": self.events, "stack_names":
+                    [name for name, _ in self._stack]}
+
+    def __setstate__(self, state: dict) -> None:
+        self.pid = state["pid"]
+        self.tid = state["tid"]
+        self.label = state["label"]
+        self.events = state["events"]
+        # perf_counter offsets don't survive a process boundary: drop
+        # open spans' starts, re-base lazily at first use.
+        self._t0 = None
+        self._stack = [(name, 0.0) for name in state["stack_names"]]
+        self._open_ts = None
+
+
+def write_trace(path: str, events: list[dict]) -> None:
+    """Atomically write ``events`` as a Chrome trace-event JSON file."""
+    doc = {"traceEvents": events, "displayTimeUnit": "ms"}
+    with atomic_target(path) as tmp:
+        tmp.write_text(json.dumps(doc))

@@ -31,10 +31,14 @@ from __future__ import annotations
 
 import hashlib
 import pickle
+import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 
+from ..obs.log import get_logger
 from .io import atomic_write_bytes
+
+log = get_logger("resilience.checkpoint")
 
 #: On-disk format version; bump on any incompatible layout change.
 CHECKPOINT_VERSION = 1
@@ -227,6 +231,12 @@ class CheckpointManager:
     (the hour's last protocol messages) before the graph is complete.
     """
 
+    #: The manager keys ``due()`` off the simulated hour alone, but a
+    #: resumed run re-derives ``_start_hour`` from the snapshot, and
+    #: capture must never see a wall-clock time in the graph it pickles
+    #: (repro.api.observers).
+    wants_sim_time = True
+
     def __init__(self, policy: CheckpointPolicy | str | Path) -> None:
         if isinstance(policy, (str, Path)):
             policy = CheckpointPolicy(dir=str(policy))
@@ -238,6 +248,10 @@ class CheckpointManager:
         self.last_path: Path | None = None
         #: Checkpoints written this run (benchmarks read this).
         self.written = 0
+        #: Bytes and wall seconds spent writing them (telemetry reads
+        #: these; DESIGN.md §17).
+        self.bytes_written = 0
+        self.write_wall_s = 0.0
 
     # -- observer protocol -------------------------------------------------
     def on_run_start(self, sim, start_hour: int, n_hours: int) -> None:
@@ -267,6 +281,7 @@ class CheckpointManager:
         return (t - self._start_hour + 1) % self.policy.every_h == 0
 
     def write_checkpoint(self, t: int) -> Path:
+        started = time.perf_counter()
         ckpt = Checkpoint.capture(self._sim, hour=t,
                                   start_hour=self._start_hour,
                                   n_hours=self._n_hours)
@@ -275,6 +290,9 @@ class CheckpointManager:
         ckpt.save(path)
         self.last_path = path
         self.written += 1
+        self.bytes_written += path.stat().st_size
+        self.write_wall_s += time.perf_counter() - started
+        log.debug("checkpoint hour %d -> %s", t, path)
         self._prune()
         return path
 

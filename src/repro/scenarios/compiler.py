@@ -49,6 +49,11 @@ class ChurnInjector(Observer):
     (:meth:`bind`), which dispatches to the backend adapter.
     """
 
+    #: Churn feeds ``now`` into simulated state (placement/power
+    #: timestamps), so it must see the engines' simulated clock, not
+    #: the wall clock other observers get (repro.api.observers).
+    wants_sim_time = True
+
     def __init__(self, spec: ScenarioSpec, dc: DataCenter,
                  params: DrowsyParams, seed: int, start_hour: int,
                  ephemeral_names: set[str]) -> None:

@@ -78,6 +78,9 @@ class ScenarioRow:
     failovers: int = 0
     stranded_requests: int = 0
     unavailability_s: float = 0.0
+    #: Deterministic activity column (DESIGN.md §17): total events the
+    #: engine processed (0 on the hourly backend, which has no queue).
+    events_processed: int = 0
 
 
 def _sla_columns(result) -> dict:
@@ -142,6 +145,7 @@ def run_scenario_cell(cell: ScenarioCell) -> ScenarioRow:
         migrations=result.migrations,
         suspend_cycles=result.total_suspend_cycles,
         suspended_fraction=result.global_suspended_fraction,
+        events_processed=int(result.events_processed or 0),
         **_sla_columns(result),
         **_fault_columns(result),
     )
@@ -191,13 +195,15 @@ class ScenarioTable(SweepTable):
 
 
 def run_scenario_sweep(cells: list[ScenarioCell], workers: int = 1,
-                       supervise=None, journal=None) -> ScenarioTable:
+                       supervise=None, journal=None,
+                       progress: bool = False) -> ScenarioTable:
     """Shard scenario cells across cores into a :class:`ScenarioTable`.
 
-    ``supervise``/``journal`` pass through to
-    :class:`~repro.sim.sweep.SweepRunner` — crashed workers respawn
-    and an interrupted sweep resumes from its journal (DESIGN.md §16).
+    ``supervise``/``journal``/``progress`` pass through to
+    :class:`~repro.sim.sweep.SweepRunner` — crashed workers respawn,
+    an interrupted sweep resumes from its journal (DESIGN.md §16), and
+    ``progress`` redraws a TTY-gated cells-done line (§17).
     """
     runner = SweepRunner(workers=workers, supervise=supervise,
-                         journal=journal)
+                         journal=journal, progress=progress)
     return ScenarioTable(rows=runner.map(run_scenario_cell, cells))

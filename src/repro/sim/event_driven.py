@@ -226,6 +226,10 @@ class EventDrivenSimulation:
         #: Did the last hour tick take the columnar path?  Gates the
         #: sub-hour accounting reads (grace on resume).
         self._fleet_active = False
+        #: Telemetry endpoint (DESIGN.md §17), installed by a
+        #: metrics/trace-enabled run; stays ``None`` — zero hooks,
+        #: zero clock reads — otherwise.
+        self._obs = None
 
     # ------------------------------------------------------------------
     # main loop
@@ -309,7 +313,10 @@ class EventDrivenSimulation:
         self._fleet_active = activities is not None
         self.controller.observe_hour(t)
 
+        obs = self._obs
         if t % self.config.consolidation_period_h == 0:
+            if obs is not None:
+                obs.phase_begin("consolidate")
             if self.config.relocate_all_mode and hasattr(self.controller, "relocate_all"):
                 before = len(self.dc.migrations)
                 self.controller.relocate_all(t, now)
@@ -318,6 +325,8 @@ class EventDrivenSimulation:
                 self.controller.step(t, now, executor=self._execute_migration)
             # Migrations may have moved a VM whose request is waiting.
             self.switch.redispatch_pending()
+            if obs is not None:
+                obs.phase_end()
 
         if self.config.update_models or getattr(self.controller, "uses_idleness", False):
             if activities is not None:
@@ -327,6 +336,8 @@ class EventDrivenSimulation:
                     vm.model.observe(t, vm.current_activity)
 
         # Client traffic for interactive VMs active this hour.
+        if obs is not None:
+            obs.phase_begin("requests")
         profile = self.config.request_profile
         if self.config.use_bulk_requests:
             self._generate_hour_requests(now, profile)
@@ -338,9 +349,39 @@ class EventDrivenSimulation:
                                 self.rng, now, vm.current_activity,
                                 hour_index=t):
                             self.sim.schedule_at(float(at), self._submit_request, vm.name)
+        if obs is not None:
+            obs.phase_end()
+            obs.hour_mark(t)
 
         for hook in self.hour_hooks:
             hook(t, now)
+
+    # ------------------------------------------------------------------
+    def telemetry_sample(self) -> dict:
+        """Cumulative engine counters for the telemetry runtime
+        (DESIGN.md §17) — sampled at hour boundaries, never pushed, so
+        the metrics-off path costs nothing."""
+        sim, ch = self.sim, self.wol_channel
+        sample = {
+            # Coalesced logical events are folded into events_processed
+            # by EventSimulator.count_coalesced (a parity observable).
+            "events_processed": sim.events_processed,
+            "events_pending": sim.pending,
+            "heap_depth": len(sim._heap),
+            "migrations": len(self.dc.migrations),
+            "wol_attempts": ch.attempts,
+            "wol_retries": ch.retries,
+            "wol_dropped": ch.dropped,
+            "wol_delayed": ch.delayed,
+            "wol_abandoned": ch.abandoned,
+            "wol_sent": self.waking.active.wol_sent,
+            "waking_beats": self.waking.beats,
+            "queued_requests": self.switch.queued_requests,
+        }
+        if self.sweeper is not None:
+            sample["sweeps_fired"] = self.sweeper.sweeps_fired
+            sample["sweep_checks"] = self.sweeper.checks_performed
+        return sample
 
     def _generate_hour_requests(self, now: float,
                                 profile: RequestProfile) -> None:

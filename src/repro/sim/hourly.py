@@ -160,6 +160,10 @@ class HourlySimulator:
         #: at exactly the right boundary (DESIGN.md §16).
         self._next_hour = 0
         self._migrations_before = 0
+        #: Telemetry endpoint (DESIGN.md §17), installed by a
+        #: metrics/trace-enabled run; stays ``None`` — zero hooks,
+        #: zero clock reads — otherwise.
+        self._obs = None
 
     # ------------------------------------------------------------------
     def run(self, n_hours: int, start_hour: int = 0) -> HourlyResult:
@@ -247,11 +251,16 @@ class HourlySimulator:
 
         # 2. Consolidation decisions use models trained through t-1
         #    (they predict idleness of the *next* interval, section III).
+        obs = self._obs
         if t % cfg.consolidation_period_h == 0:
+            if obs is not None:
+                obs.phase_begin("consolidate")
             if cfg.relocate_all_mode and hasattr(self.controller, "relocate_all"):
                 self.controller.relocate_all(t, now)
             else:
                 self.controller.step(t, now)
+            if obs is not None:
+                obs.phase_end()
 
         # 3. Learn this hour's activity: one vectorized update for the
         #    whole fleet, or the scalar per-VM loop when unbound.
@@ -294,8 +303,24 @@ class HourlySimulator:
                         self._overload_host_hours += 1
 
         self._next_hour = t + 1
+        if obs is not None:
+            obs.hour_mark(t)
         for hook in self.hour_hooks:
             hook(t, now)
+
+    # ------------------------------------------------------------------
+    def telemetry_sample(self) -> dict:
+        """Cumulative engine counters for the telemetry runtime
+        (DESIGN.md §17) — sampled at hour boundaries, never pushed, so
+        the metrics-off path costs nothing."""
+        return {
+            "migrations": len(self.dc.migrations),
+            "active_host_hours": self._active_host_hours,
+            "overload_host_hours": self._overload_host_hours,
+            "hosts_suspended": sum(
+                1 for h in self.dc.hosts
+                if h.state is PowerState.SUSPENDED),
+        }
 
     # ------------------------------------------------------------------
     def _host_sleepable(self, host: Host) -> bool:

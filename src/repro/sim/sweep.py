@@ -27,14 +27,18 @@ import csv
 import io
 import os
 import sqlite3
+import time
 from dataclasses import dataclass, fields
 from multiprocessing import get_context
 from pathlib import Path
 
 from ..api.controllers import SWEEP_CONTROLLERS, build_controller
 from ..core.params import DEFAULT_PARAMS, DrowsyParams
+from ..obs.log import get_logger
 from ..resilience.io import atomic_target, atomic_write_text
 from .hourly import HourlyConfig
+
+log = get_logger("sweep")
 
 #: The controllers the standard sweep grids cycle through.  Name
 #: resolution happens in :data:`repro.api.controllers` — this tuple
@@ -92,6 +96,11 @@ class SweepRow:
     migrations: int
     suspend_cycles: int
     suspended_fraction: float
+    #: Deterministic activity columns (DESIGN.md §17): host-hours the
+    #: fleet spent awake / overloaded.  Simulated-state counts, so they
+    #: are byte-identical across worker counts like every other column.
+    active_host_hours: int = 0
+    overload_host_hours: int = 0
 
 
 def run_cell(cell: SweepCell) -> SweepRow:
@@ -118,6 +127,8 @@ def run_cell(cell: SweepCell) -> SweepRow:
         migrations=result.migrations,
         suspend_cycles=result.total_suspend_cycles,
         suspended_fraction=result.global_suspended_fraction,
+        active_host_hours=int(result.active_host_hours or 0),
+        overload_host_hours=int(result.overload_host_hours or 0),
     )
 
 
@@ -411,16 +422,23 @@ class SweepRunner:
     the same journal skips the already-journaled cells — an
     interrupted sweep resumes instead of starting over.  Either option
     alone activates the supervised path.
+
+    ``progress=True`` rewrites one ``cells done/total  ETA`` stderr
+    line as rows land (TTY-gated; a no-op in batch logs and CI).  The
+    line is pure reporting — rows, task order and the table bytes are
+    untouched.
     """
 
     def __init__(self, workers: int = 1, mp_context: str = "spawn",
-                 supervise=None, journal=None) -> None:
+                 supervise=None, journal=None,
+                 progress: bool = False) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = int(workers)
         self.mp_context = mp_context
         self.supervise = supervise
         self.journal = journal
+        self.progress = bool(progress)
 
     def _journal(self):
         if self.journal is None or hasattr(self.journal, "append"):
@@ -429,27 +447,69 @@ class SweepRunner:
 
         return SweepJournal(self.journal)
 
+    def _tick(self, total: int):
+        """A ``tick()`` that redraws the progress line, or ``None``."""
+        if not self.progress:
+            return None
+        from ..obs.progress import progress_line
+
+        t0 = time.time()
+        done = [0]
+
+        def tick() -> None:
+            done[0] += 1
+            progress_line(done[0], total, t0)
+
+        return tick
+
     def map(self, fn, items: list) -> list:
         """Order-preserving map of a picklable top-level ``fn``."""
         items = list(items)
         journal = self._journal()
+        tick = self._tick(len(items))
+        log.debug("sweep: %d cells on %d worker(s)%s", len(items),
+                  self.workers,
+                  " [supervised]" if (self.supervise is not None
+                                      or journal is not None) else "")
         if self.supervise is not None or journal is not None:
             from ..resilience import supervised_map
 
             ctx = (spawn_context() if self.mp_context == "spawn"
                    else get_context(self.mp_context))
+            append = journal.append if journal is not None else None
+
+            def on_result(index, row) -> None:
+                if append is not None:
+                    append(index, row)
+                if tick is not None:
+                    tick()
+
             return supervised_map(
                 fn, items, self.workers, policy=self.supervise,
                 mp_context=ctx,
-                on_result=journal.append if journal is not None else None,
+                on_result=(on_result if (append is not None
+                                         or tick is not None) else None),
                 skip=journal.load() if journal is not None else None)
         if self.workers == 1 or len(items) <= 1:
-            return [fn(item) for item in items]
+            results = []
+            for item in items:
+                results.append(fn(item))
+                if tick is not None:
+                    tick()
+            return results
         ctx = (spawn_context() if self.mp_context == "spawn"
                else get_context(self.mp_context))
         n_procs = min(self.workers, len(items))
         with ctx.Pool(processes=n_procs) as pool:
-            return pool.map(fn, items, chunksize=1)
+            if tick is None:
+                return pool.map(fn, items, chunksize=1)
+            # imap keeps task order and yields as rows land, so the
+            # progress line advances while slow cells are in flight.
+            results = []
+            for row in pool.imap(fn, items, chunksize=1):
+                results.append(row)
+                tick()
+            return results
 
     def run(self, cells: list[SweepCell]) -> SweepTable:
         """Run a grid of standard cells into a :class:`SweepTable`."""

@@ -118,6 +118,8 @@ class AdminChurn(Observer):
     evacuation, power-off/power-on, force-awake and check
     reinstatement — the same calls a compiled scenario issues."""
 
+    wants_sim_time = True  # churn feeds ``now`` into simulated state
+
     def on_run_start(self, sim, start_hour, n_hours):
         self.sim = sim
         self.extra = 0
